@@ -1,0 +1,35 @@
+//! E9 bench: ablation of the quantum-walk subset size k in `QuantumQWLE`.
+
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumQwLe;
+use qle::{AlphaChoice, KChoice, LeaderElection};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_walk_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let graph = topology::clique_of_cliques(8).unwrap();
+    let n = graph.node_count();
+    for &k in &[1usize, 8] {
+        let protocol = QuantumQwLe {
+            k: KChoice::Fixed(k),
+            alpha: AlphaChoice::Fixed(0.25),
+            iterations: Some((6.0 * (n as f64).ln()).ceil() as usize),
+            activation_probability: Some(0.25),
+            skip_full_topology_check: true,
+        };
+        group.bench_with_input(BenchmarkId::new("subset_size", k), &k, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                protocol.run(&graph, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

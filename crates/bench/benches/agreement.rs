@@ -1,0 +1,46 @@
+//! E6 bench: `QuantumAgreement` vs the classical AMP18 shared-coin protocol.
+
+use classical_baselines::{AmpSharedCoinAgreement, PrivateCoinAgreement};
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumAgreement;
+use qle::{Agreement, AlphaChoice};
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_agreement");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[64usize, 256] {
+        let graph = topology::complete(n).unwrap();
+        let inputs: Vec<bool> = (0..n).map(|i| i % 10 < 3).collect();
+        let quantum = QuantumAgreement::with_parameters(None, None, AlphaChoice::Fixed(0.25));
+        let amp = AmpSharedCoinAgreement::new();
+        let private = PrivateCoinAgreement::new();
+        group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum.run(&graph, &inputs, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("amp_shared_coin", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                amp.run(&graph, &inputs, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("private_coin", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                private.run(&graph, &inputs, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agreement);
+criterion_main!(benches);

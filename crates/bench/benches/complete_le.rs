@@ -1,0 +1,37 @@
+//! E1 bench: `QuantumLE` vs the classical `Õ(√n)` protocol on complete graphs.
+
+use classical_baselines::KppCompleteLe;
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumLe;
+use qle::{AlphaChoice, KChoice, LeaderElection};
+
+fn bench_complete_le(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_complete_le");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[128usize, 512] {
+        let graph = topology::complete(n).unwrap();
+        let quantum = QuantumLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25));
+        let classical = KppCompleteLe::new();
+        group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum.run(&graph, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical.run(&graph, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complete_le);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 bench: `QuantumQWLE` vs the classical `Õ(n)` protocol on diameter-2
+//! graphs.
+
+use classical_baselines::CprDiameterTwoLe;
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumQwLe;
+use qle::LeaderElection;
+
+fn bench_diameter_two(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_diameter_two_le");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &side in &[6usize, 8] {
+        let graph = topology::clique_of_cliques(side).unwrap();
+        let n = graph.node_count();
+        let quantum = QuantumQwLe::benchmark_profile(n);
+        let classical = CprDiameterTwoLe { skip_full_topology_check: true };
+        group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum.run(&graph, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical.run(&graph, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diameter_two);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E5 bench: `QuantumGeneralLE` vs the classical GHS-style protocol on
+//! arbitrary graphs.
+
+use classical_baselines::GhsLe;
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumGeneralLe;
+use qle::{AlphaChoice, LeaderElection};
+
+fn bench_general_le(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_general_le");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[64usize, 128] {
+        let graph = topology::erdos_renyi_connected(n, 8.0 / n as f64, 17).unwrap();
+        let quantum = QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3));
+        let classical = GhsLe::new();
+        group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum.run(&graph, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical.run(&graph, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general_le);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 bench: `QuantumRWLE` vs the classical random-walk protocol on
+//! small-mixing-time graphs.
+
+use classical_baselines::KppMixingLe;
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumRwLe;
+use qle::{AlphaChoice, KChoice, LeaderElection};
+
+fn bench_mixing_le(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_mixing_le");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &dim in &[6u32, 8] {
+        let graph = topology::hypercube(dim).unwrap();
+        let tau = dim as usize;
+        let quantum = QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25), Some(tau));
+        let classical = KppMixingLe::with_tau(tau);
+        group.bench_with_input(BenchmarkId::new("quantum_hypercube", graph.node_count()), &dim, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum.run(&graph, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classical_hypercube", graph.node_count()), &dim, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical.run(&graph, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixing_le);
+criterion_main!(benches);

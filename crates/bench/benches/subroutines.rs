@@ -1,0 +1,59 @@
+//! E7/E8 bench: the star-graph searching and counting primitives (quantum vs
+//! classical).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::star::{classical_star_count, classical_star_search, quantum_star_count, quantum_star_search};
+
+fn bench_star_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_star_search");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1024usize, 4096] {
+        let inputs: Vec<bool> = (0..n).map(|i| i == n / 2).collect();
+        group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum_star_search(&inputs, 1, 0.1, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical_star_search(&inputs, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_star_counting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 2000usize;
+    let inputs: Vec<bool> = (0..n).map(|i| i < 600).collect();
+    for &eps in &[0.02f64, 0.01] {
+        group.bench_with_input(BenchmarkId::new("quantum", format!("eps_{eps}")), &eps, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                quantum_star_count(&inputs, eps, 0.2, seed).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classical", format!("eps_{eps}")), &eps, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical_star_count(&inputs, eps, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_star_search, bench_star_counting);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 bench: the round/message trade-off of `QuantumLE` in the parameter `k`.
+
+use congest_net::topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qle::algorithms::QuantumLe;
+use qle::{AlphaChoice, KChoice, LeaderElection};
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_tradeoff");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let graph = topology::complete(256).unwrap();
+    for &exponent in &[0.25f64, 1.0 / 3.0, 0.5] {
+        let protocol = QuantumLe::with_parameters(KChoice::Exponent(exponent), AlphaChoice::Fixed(0.25));
+        group.bench_with_input(BenchmarkId::new("k_exponent", format!("{exponent:.2}")), &exponent, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                protocol.run(&graph, seed).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

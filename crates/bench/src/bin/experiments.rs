@@ -1,0 +1,41 @@
+//! Prints every experiment table (E1–E10) of the reproduction.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin experiments            # all experiments
+//! cargo run --release -p bench-harness --bin experiments -- e1 e7   # a selection
+//! ```
+
+use bench_harness::{
+    e10_candidate_sampling, e1_complete_le, e2_tradeoff, e3_mixing_le, e4_diameter_two_le,
+    e5_general_le, e6_agreement, e7_star_search, e8_star_counting, e9_walk_ablation,
+    ExperimentTable,
+};
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let run_all = requested.is_empty();
+    let experiments: Vec<(&str, fn() -> ExperimentTable)> = vec![
+        ("e1", e1_complete_le as fn() -> ExperimentTable),
+        ("e2", e2_tradeoff),
+        ("e3", e3_mixing_le),
+        ("e4", e4_diameter_two_le),
+        ("e5", e5_general_le),
+        ("e6", e6_agreement),
+        ("e7", e7_star_search),
+        ("e8", e8_star_counting),
+        ("e9", e9_walk_ablation),
+        ("e10", e10_candidate_sampling),
+    ];
+    println!("Quantum Communication Advantage for Leader Election and Agreement — experiment suite");
+    println!("(message counts are measured on the CONGEST simulator; see EXPERIMENTS.md)\n");
+    for (name, experiment) in experiments {
+        if run_all || requested.iter().any(|r| r == name) {
+            let start = std::time::Instant::now();
+            let table = experiment();
+            println!("{table}");
+            println!("  [{name} completed in {:.1?}]\n", start.elapsed());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Log–log least-squares exponent fitting.
+
+/// Fits `y ≈ c · x^e` to the given points by ordinary least squares on
+/// `(ln x, ln y)` and returns the exponent `e`.
+///
+/// Points with non-positive coordinates are ignored; fewer than two usable
+/// points yield an exponent of 0.
+#[must_use]
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return 0.0;
+    }
+    let n = logs.len() as f64;
+    let sum_x: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sum_xx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sum_xy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denominator = n * sum_xx - sum_x * sum_x;
+    if denominator.abs() < 1e-12 {
+        return 0.0;
+    }
+    (n * sum_xy - sum_x * sum_y) / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_power_laws() {
+        let square: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((fit_exponent(&square) - 2.0).abs() < 1e-9);
+        let sqrt: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i as f64).sqrt())).collect();
+        assert!((fit_exponent(&sqrt) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_constants_and_ignores_bad_points() {
+        let points: Vec<(f64, f64)> = (1..30).map(|i| (i as f64, 17.0 * (i as f64).powf(1.5))).collect();
+        assert!((fit_exponent(&points) - 1.5).abs() < 1e-9);
+        assert_eq!(fit_exponent(&[(0.0, 1.0), (-1.0, 2.0)]), 0.0);
+        assert_eq!(fit_exponent(&[(2.0, 4.0)]), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text experiment tables.
+
+use std::fmt;
+
+/// A printable experiment table: a title, a header row, data rows, and free
+/// text notes (fitted exponents, paper references).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTable {
+    /// The experiment identifier and description.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed below the table.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table with the given title and header.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let widths = self.column_widths();
+        let format_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, width)| format!("{cell:>width$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", format_row(&self.header))?;
+        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", format_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns_and_notes() {
+        let mut table = ExperimentTable::new("E0: demo", &["n", "messages"]);
+        table.push_row(vec!["64".into(), "1234".into()]);
+        table.push_row(vec!["4096".into(), "9".into()]);
+        table.push_note("fitted exponent 0.33");
+        let text = table.to_string();
+        assert!(text.contains("== E0: demo =="));
+        assert!(text.contains("messages"));
+        assert!(text.contains("note: fitted exponent 0.33"));
+        assert!(text.lines().count() >= 5);
+    }
+}

@@ -1,0 +1,290 @@
+//! Classical baseline: GHS-style leader election by tree merging on arbitrary
+//! graphs, with message complexity `Θ(m·log n)` (the classical lower bound
+//! for general graphs is `Ω(m)`, KPP+15a) — the regime `QuantumGeneralLE`
+//! improves to `Õ(√(m·n))`.
+//!
+//! The phase structure is identical to `QuantumGeneralLE` (find an outgoing
+//! edge per cluster, match clusters, merge); the only difference is step 1,
+//! where every node probes **all** of its incident edges to find outgoing
+//! ones instead of Grover-searching its neighbourhood.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use qle::problems::{LeaderElectionOutcome, NodeStatus};
+use qle::report::{CostSummary, LeaderElectionRun};
+use qle::{Error, LeaderElection};
+
+/// Messages exchanged by the classical tree-merging baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GhsMessage {
+    /// "Which cluster are you in?" probe carrying the sender's cluster id.
+    ClusterQuery(u64),
+    /// Reply: `true` means "different cluster".
+    ClusterReply(bool),
+    /// An outgoing-edge proposal travelling up the cluster tree.
+    Proposal(u64),
+    /// One step of the matching computation.
+    Matching(u64),
+    /// The merged cluster's new identifier.
+    NewCluster(u64),
+    /// The elected leader's identifier.
+    Leader(u64),
+}
+
+impl Payload for GhsMessage {
+    fn size_bits(&self) -> usize {
+        match self {
+            GhsMessage::ClusterReply(_) => 2,
+            _ => 64,
+        }
+    }
+}
+
+/// The classical `Θ(m·log n)`-message tree-merging leader election protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GhsLe;
+
+impl GhsLe {
+    /// The standard configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        GhsLe
+    }
+}
+
+fn tree_order(
+    cluster: u64,
+    cluster_of: &[u64],
+    tree_adj: &[Vec<NodeId>],
+) -> Vec<(NodeId, Option<NodeId>)> {
+    let center = cluster as NodeId;
+    let mut order = vec![(center, None)];
+    let mut seen = vec![false; cluster_of.len()];
+    seen[center] = true;
+    let mut queue = VecDeque::from([center]);
+    while let Some(v) = queue.pop_front() {
+        for &u in &tree_adj[v] {
+            if !seen[u] && cluster_of[u] == cluster {
+                seen[u] = true;
+                order.push((u, Some(v)));
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+impl LeaderElection for GhsLe {
+    fn name(&self) -> &'static str {
+        "GHS-TreeMergingLE (classical)"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+        graph.validate_as_network().map_err(Error::from)?;
+        let n = graph.node_count();
+        if n < 2 {
+            return Err(Error::UnsupportedTopology {
+                protocol: "GHS-TreeMergingLE",
+                reason: "need at least two nodes".into(),
+            });
+        }
+        let mut net: Network<GhsMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut cluster_of: Vec<u64> = (0..n as u64).collect();
+        let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let max_phases = (n.max(2) as f64).log2().ceil() as usize + 2;
+        let mut effective_rounds = 0u64;
+
+        for _phase in 0..max_phases {
+            let mut clusters: Vec<u64> = cluster_of.clone();
+            clusters.sort_unstable();
+            clusters.dedup();
+            if clusters.len() <= 1 {
+                break;
+            }
+
+            // Step 1: every node probes *all* incident edges for outgoing ones
+            // (this is the Θ(m)-per-phase step the quantum protocol avoids).
+            let mut proposals: Vec<Option<(NodeId, NodeId)>> = vec![None; n];
+            for v in 0..n {
+                for &w in graph.neighbors(v) {
+                    net.send(v, w, GhsMessage::ClusterQuery(cluster_of[v]))?;
+                }
+            }
+            net.advance_round();
+            for v in 0..n {
+                for &w in graph.neighbors(v) {
+                    let outgoing = cluster_of[w] != cluster_of[v];
+                    net.send(w, v, GhsMessage::ClusterReply(outgoing))?;
+                    if outgoing && proposals[v].is_none() {
+                        proposals[v] = Some((v, w));
+                    }
+                }
+            }
+            net.advance_round();
+            effective_rounds += 2;
+
+            // Step 1b: convergecast one proposal per cluster to its centre.
+            let mut chosen: Vec<(u64, (NodeId, NodeId))> = Vec::new();
+            let mut max_depth = 0u64;
+            for &cluster in &clusters {
+                let order = tree_order(cluster, &cluster_of, &tree_adj);
+                max_depth = max_depth.max(order.len() as u64);
+                let mut best: Option<(NodeId, NodeId)> = None;
+                for &(node, parent) in order.iter().rev() {
+                    if best.is_none() || (proposals[node].is_some() && proposals[node] < best) {
+                        best = proposals[node].or(best);
+                    }
+                    if let (Some(parent), Some((_, to))) = (parent, best) {
+                        net.send(node, parent, GhsMessage::Proposal(to as u64))?;
+                    }
+                }
+                net.advance_round();
+                if let Some(edge) = best {
+                    chosen.push((cluster, edge));
+                }
+            }
+            effective_rounds += max_depth;
+
+            // Step 2: greedy maximal matching on the cluster supergraph,
+            // charged as one broadcast per cluster per matching round.
+            let super_edges: Vec<(u64, u64)> = chosen
+                .iter()
+                .map(|&(c, (_, to))| (c, cluster_of[to]))
+                .filter(|&(a, b)| a != b)
+                .collect();
+            for _ in 0..2 {
+                for &cluster in &clusters {
+                    for &(node, parent) in tree_order(cluster, &cluster_of, &tree_adj).iter().skip(1) {
+                        if let Some(parent) = parent {
+                            net.send(parent, node, GhsMessage::Matching(cluster))?;
+                        }
+                    }
+                }
+                for &(_, (from, to)) in &chosen {
+                    net.send(from, to, GhsMessage::Matching(cluster_of[from]))?;
+                }
+                net.advance_round();
+                effective_rounds += max_depth;
+            }
+            let mut matched: Vec<(u64, u64)> = Vec::new();
+            let mut in_matching: HashSet<u64> = HashSet::new();
+            for &(a, b) in &super_edges {
+                if !in_matching.contains(&a) && !in_matching.contains(&b) {
+                    in_matching.insert(a);
+                    in_matching.insert(b);
+                    matched.push((a, b));
+                }
+            }
+
+            // Step 3: merge matched pairs and hook unmatched clusters.
+            let mut new_root: HashMap<u64, u64> = HashMap::new();
+            for &(a, b) in &matched {
+                let root = a.min(b);
+                new_root.insert(a, root);
+                new_root.insert(b, root);
+            }
+            for &(cluster, (_, to)) in &chosen {
+                if !new_root.contains_key(&cluster) {
+                    let other = cluster_of[to];
+                    let root = new_root.get(&other).copied().unwrap_or_else(|| other.min(cluster));
+                    new_root.insert(cluster, root);
+                    new_root.entry(other).or_insert(root);
+                }
+            }
+            for &(cluster, (from, to)) in &chosen {
+                let this_root = new_root.get(&cluster).copied();
+                let other_root = new_root.get(&cluster_of[to]).copied();
+                if this_root.is_some() && this_root == other_root {
+                    tree_adj[from].push(to);
+                    tree_adj[to].push(from);
+                }
+            }
+            for v in 0..n {
+                if let Some(&root) = new_root.get(&cluster_of[v]) {
+                    cluster_of[v] = root;
+                }
+            }
+            let mut new_clusters: Vec<u64> = cluster_of.clone();
+            new_clusters.sort_unstable();
+            new_clusters.dedup();
+            let mut max_broadcast = 0u64;
+            for &cluster in &new_clusters {
+                let order = tree_order(cluster, &cluster_of, &tree_adj);
+                max_broadcast = max_broadcast.max(order.len() as u64);
+                for &(node, parent) in order.iter().skip(1) {
+                    if let Some(parent) = parent {
+                        net.send(parent, node, GhsMessage::NewCluster(cluster))?;
+                    }
+                }
+            }
+            net.advance_round();
+            effective_rounds += max_broadcast;
+        }
+
+        let mut clusters: Vec<u64> = cluster_of.clone();
+        clusters.sort_unstable();
+        clusters.dedup();
+        let mut statuses = vec![NodeStatus::NonElected; n];
+        for &cluster in &clusters {
+            statuses[cluster as NodeId] = NodeStatus::Elected;
+            for &(node, parent) in tree_order(cluster, &cluster_of, &tree_adj).iter().skip(1) {
+                if let Some(parent) = parent {
+                    net.send(parent, node, GhsMessage::Leader(cluster))?;
+                }
+            }
+        }
+        net.advance_round();
+        effective_rounds += n as u64;
+
+        Ok(LeaderElectionRun {
+            protocol: self.name().to_string(),
+            nodes: n,
+            edges: graph.edge_count(),
+            outcome: LeaderElectionOutcome::new(statuses),
+            cost: CostSummary { metrics: net.metrics(), effective_rounds },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_net::topology;
+
+    #[test]
+    fn elects_a_unique_leader_deterministically_across_topologies() {
+        let graphs = vec![
+            topology::cycle(20).unwrap(),
+            topology::hypercube(5).unwrap(),
+            topology::erdos_renyi_connected(40, 0.15, 5).unwrap(),
+            topology::complete(24).unwrap(),
+            topology::barbell(6, 3).unwrap(),
+        ];
+        for graph in graphs {
+            for seed in 0..3 {
+                let run = GhsLe::new().run(&graph, seed).unwrap();
+                assert!(run.succeeded(), "failed on n = {}", graph.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn message_cost_scales_with_edge_count() {
+        let sparse = topology::cycle(64).unwrap();
+        let dense = topology::complete(64).unwrap();
+        let sparse_cost = GhsLe::new().run(&sparse, 1).unwrap().cost.total_messages();
+        let dense_cost = GhsLe::new().run(&dense, 1).unwrap().cost.total_messages();
+        // The dense graph has 31x the edges but converges in fewer phases and
+        // the sparse run pays per-phase tree overheads, so the ratio is well
+        // below 31; it must still clearly exceed parity.
+        assert!(dense_cost > 3 * sparse_cost, "sparse = {sparse_cost}, dense = {dense_cost}");
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let graph = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(GhsLe::new().run(&graph, 0).is_err());
+    }
+}

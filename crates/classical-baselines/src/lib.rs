@@ -1,0 +1,32 @@
+//! # classical-baselines
+//!
+//! The classical comparators that *Quantum Communication Advantage for Leader
+//! Election and Agreement* (PODC 2025) measures its quantum protocols
+//! against, implemented from scratch on the same metered CONGEST simulator
+//! and behind the same [`LeaderElection`](qle::LeaderElection) /
+//! [`Agreement`](qle::Agreement) traits, so experiments can swap quantum and
+//! classical protocols freely.
+//!
+//! | Baseline | Topology | Message complexity | Quantum counterpart |
+//! |---|---|---|---|
+//! | [`KppCompleteLe`] | complete graphs | `Õ(√n)` (tight classically) | `QuantumLE`, `Õ(n^{1/3})` |
+//! | [`KppMixingLe`] | mixing time `τ` | `Õ(τ·√n)` | `QuantumRWLE`, `Õ(τ^{5/3} n^{1/3})` |
+//! | [`CprDiameterTwoLe`] | diameter 2 | `Õ(n)` (tight classically) | `QuantumQWLE`, `Õ(n^{2/3})` |
+//! | [`GhsLe`] | arbitrary | `Θ(m·log n)` (`Ω(m)` lower bound) | `QuantumGeneralLE`, `Õ(√(m·n))` |
+//! | [`AmpSharedCoinAgreement`] | complete + shared coin | `Õ(n^{2/5})` expected | `QuantumAgreement`, `Õ(n^{1/5})` |
+//! | [`PrivateCoinAgreement`] | complete, private coins | `Õ(√n)` (tight classically) | — |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amp_agreement;
+pub mod cpr_diameter_two;
+pub mod ghs;
+pub mod kpp_complete;
+pub mod kpp_mixing;
+
+pub use amp_agreement::{AmpSharedCoinAgreement, PrivateCoinAgreement};
+pub use cpr_diameter_two::CprDiameterTwoLe;
+pub use ghs::GhsLe;
+pub use kpp_complete::KppCompleteLe;
+pub use kpp_mixing::KppMixingLe;

@@ -1,0 +1,120 @@
+//! Error type for the CONGEST network simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors reported by graph construction and network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A topology generator was asked for an invalid size (e.g. zero nodes,
+    /// or a hypercube dimension that does not fit the requested size).
+    InvalidTopology {
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A node identifier was outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A message was sent between two nodes that are not adjacent.
+    NotAdjacent {
+        /// The sending node.
+        from: NodeId,
+        /// The intended recipient.
+        to: NodeId,
+    },
+    /// A port number was outside `0..deg(v)`.
+    PortOutOfRange {
+        /// The node whose port was addressed.
+        node: NodeId,
+        /// The offending port.
+        port: usize,
+        /// The degree of the node.
+        degree: usize,
+    },
+    /// A message exceeded the per-edge CONGEST bit budget for one round.
+    MessageTooLarge {
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// The per-message budget in bits.
+        budget: usize,
+    },
+    /// An edge was used twice in the same round in the same direction, which
+    /// the CONGEST model forbids (one message per edge per direction).
+    EdgeBusy {
+        /// The sending node.
+        from: NodeId,
+        /// The recipient node.
+        to: NodeId,
+    },
+    /// The shared (global) coin was requested but the network was configured
+    /// without one.
+    SharedCoinUnavailable,
+    /// A graph was expected to be connected but is not.
+    Disconnected,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+            Error::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for network of {n} nodes")
+            }
+            Error::NotAdjacent { from, to } => {
+                write!(f, "nodes {from} and {to} are not adjacent")
+            }
+            Error::PortOutOfRange { node, port, degree } => {
+                write!(f, "port {port} out of range for node {node} of degree {degree}")
+            }
+            Error::MessageTooLarge { bits, budget } => {
+                write!(f, "message of {bits} bits exceeds the CONGEST budget of {budget} bits")
+            }
+            Error::EdgeBusy { from, to } => {
+                write!(f, "edge {from}->{to} already carries a message this round")
+            }
+            Error::SharedCoinUnavailable => {
+                write!(f, "shared coin requested but the network has none configured")
+            }
+            Error::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::InvalidTopology { reason: "zero nodes".into() },
+            Error::NodeOutOfRange { node: 9, n: 4 },
+            Error::NotAdjacent { from: 0, to: 3 },
+            Error::PortOutOfRange { node: 1, port: 7, degree: 3 },
+            Error::MessageTooLarge { bits: 900, budget: 64 },
+            Error::EdgeBusy { from: 2, to: 5 },
+            Error::SharedCoinUnavailable,
+            Error::Disconnected,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

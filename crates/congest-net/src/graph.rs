@@ -1,0 +1,327 @@
+//! Undirected graphs with the KT0 port numbering used by the CONGEST model.
+//!
+//! Each node `v` has `deg(v)` ports numbered `0..deg(v)`; port `p` of `v` is
+//! connected to exactly one port `p'` of exactly one neighbour `u`, and the
+//! two ends of an edge know nothing about each other beyond the port number
+//! (clean network / KT0 assumption of the paper, Section 2.1).
+
+use std::collections::VecDeque;
+
+use crate::error::Error;
+
+/// Identifier of a node, in `0..n`.
+///
+/// Node identifiers are an artifact of the simulator; the protocols in this
+/// workspace treat the network as *anonymous* and only ever address
+/// neighbours through ports or through identifiers they learned from received
+/// messages, as the paper requires.
+pub type NodeId = usize;
+
+/// A port of a node: an index into that node's adjacency list, in `0..deg(v)`.
+pub type Port = usize;
+
+/// An undirected graph with port numbering.
+///
+/// The adjacency list of each node is sorted by neighbour id, so port numbers
+/// are deterministic for a given edge set.
+///
+/// # Example
+///
+/// ```
+/// use congest_net::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.is_connected());
+/// assert_eq!(g.diameter(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `adj[v]` lists the neighbours of `v` in increasing order.
+    adj: Vec<Vec<NodeId>>,
+    /// Number of undirected edges.
+    edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an edge list.
+    ///
+    /// Duplicate edges and self-loops are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTopology`] if `n == 0`, if an edge references a
+    /// node `>= n`, if an edge is a self-loop, or if an edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error::InvalidTopology { reason: "graph must have at least one node".into() });
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return Err(Error::InvalidTopology {
+                    reason: format!("edge ({u}, {v}) references a node outside 0..{n}"),
+                });
+            }
+            if u == v {
+                return Err(Error::InvalidTopology { reason: format!("self-loop at node {u}") });
+            }
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            if list.windows(2).any(|w| w[0] == w[1]) {
+                return Err(Error::InvalidTopology { reason: format!("duplicate edge at node {v}") });
+            }
+        }
+        Ok(Graph { adj, edges: edges.len() })
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `m`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The neighbours of `v`, in increasing order (port order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v]
+    }
+
+    /// The neighbour of `v` reached through port `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PortOutOfRange`] if `p >= deg(v)` and
+    /// [`Error::NodeOutOfRange`] if `v >= n`.
+    pub fn neighbor_through_port(&self, v: NodeId, p: Port) -> Result<NodeId, Error> {
+        if v >= self.node_count() {
+            return Err(Error::NodeOutOfRange { node: v, n: self.node_count() });
+        }
+        self.adj[v]
+            .get(p)
+            .copied()
+            .ok_or(Error::PortOutOfRange { node: v, port: p, degree: self.adj[v].len() })
+    }
+
+    /// The port of `v` that leads to `u`, if `u` is adjacent to `v`.
+    #[must_use]
+    pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        if v >= self.node_count() {
+            return None;
+        }
+        self.adj[v].binary_search(&u).ok()
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[must_use]
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.node_count() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Breadth-first distances from `source` (`usize::MAX` for unreachable nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n`.
+    #[must_use]
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<usize> {
+        let n = self.node_count();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for &u in &self.adj[v] {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The diameter (largest finite BFS distance). Returns `usize::MAX` for a
+    /// disconnected graph.
+    ///
+    /// This is an `O(n · m)` exact computation intended for the modest network
+    /// sizes used in tests and experiments.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        let mut best = 0;
+        for v in 0..self.node_count() {
+            let dist = self.bfs_distances(v);
+            let far = dist.iter().copied().max().unwrap_or(0);
+            if far == usize::MAX {
+                return usize::MAX;
+            }
+            best = best.max(far);
+        }
+        best
+    }
+
+    /// Eccentricity of a single node (largest BFS distance from it), or
+    /// `usize::MAX` if some node is unreachable.
+    #[must_use]
+    pub fn eccentricity(&self, v: NodeId) -> usize {
+        self.bfs_distances(v).iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of `sqrt(deg(v))` over all nodes; appears in the message bound of
+    /// Theorem 5.10 via the Cauchy–Schwarz inequality
+    /// (`Σ√deg(v) ≤ √(2·m·n)`).
+    #[must_use]
+    pub fn sum_sqrt_degrees(&self) -> f64 {
+        self.adj.iter().map(|l| (l.len() as f64).sqrt()).sum()
+    }
+
+    /// Degree-weighted stationary distribution `π(v) = deg(v) / 2m` of the
+    /// simple random walk on the graph.
+    #[must_use]
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let two_m = (2 * self.edges) as f64;
+        self.adj.iter().map(|l| l.len() as f64 / two_m).collect()
+    }
+
+    /// Validates that this graph is usable as a CONGEST communication network
+    /// (connected and with at least one node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the graph is not connected.
+    pub fn validate_as_network(&self) -> Result<(), Error> {
+        if !self.is_connected() {
+            return Err(Error::Disconnected);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn from_edges_rejects_zero_nodes() {
+        assert!(matches!(Graph::from_edges(0, &[]), Err(Error::InvalidTopology { .. })));
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(Graph::from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert!(Graph::from_edges(3, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn from_edges_rejects_duplicate_edge() {
+        assert!(Graph::from_edges(3, &[(0, 1), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn ports_are_sorted_and_symmetric() {
+        let g = Graph::from_edges(5, &[(0, 3), (0, 1), (0, 4), (1, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 3, 4]);
+        assert_eq!(g.neighbor_through_port(0, 1).unwrap(), 3);
+        assert_eq!(g.port_to(3, 0), Some(0));
+        assert_eq!(g.port_to(0, 2), None);
+    }
+
+    #[test]
+    fn neighbor_through_port_errors() {
+        let g = path_graph(3);
+        assert!(matches!(g.neighbor_through_port(0, 5), Err(Error::PortOutOfRange { .. })));
+        assert!(matches!(g.neighbor_through_port(9, 0), Err(Error::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn path_diameter_and_connectivity() {
+        let g = path_graph(10);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 9);
+        assert_eq!(g.eccentricity(0), 9);
+        assert_eq!(g.eccentricity(5), 5);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), usize::MAX);
+        assert!(g.validate_as_network().is_err());
+    }
+
+    #[test]
+    fn edge_iterator_lists_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(g.are_adjacent(u, v));
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let pi = g.stationary_distribution();
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_sqrt_degrees_cauchy_schwarz() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
+        let lhs = g.sum_sqrt_degrees();
+        let rhs = ((2 * g.edge_count() * g.node_count()) as f64).sqrt();
+        assert!(lhs <= rhs + 1e-9);
+    }
+}

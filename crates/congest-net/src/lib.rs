@@ -1,0 +1,63 @@
+//! # congest-net
+//!
+//! A deterministic, single-process simulator of the synchronous **CONGEST**
+//! message-passing model of distributed computing (Peleg, 2000), as used by
+//! the paper *Quantum Communication Advantage for Leader Election and
+//! Agreement* (PODC 2025).
+//!
+//! The model implemented here (paper, Section 2.1):
+//!
+//! * The network is an undirected connected graph `G = (V, E)` of `n` nodes.
+//! * Computation advances in synchronous rounds. In every round each node may
+//!   send at most one message of `O(log n)` bits per incident edge, receive
+//!   the messages sent to it in the same round, and perform local computation.
+//! * Nodes are anonymous and start in the clean-network (KT0) state: each node
+//!   only knows its own ports, numbered `0..deg(v)`, one per incident edge.
+//! * Every node has a private, unbiased source of random bits; optionally the
+//!   whole network shares a global coin (used only by the agreement protocol
+//!   of Section 6).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] and a library of topology generators ([`topology`]),
+//! * a metered [`Network`] handle through which protocols send messages and
+//!   advance rounds (all message/round accounting lives here, including the
+//!   separate *quantum* message meter of Section 3.1 of the paper),
+//! * an actor-style synchronous [`runtime`] for protocols written as per-node
+//!   state machines,
+//! * random-walk machinery and mixing-time estimation ([`walks`]).
+//!
+//! # Example
+//!
+//! ```
+//! use congest_net::{topology, Network, NetworkConfig};
+//!
+//! # fn main() -> Result<(), congest_net::Error> {
+//! let graph = topology::complete(8)?;
+//! let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(7));
+//! net.send(0, 3, 42)?;
+//! net.advance_round();
+//! assert_eq!(net.inbox(3), &[(0, 42)]);
+//! assert_eq!(net.metrics().classical_messages, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod graph;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod runtime;
+pub mod topology;
+pub mod walks;
+
+pub use error::Error;
+pub use graph::{Graph, NodeId, Port};
+pub use message::Payload;
+pub use metrics::{Metrics, RoundReport};
+pub use network::{Network, NetworkConfig};
+pub use runtime::{NodeProgram, Outbox, RoundContext, SyncRuntime};

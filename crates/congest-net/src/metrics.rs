@@ -1,0 +1,168 @@
+//! Message- and round-complexity metering.
+//!
+//! The paper's central performance measure is **message complexity**: the
+//! total number of `O(log n)`-bit messages exchanged over the run of the
+//! protocol. For quantum rounds the paper defines the message complexity of a
+//! round as the maximum message count over the superposed deterministic
+//! configurations (Section 3.1); the simulator realises this by running the
+//! representative configuration of each quantum subroutine iteration and
+//! charging its messages to the dedicated *quantum* meter while a
+//! [`quantum scope`](crate::Network::enter_quantum_scope) is active.
+
+/// Cumulative counters for one protocol execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages sent outside any quantum scope (ordinary classical messages).
+    pub classical_messages: u64,
+    /// Messages charged inside quantum scopes (Grover / counting / walk
+    /// iterations), following the max-over-superposed-configurations rule.
+    pub quantum_messages: u64,
+    /// Total rounds elapsed.
+    pub rounds: u64,
+    /// Largest number of messages sent in any single round.
+    pub peak_messages_per_round: u64,
+    /// Total bits sent (classical + quantum), for bandwidth-style analyses.
+    pub total_bits: u64,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total messages, classical plus quantum.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.classical_messages + self.quantum_messages
+    }
+
+    /// Adds another metrics record into this one (used when aggregating the
+    /// independent sub-executions of a protocol).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.classical_messages += other.classical_messages;
+        self.quantum_messages += other.quantum_messages;
+        self.rounds += other.rounds;
+        self.peak_messages_per_round = self.peak_messages_per_round.max(other.peak_messages_per_round);
+        self.total_bits += other.total_bits;
+    }
+}
+
+/// A per-round snapshot, useful for plotting message traffic over time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// The round index this report describes.
+    pub round: u64,
+    /// Messages delivered in this round.
+    pub messages: u64,
+    /// Bits delivered in this round.
+    pub bits: u64,
+    /// Whether any of the messages were charged to the quantum meter.
+    pub quantum: bool,
+}
+
+/// Internal accumulator used by the network; exposed read-only through
+/// [`crate::Network::metrics`] and [`crate::Network::round_history`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MetricsRecorder {
+    pub(crate) totals: Metrics,
+    pub(crate) history: Vec<RoundReport>,
+    pub(crate) current_round_messages: u64,
+    pub(crate) current_round_bits: u64,
+    pub(crate) current_round_quantum: bool,
+    pub(crate) quantum_depth: u32,
+}
+
+impl MetricsRecorder {
+    pub(crate) fn record_send(&mut self, bits: usize) {
+        if self.quantum_depth > 0 {
+            self.totals.quantum_messages += 1;
+            self.current_round_quantum = true;
+        } else {
+            self.totals.classical_messages += 1;
+        }
+        self.totals.total_bits += bits as u64;
+        self.current_round_messages += 1;
+        self.current_round_bits += bits as u64;
+    }
+
+    pub(crate) fn finish_round(&mut self) {
+        self.totals.rounds += 1;
+        self.totals.peak_messages_per_round =
+            self.totals.peak_messages_per_round.max(self.current_round_messages);
+        self.history.push(RoundReport {
+            round: self.totals.rounds,
+            messages: self.current_round_messages,
+            bits: self.current_round_bits,
+            quantum: self.current_round_quantum,
+        });
+        self.current_round_messages = 0;
+        self.current_round_bits = 0;
+        self.current_round_quantum = false;
+    }
+
+    /// Records `rounds` rounds in which no messages were sent, without
+    /// materialising one history entry per round. Used to account for the
+    /// fixed-length synchronised phases of the quantum subroutines, whose
+    /// round complexity is predetermined (Definition 4.1) even when a node
+    /// finishes its own work early.
+    pub(crate) fn record_idle_rounds(&mut self, rounds: u64) {
+        self.totals.rounds += rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_classical_vs_quantum() {
+        let mut rec = MetricsRecorder::default();
+        rec.record_send(10);
+        rec.quantum_depth = 1;
+        rec.record_send(20);
+        rec.record_send(20);
+        rec.quantum_depth = 0;
+        rec.finish_round();
+        assert_eq!(rec.totals.classical_messages, 1);
+        assert_eq!(rec.totals.quantum_messages, 2);
+        assert_eq!(rec.totals.total_messages(), 3);
+        assert_eq!(rec.totals.total_bits, 50);
+        assert_eq!(rec.totals.rounds, 1);
+        assert_eq!(rec.totals.peak_messages_per_round, 3);
+        assert_eq!(rec.history.len(), 1);
+        assert!(rec.history[0].quantum);
+    }
+
+    #[test]
+    fn finish_round_resets_per_round_state() {
+        let mut rec = MetricsRecorder::default();
+        rec.record_send(8);
+        rec.finish_round();
+        rec.finish_round();
+        assert_eq!(rec.totals.rounds, 2);
+        assert_eq!(rec.history[1].messages, 0);
+        assert!(!rec.history[1].quantum);
+    }
+
+    #[test]
+    fn idle_rounds_accumulate_without_history() {
+        let mut rec = MetricsRecorder::default();
+        rec.record_idle_rounds(100);
+        assert_eq!(rec.totals.rounds, 100);
+        assert!(rec.history.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_counters() {
+        let mut a = Metrics { classical_messages: 3, quantum_messages: 5, rounds: 2, peak_messages_per_round: 4, total_bits: 90 };
+        let b = Metrics { classical_messages: 1, quantum_messages: 7, rounds: 9, peak_messages_per_round: 6, total_bits: 10 };
+        a.absorb(&b);
+        assert_eq!(a.classical_messages, 4);
+        assert_eq!(a.quantum_messages, 12);
+        assert_eq!(a.rounds, 11);
+        assert_eq!(a.peak_messages_per_round, 6);
+        assert_eq!(a.total_bits, 100);
+    }
+}

@@ -1,0 +1,457 @@
+//! The metered network handle: sending, round advancement, randomness, and
+//! quantum-scope message accounting.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::error::Error;
+use crate::graph::{Graph, NodeId, Port};
+use crate::message::{congest_budget_bits, Payload};
+use crate::metrics::{Metrics, MetricsRecorder, RoundReport};
+
+/// Configuration of a [`Network`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Master seed; every node's private randomness and the optional shared
+    /// coin are derived deterministically from it.
+    pub seed: u64,
+    /// Whether the network also provides a global (shared) coin, as assumed
+    /// by the agreement protocol of Section 6. Leader election protocols do
+    /// not use it.
+    pub shared_coin: bool,
+    /// Whether to enforce the CONGEST constraints at send time: the per-round
+    /// one-message-per-directed-edge rule and the `O(log n)` bit budget.
+    /// Enabled by default; disable only for deliberately out-of-model
+    /// experiments.
+    pub enforce_congest: bool,
+    /// Whether to retain a per-round [`RoundReport`] history (costs memory on
+    /// very long runs; metrics totals are always kept).
+    pub track_round_history: bool,
+}
+
+impl NetworkConfig {
+    /// A default configuration with the given seed: CONGEST enforcement on,
+    /// no shared coin, history tracking off.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        NetworkConfig { seed, shared_coin: false, enforce_congest: true, track_round_history: false }
+    }
+
+    /// Enables the global shared coin.
+    #[must_use]
+    pub fn shared_coin(mut self, enabled: bool) -> Self {
+        self.shared_coin = enabled;
+        self
+    }
+
+    /// Enables or disables per-round history tracking.
+    #[must_use]
+    pub fn track_history(mut self, enabled: bool) -> Self {
+        self.track_round_history = enabled;
+        self
+    }
+
+    /// Enables or disables CONGEST enforcement.
+    #[must_use]
+    pub fn enforce_congest(mut self, enabled: bool) -> Self {
+        self.enforce_congest = enabled;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::with_seed(0)
+    }
+}
+
+/// A synchronous CONGEST network carrying messages of payload type `M`.
+///
+/// Protocols interact with the network exclusively through this handle:
+/// sending ([`send`](Network::send), [`send_through_port`](Network::send_through_port),
+/// [`broadcast`](Network::broadcast)), advancing rounds
+/// ([`advance_round`](Network::advance_round)), reading delivered messages
+/// ([`inbox`](Network::inbox), [`take_inbox`](Network::take_inbox)), drawing
+/// private randomness ([`rng`](Network::rng)) or the shared coin
+/// ([`shared_coin_uniform`](Network::shared_coin_uniform)), and charging
+/// quantum subroutine traffic ([`quantum_scope`](Network::quantum_scope)).
+#[derive(Debug)]
+pub struct Network<M: Payload> {
+    graph: Graph,
+    config: NetworkConfig,
+    recorder: MetricsRecorder,
+    budget_bits: usize,
+    /// Messages sent this round, delivered at the next `advance_round`.
+    pending: Vec<(NodeId, NodeId, M)>,
+    /// Messages delivered at the last `advance_round`.
+    inboxes: Vec<Vec<(NodeId, M)>>,
+    /// Nodes whose inboxes are non-empty (so round advancement clears only
+    /// what was touched, keeping each round `O(messages delivered)` instead
+    /// of `O(n)`).
+    dirty_inboxes: Vec<NodeId>,
+    /// Directed edges already used this round (only populated when CONGEST
+    /// enforcement is on).
+    edges_used: HashSet<(NodeId, NodeId)>,
+    node_rngs: Vec<StdRng>,
+    shared_rng: Option<StdRng>,
+}
+
+impl<M: Payload> Network<M> {
+    /// Creates a network over `graph` with the given configuration.
+    #[must_use]
+    pub fn new(graph: Graph, config: NetworkConfig) -> Self {
+        let n = graph.node_count();
+        let budget_bits = congest_budget_bits(n);
+        let mut seeder = StdRng::seed_from_u64(config.seed);
+        let node_rngs = (0..n).map(|_| StdRng::seed_from_u64(seeder.next_u64())).collect();
+        let shared_rng = config.shared_coin.then(|| StdRng::seed_from_u64(seeder.next_u64()));
+        Network {
+            inboxes: vec![Vec::new(); n],
+            dirty_inboxes: Vec::new(),
+            graph,
+            config,
+            recorder: MetricsRecorder::default(),
+            budget_bits,
+            pending: Vec::new(),
+            edges_used: HashSet::new(),
+            node_rngs,
+            shared_rng,
+        }
+    }
+
+    /// The underlying communication graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The configuration this network was created with.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The per-message bit budget (`O(log n)` with the crate's constant).
+    #[must_use]
+    pub fn congest_budget_bits(&self) -> usize {
+        self.budget_bits
+    }
+
+    /// Cumulative metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.recorder.totals
+    }
+
+    /// Per-round history (empty unless [`NetworkConfig::track_round_history`]
+    /// is enabled).
+    #[must_use]
+    pub fn round_history(&self) -> &[RoundReport] {
+        &self.recorder.history
+    }
+
+    /// Mutable access to node `v`'s private random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn rng(&mut self, v: NodeId) -> &mut StdRng {
+        &mut self.node_rngs[v]
+    }
+
+    /// Draws a uniform value in `[0, 1)` from the global shared coin.
+    ///
+    /// All nodes observing the shared coin in the same round see the same
+    /// value by construction (there is a single stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SharedCoinUnavailable`] if the network was configured
+    /// without a shared coin.
+    pub fn shared_coin_uniform(&mut self) -> Result<f64, Error> {
+        match self.shared_rng.as_mut() {
+            Some(rng) => Ok(rng.gen::<f64>()),
+            None => Err(Error::SharedCoinUnavailable),
+        }
+    }
+
+    /// Sends `msg` from `from` to the adjacent node `to`, to be delivered at
+    /// the next [`advance_round`](Network::advance_round).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NodeOutOfRange`] if either endpoint is out of range,
+    /// * [`Error::NotAdjacent`] if the nodes are not neighbours,
+    /// * [`Error::MessageTooLarge`] if the payload exceeds the CONGEST budget,
+    /// * [`Error::EdgeBusy`] if the directed edge was already used this round
+    ///   (only when CONGEST enforcement is on).
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> Result<(), Error> {
+        let n = self.graph.node_count();
+        if from >= n {
+            return Err(Error::NodeOutOfRange { node: from, n });
+        }
+        if to >= n {
+            return Err(Error::NodeOutOfRange { node: to, n });
+        }
+        if !self.graph.are_adjacent(from, to) {
+            return Err(Error::NotAdjacent { from, to });
+        }
+        let bits = msg.size_bits();
+        if self.config.enforce_congest {
+            if bits > self.budget_bits {
+                return Err(Error::MessageTooLarge { bits, budget: self.budget_bits });
+            }
+            if !self.edges_used.insert((from, to)) {
+                return Err(Error::EdgeBusy { from, to });
+            }
+        }
+        self.recorder.record_send(bits);
+        self.pending.push((from, to, msg));
+        Ok(())
+    }
+
+    /// Sends `msg` from `from` through its local port `port` (KT0 addressing).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`send`](Network::send), plus [`Error::PortOutOfRange`].
+    pub fn send_through_port(&mut self, from: NodeId, port: Port, msg: M) -> Result<(), Error> {
+        let to = self.graph.neighbor_through_port(from, port)?;
+        self.send(from, to, msg)
+    }
+
+    /// Sends `msg` from `v` to every neighbour of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`send`](Network::send).
+    pub fn broadcast(&mut self, v: NodeId, msg: M) -> Result<(), Error> {
+        let neighbors: Vec<NodeId> = self.graph.neighbors(v).to_vec();
+        for u in neighbors {
+            self.send(v, u, msg.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Delivers all pending messages and advances the round clock by one.
+    pub fn advance_round(&mut self) {
+        for v in self.dirty_inboxes.drain(..) {
+            self.inboxes[v].clear();
+        }
+        for (from, to, msg) in self.pending.drain(..) {
+            if self.inboxes[to].is_empty() {
+                self.dirty_inboxes.push(to);
+            }
+            self.inboxes[to].push((from, msg));
+        }
+        self.edges_used.clear();
+        self.recorder.finish_round();
+        if !self.config.track_round_history {
+            self.recorder.history.clear();
+        }
+    }
+
+    /// Advances the round clock by `rounds` rounds in which no messages are
+    /// sent. Used to account for the predetermined synchronisation slack of
+    /// the quantum subroutines (Definition 4.1) without simulating each empty
+    /// round individually.
+    pub fn skip_rounds(&mut self, rounds: u64) {
+        debug_assert!(self.pending.is_empty(), "skip_rounds with undelivered messages");
+        self.recorder.record_idle_rounds(rounds);
+    }
+
+    /// Messages delivered to `v` at the last round advancement, as
+    /// `(sender, payload)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn inbox(&self, v: NodeId) -> &[(NodeId, M)] {
+        &self.inboxes[v]
+    }
+
+    /// Takes (and clears) the inbox of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn take_inbox(&mut self, v: NodeId) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.inboxes[v])
+    }
+
+    /// Runs `body` with all message traffic charged to the quantum meter.
+    ///
+    /// This implements the message-complexity convention of Section 3.1: the
+    /// traffic generated while simulating one representative configuration of
+    /// a superposed subroutine is what the paper charges for the whole
+    /// superposition (the maximum over configurations; our representative is
+    /// constructed to be exactly that maximum).
+    pub fn quantum_scope<R>(&mut self, body: impl FnOnce(&mut Self) -> R) -> R {
+        self.recorder.quantum_depth += 1;
+        let out = body(self);
+        self.recorder.quantum_depth -= 1;
+        out
+    }
+
+    /// Whether a quantum scope is currently active.
+    #[must_use]
+    pub fn in_quantum_scope(&self) -> bool {
+        self.recorder.quantum_depth > 0
+    }
+
+    /// Resets all metrics (but not node state or randomness). Useful when a
+    /// caller wants to measure phases of a protocol separately.
+    pub fn reset_metrics(&mut self) {
+        self.recorder = MetricsRecorder::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn small_net(shared: bool) -> Network<u64> {
+        let graph = topology::complete(6).unwrap();
+        Network::new(graph, NetworkConfig::with_seed(42).shared_coin(shared).track_history(true))
+    }
+
+    #[test]
+    fn send_and_deliver() {
+        let mut net = small_net(false);
+        net.send(0, 1, 7).unwrap();
+        net.send(2, 1, 9).unwrap();
+        assert!(net.inbox(1).is_empty());
+        net.advance_round();
+        let mut got: Vec<_> = net.inbox(1).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 7), (2, 9)]);
+        assert_eq!(net.metrics().classical_messages, 2);
+        assert_eq!(net.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn send_rejects_non_adjacent() {
+        let graph = topology::path(4).unwrap();
+        let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(1));
+        assert!(matches!(net.send(0, 3, 1), Err(Error::NotAdjacent { .. })));
+        assert!(matches!(net.send(0, 9, 1), Err(Error::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn congest_edge_busy_enforced() {
+        let mut net = small_net(false);
+        net.send(0, 1, 1).unwrap();
+        assert!(matches!(net.send(0, 1, 2), Err(Error::EdgeBusy { .. })));
+        // Opposite direction is a different directed edge.
+        net.send(1, 0, 3).unwrap();
+        net.advance_round();
+        // Next round the edge is free again.
+        net.send(0, 1, 4).unwrap();
+    }
+
+    #[test]
+    fn message_size_budget_enforced() {
+        #[derive(Debug, Clone)]
+        struct Huge;
+        impl Payload for Huge {
+            fn size_bits(&self) -> usize {
+                1 << 20
+            }
+        }
+        let graph = topology::complete(4).unwrap();
+        let mut net: Network<Huge> = Network::new(graph, NetworkConfig::with_seed(1));
+        assert!(matches!(net.send(0, 1, Huge), Err(Error::MessageTooLarge { .. })));
+    }
+
+    #[test]
+    fn quantum_scope_charges_quantum_meter() {
+        let mut net = small_net(false);
+        net.send(0, 1, 1).unwrap();
+        net.quantum_scope(|net| {
+            net.send(1, 2, 2).unwrap();
+            net.send(2, 3, 3).unwrap();
+        });
+        net.advance_round();
+        let m = net.metrics();
+        assert_eq!(m.classical_messages, 1);
+        assert_eq!(m.quantum_messages, 2);
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn shared_coin_requires_configuration() {
+        let mut without = small_net(false);
+        assert!(matches!(without.shared_coin_uniform(), Err(Error::SharedCoinUnavailable)));
+        let mut with = small_net(true);
+        let a = with.shared_coin_uniform().unwrap();
+        assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let draw = |seed| {
+            let graph = topology::complete(5).unwrap();
+            let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(seed));
+            (0..5).map(|v| net.rng(v).gen::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn per_node_rng_streams_are_independent() {
+        let mut net = small_net(false);
+        let a: u64 = net.rng(0).gen();
+        let b: u64 = net.rng(1).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn skip_rounds_accounts_rounds_only() {
+        let mut net = small_net(false);
+        net.skip_rounds(500);
+        assert_eq!(net.metrics().rounds, 500);
+        assert_eq!(net.metrics().total_messages(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let mut net = small_net(false);
+        net.broadcast(0, 11).unwrap();
+        net.advance_round();
+        for v in 1..6 {
+            assert_eq!(net.inbox(v), &[(0, 11)]);
+        }
+        assert_eq!(net.metrics().classical_messages, 5);
+    }
+
+    #[test]
+    fn round_history_tracks_rounds() {
+        let mut net = small_net(false);
+        net.send(0, 1, 1).unwrap();
+        net.advance_round();
+        net.advance_round();
+        assert_eq!(net.round_history().len(), 2);
+        assert_eq!(net.round_history()[0].messages, 1);
+        assert_eq!(net.round_history()[1].messages, 0);
+    }
+
+    #[test]
+    fn take_inbox_clears() {
+        let mut net = small_net(false);
+        net.send(0, 1, 5).unwrap();
+        net.advance_round();
+        assert_eq!(net.take_inbox(1), vec![(0, 5)]);
+        assert!(net.inbox(1).is_empty());
+    }
+}

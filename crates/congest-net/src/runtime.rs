@@ -1,0 +1,348 @@
+//! An actor-style synchronous runtime for protocols written as per-node state
+//! machines.
+//!
+//! This is the classical "each node runs an instance of the same algorithm"
+//! execution model of Section 2.1. Protocols that are naturally expressed as
+//! per-round message handlers (the classical baselines, convergecast /
+//! broadcast primitives, the Cole–Vishkin matching step of Section 5.4)
+//! implement [`NodeProgram`]; the [`SyncRuntime`] drives all `n` instances in
+//! lock-step against a metered [`Network`].
+//!
+//! Addressing is strictly KT0: a program only ever names its own ports, and
+//! incoming messages are tagged with the port they arrived on.
+
+use rand::rngs::StdRng;
+
+use crate::error::Error;
+use crate::graph::{Graph, NodeId, Port};
+use crate::message::Payload;
+use crate::metrics::Metrics;
+use crate::network::{Network, NetworkConfig};
+
+/// The per-round view a node program gets of its environment.
+#[derive(Debug)]
+pub struct RoundContext<'a> {
+    /// This node's identifier (exposed for tracing; protocols that model an
+    /// anonymous network should ignore it and rely on randomness instead).
+    pub node: NodeId,
+    /// This node's degree, i.e. its number of ports.
+    pub degree: usize,
+    /// The current round number, starting at 0 for the start-up round.
+    pub round: u64,
+    /// This node's private random stream.
+    pub rng: &'a mut StdRng,
+    /// The value of the shared coin this round, if the network has one.
+    pub shared_coin: Option<f64>,
+}
+
+/// Messages queued by a node for delivery at the end of the current round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(Port, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues `msg` to be sent through `port`.
+    pub fn send(&mut self, port: Port, msg: M) {
+        self.msgs.push((port, msg));
+    }
+
+    /// Queues `msg` to every port in `0..degree`.
+    pub fn send_all(&mut self, degree: usize, msg: M)
+    where
+        M: Clone,
+    {
+        for port in 0..degree {
+            self.msgs.push((port, msg.clone()));
+        }
+    }
+
+    /// Number of queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the outbox is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// A per-node state machine driven by the [`SyncRuntime`].
+pub trait NodeProgram {
+    /// The message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Called once, before the first round, to let the node send its initial
+    /// messages.
+    fn on_start(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<Self::Msg>);
+
+    /// Called every round with the messages delivered this round (tagged with
+    /// the local port they arrived through).
+    fn on_round(
+        &mut self,
+        ctx: &mut RoundContext<'_>,
+        incoming: &[(Port, Self::Msg)],
+        outbox: &mut Outbox<Self::Msg>,
+    );
+
+    /// Whether this node has terminated. The runtime stops when every node
+    /// has halted (or the round limit is reached).
+    fn halted(&self) -> bool;
+}
+
+/// Drives `n` instances of a [`NodeProgram`] in synchronous rounds.
+#[derive(Debug)]
+pub struct SyncRuntime<P: NodeProgram> {
+    net: Network<P::Msg>,
+    programs: Vec<P>,
+    round: u64,
+}
+
+impl<P: NodeProgram> SyncRuntime<P> {
+    /// Creates a runtime over `graph`, instantiating each node's program with
+    /// `init(node, degree)` — the only knowledge a KT0 node starts with.
+    #[must_use]
+    pub fn new(graph: Graph, config: NetworkConfig, mut init: impl FnMut(NodeId, usize) -> P) -> Self {
+        let programs = (0..graph.node_count()).map(|v| init(v, graph.degree(v))).collect();
+        let net = Network::new(graph, config);
+        SyncRuntime { net, programs, round: 0 }
+    }
+
+    /// The underlying network (for metric inspection).
+    #[must_use]
+    pub fn network(&self) -> &Network<P::Msg> {
+        &self.net
+    }
+
+    /// The per-node programs.
+    #[must_use]
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Cumulative metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.net.metrics()
+    }
+
+    /// Runs until every node halts or `max_rounds` rounds have elapsed.
+    /// Returns the number of rounds executed (including the start-up round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors (invalid port, oversized message, busy
+    /// edge), which indicate a bug in the protocol implementation.
+    pub fn run_until_halt(&mut self, max_rounds: u64) -> Result<u64, Error> {
+        self.start()?;
+        while self.round < max_rounds && !self.all_halted() {
+            self.step()?;
+        }
+        Ok(self.round)
+    }
+
+    /// Executes only the start-up callbacks (round 0 sends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors from the queued sends.
+    pub fn start(&mut self) -> Result<(), Error> {
+        debug_assert_eq!(self.round, 0, "start() called twice");
+        let shared = self.shared_value();
+        for v in 0..self.programs.len() {
+            let degree = self.net.graph().degree(v);
+            let mut outbox = Outbox::new();
+            {
+                let mut ctx = RoundContext {
+                    node: v,
+                    degree,
+                    round: 0,
+                    rng: self.net.rng(v),
+                    shared_coin: shared,
+                };
+                self.programs[v].on_start(&mut ctx, &mut outbox);
+            }
+            self.flush_outbox(v, outbox)?;
+        }
+        self.net.advance_round();
+        self.round = 1;
+        Ok(())
+    }
+
+    /// Executes one full round: delivery, per-node handlers, and sends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors from the queued sends.
+    pub fn step(&mut self) -> Result<(), Error> {
+        let shared = self.shared_value();
+        for v in 0..self.programs.len() {
+            let degree = self.net.graph().degree(v);
+            // Translate (sender, msg) pairs into (receiving port, msg) pairs:
+            // KT0 nodes see ports, not identifiers.
+            let incoming: Vec<(Port, P::Msg)> = self
+                .net
+                .take_inbox(v)
+                .into_iter()
+                .filter_map(|(from, msg)| self.net.graph().port_to(v, from).map(|p| (p, msg)))
+                .collect();
+            let mut outbox = Outbox::new();
+            {
+                let mut ctx = RoundContext {
+                    node: v,
+                    degree,
+                    round: self.round,
+                    rng: self.net.rng(v),
+                    shared_coin: shared,
+                };
+                self.programs[v].on_round(&mut ctx, &incoming, &mut outbox);
+            }
+            self.flush_outbox(v, outbox)?;
+        }
+        self.net.advance_round();
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Whether every node program has halted.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.programs.iter().all(NodeProgram::halted)
+    }
+
+    /// Consumes the runtime and returns the programs and final metrics.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<P>, Metrics) {
+        let metrics = self.net.metrics();
+        (self.programs, metrics)
+    }
+
+    fn shared_value(&mut self) -> Option<f64> {
+        self.net.shared_coin_uniform().ok()
+    }
+
+    fn flush_outbox(&mut self, v: NodeId, outbox: Outbox<P::Msg>) -> Result<(), Error> {
+        for (port, msg) in outbox.msgs {
+            self.net.send_through_port(v, port, msg)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    /// A toy flooding program: node 0 starts with a token and floods it; every
+    /// node halts once it holds the token. Termination takes `diameter + 1`
+    /// rounds and `O(m)` messages.
+    #[derive(Debug)]
+    struct Flood {
+        has_token: bool,
+        announced: bool,
+    }
+
+    impl NodeProgram for Flood {
+        type Msg = bool;
+
+        fn on_start(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<bool>) {
+            if self.has_token {
+                outbox.send_all(ctx.degree, true);
+                self.announced = true;
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, incoming: &[(Port, bool)], outbox: &mut Outbox<bool>) {
+            if !self.has_token && incoming.iter().any(|(_, t)| *t) {
+                self.has_token = true;
+            }
+            if self.has_token && !self.announced {
+                outbox.send_all(ctx.degree, true);
+                self.announced = true;
+            }
+        }
+
+        fn halted(&self) -> bool {
+            self.has_token
+        }
+    }
+
+    #[test]
+    fn flooding_terminates_in_diameter_rounds() {
+        let graph = topology::cycle(10).unwrap();
+        let diameter = graph.diameter() as u64;
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |v, _| Flood {
+            has_token: v == 0,
+            announced: false,
+        });
+        let rounds = runtime.run_until_halt(100).unwrap();
+        assert!(runtime.all_halted());
+        assert!(rounds <= diameter + 2);
+        // Flooding sends at most 2 messages per edge.
+        assert!(runtime.metrics().classical_messages <= 2 * 10);
+    }
+
+    #[test]
+    fn run_respects_round_limit() {
+        // Nobody ever halts (no node starts with the token).
+        let graph = topology::path(4).unwrap();
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |_, _| Flood {
+            has_token: false,
+            announced: false,
+        });
+        let rounds = runtime.run_until_halt(17).unwrap();
+        assert_eq!(rounds, 17);
+        assert!(!runtime.all_halted());
+    }
+
+    #[test]
+    fn into_parts_returns_programs_and_metrics() {
+        let graph = topology::complete(4).unwrap();
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |v, _| Flood {
+            has_token: v == 0,
+            announced: false,
+        });
+        runtime.run_until_halt(10).unwrap();
+        let (programs, metrics) = runtime.into_parts();
+        assert_eq!(programs.len(), 4);
+        assert!(metrics.classical_messages > 0);
+        assert!(metrics.rounds > 0);
+    }
+
+    #[test]
+    fn shared_coin_is_visible_to_programs_when_configured() {
+        #[derive(Debug)]
+        struct CoinWatcher {
+            saw: Option<f64>,
+        }
+        impl NodeProgram for CoinWatcher {
+            type Msg = bool;
+            fn on_start(&mut self, ctx: &mut RoundContext<'_>, _outbox: &mut Outbox<bool>) {
+                self.saw = ctx.shared_coin;
+            }
+            fn on_round(&mut self, _ctx: &mut RoundContext<'_>, _incoming: &[(Port, bool)], _outbox: &mut Outbox<bool>) {}
+            fn halted(&self) -> bool {
+                true
+            }
+        }
+        let graph = topology::complete(3).unwrap();
+        let mut runtime = SyncRuntime::new(
+            graph,
+            NetworkConfig::with_seed(3).shared_coin(true),
+            |_, _| CoinWatcher { saw: None },
+        );
+        runtime.run_until_halt(2).unwrap();
+        let coins: Vec<_> = runtime.programs().iter().map(|p| p.saw).collect();
+        assert!(coins[0].is_some());
+        assert_eq!(coins[0], coins[1]);
+        assert_eq!(coins[1], coins[2]);
+    }
+}

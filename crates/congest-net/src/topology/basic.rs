@@ -1,0 +1,109 @@
+//! Elementary topologies: complete graphs, stars, cycles, and paths.
+
+use crate::error::Error;
+use crate::graph::Graph;
+
+/// The complete graph `K_n` (diameter 1), the topology of Sections 5.1 and 6.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `n < 2`.
+pub fn complete(n: usize) -> Result<Graph, Error> {
+    if n < 2 {
+        return Err(Error::InvalidTopology { reason: format!("complete graph needs n >= 2, got {n}") });
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The star graph with centre `0` and `n - 1` leaves, used in the worked
+/// example of Appendix B.2.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, Error> {
+    if n < 2 {
+        return Err(Error::InvalidTopology { reason: format!("star graph needs n >= 2, got {n}") });
+    }
+    let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The cycle `C_n`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, Error> {
+    if n < 3 {
+        return Err(Error::InvalidTopology { reason: format!("cycle needs n >= 3, got {n}") });
+    }
+    let edges: Vec<_> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The path `P_n`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `n < 2`.
+pub fn path(n: usize) -> Result<Graph, Error> {
+    if n < 2 {
+        return Err(Error::InvalidTopology { reason: format!("path needs n >= 2, got {n}") });
+    }
+    let edges: Vec<_> = (0..n - 1).map(|v| (v, v + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_properties() {
+        let g = complete(10).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 45);
+        assert_eq!(g.diameter(), 1);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 9);
+        }
+    }
+
+    #[test]
+    fn complete_rejects_tiny() {
+        assert!(complete(1).is_err());
+        assert!(complete(0).is_err());
+    }
+
+    #[test]
+    fn star_graph_properties() {
+        let g = star(17).unwrap();
+        assert_eq!(g.edge_count(), 16);
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(g.degree(5), 1);
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(8).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.diameter(), 4);
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path(6).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.diameter(), 5);
+        assert!(path(1).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Diameter-2 graph families, the topology class of Section 5.3.
+//!
+//! The difficulty of leader election on diameter-2 graphs (classically Θ(n)
+//! messages, CPR20) comes from pairs of nodes whose neighbourhoods intersect
+//! in very few — possibly exactly one — common nodes. The generators below
+//! produce graphs of diameter exactly 2 that exhibit this "thin handshake"
+//! structure, which is what `QuantumQWLE`'s quantum walk is designed to probe.
+
+use crate::error::Error;
+use crate::graph::Graph;
+
+/// The "clique of cliques" construction: `k` cliques of `k` nodes each, where
+/// member `i` of clique `a` is additionally connected to *every* member of
+/// clique `i` (for `i != a`). The result has `n = k²` nodes, `Θ(n^{3/2})`
+/// edges, and diameter exactly 2: the common neighbour of `(a, i)` and
+/// `(b, j)` is the "ambassador" `(a, b)`, which sits in clique `a` and is
+/// adjacent to all of clique `b`.
+///
+/// This gives a diameter-2 family that is much sparser than the complete
+/// graph yet has no dominating hub, complementing
+/// [`hub_and_spokes_d2`] and [`shared_hub_pair`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `k < 2`.
+pub fn clique_of_cliques(k: usize) -> Result<Graph, Error> {
+    if k < 2 {
+        return Err(Error::InvalidTopology { reason: format!("clique-of-cliques needs k >= 2, got {k}") });
+    }
+    let n = k * k;
+    let idx = |clique: usize, member: usize| clique * k + member;
+    let mut edges = Vec::new();
+    // Intra-clique edges.
+    for c in 0..k {
+        for a in 0..k {
+            for b in (a + 1)..k {
+                edges.push((idx(c, a), idx(c, b)));
+            }
+        }
+    }
+    // Ambassador edges: member i of clique a <-> every member of clique i.
+    for a in 0..k {
+        for i in 0..k {
+            if i == a {
+                continue;
+            }
+            let ambassador = idx(a, i);
+            for member in 0..k {
+                let other = idx(i, member);
+                edges.push((ambassador.min(other), ambassador.max(other)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges)
+}
+
+/// A hub-based diameter-2 graph: a single hub adjacent to everyone, plus a
+/// sparse cycle among the non-hub nodes so that no node other than the hub
+/// dominates the graph.
+///
+/// Every pair of non-hub nodes has the hub as a (often unique) common
+/// neighbour, which is exactly the single-intermediary handshake scenario the
+/// paper highlights for diameter-2 networks.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `n < 4`.
+pub fn hub_and_spokes_d2(n: usize) -> Result<Graph, Error> {
+    if n < 4 {
+        return Err(Error::InvalidTopology { reason: format!("hub graph needs n >= 4, got {n}") });
+    }
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((0, v));
+    }
+    // Cycle among the spokes keeps minimum degree 3 and avoids a pure star.
+    for v in 1..n {
+        let next = if v + 1 < n { v + 1 } else { 1 };
+        if v != next {
+            edges.push((v.min(next), v.max(next)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges)
+}
+
+/// Two "metropolis" cliques of size `half` each, sharing exactly one hub node
+/// that belongs to both. Diameter 2, and the hub is the unique common
+/// neighbour of every cross-clique pair — the worst case for handshake-style
+/// leader election.
+///
+/// The resulting graph has `2 * half - 1` nodes.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `half < 3`.
+pub fn shared_hub_pair(half: usize) -> Result<Graph, Error> {
+    if half < 3 {
+        return Err(Error::InvalidTopology { reason: format!("shared-hub pair needs half >= 3, got {half}") });
+    }
+    let n = 2 * half - 1;
+    let hub = 0;
+    // Left clique: hub plus nodes 1..half; right clique: hub plus nodes half..n.
+    let left: Vec<usize> = std::iter::once(hub).chain(1..half).collect();
+    let right: Vec<usize> = std::iter::once(hub).chain(half..n).collect();
+    let mut edges = Vec::new();
+    for group in [&left, &right] {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                edges.push((group[i].min(group[j]), group[i].max(group[j])));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_of_cliques_has_diameter_two() {
+        for k in [3, 4, 6] {
+            let g = clique_of_cliques(k).unwrap();
+            assert_eq!(g.node_count(), k * k);
+            assert!(g.is_connected());
+            assert_eq!(g.diameter(), 2, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn clique_of_cliques_rejects_tiny() {
+        assert!(clique_of_cliques(1).is_err());
+    }
+
+    #[test]
+    fn hub_graph_has_diameter_two() {
+        for n in [8, 33, 64] {
+            let g = hub_and_spokes_d2(n).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.diameter(), 2);
+            assert_eq!(g.degree(0), n - 1);
+        }
+        assert!(hub_and_spokes_d2(3).is_err());
+    }
+
+    #[test]
+    fn shared_hub_pair_has_diameter_two_and_thin_cut() {
+        let g = shared_hub_pair(6).unwrap();
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.diameter(), 2);
+        // Cross pair (1, 6): only common neighbour is the hub 0.
+        let left_node = 1;
+        let right_node = 6;
+        assert!(!g.are_adjacent(left_node, right_node));
+        let common: Vec<_> = g
+            .neighbors(left_node)
+            .iter()
+            .filter(|v| g.are_adjacent(**v, right_node))
+            .collect();
+        assert_eq!(common, vec![&0]);
+        assert!(shared_hub_pair(2).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Structured topologies with known mixing behaviour: hypercubes, tori,
+//! barbells, and lollipops.
+//!
+//! Hypercubes are the paper's running example of a small-mixing-time graph
+//! (τ = Õ(1), Section 5.2); barbells and lollipops are standard examples of
+//! graphs with *large* mixing time, useful for exercising the τ-dependence of
+//! `QuantumRWLE`.
+
+use crate::error::Error;
+use crate::graph::Graph;
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `d == 0` or `2^d` overflows `usize`.
+pub fn hypercube(d: u32) -> Result<Graph, Error> {
+    if d == 0 {
+        return Err(Error::InvalidTopology { reason: "hypercube dimension must be >= 1".into() });
+    }
+    if d >= usize::BITS {
+        return Err(Error::InvalidTopology { reason: format!("hypercube dimension {d} too large") });
+    }
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1usize << bit);
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The `rows × cols` two-dimensional torus (wrap-around grid).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if either side is `< 2`, or if the
+/// torus would degenerate into a multigraph (side of exactly 2 is allowed and
+/// handled by collapsing the duplicate wrap edge).
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, Error> {
+    if rows < 2 || cols < 2 {
+        return Err(Error::InvalidTopology {
+            reason: format!("torus sides must be >= 2, got {rows}x{cols}"),
+        });
+    }
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = idx(r, (c + 1) % cols);
+            let down = idx((r + 1) % rows, c);
+            let here = idx(r, c);
+            // For a side of exactly 2 the wrap edge coincides with the direct
+            // edge; skip the duplicate so the graph stays simple.
+            if here != right && !edges.contains(&(right.min(here), right.max(here))) {
+                edges.push((here.min(right), here.max(right)));
+            }
+            if here != down && !edges.contains(&(down.min(here), down.max(here))) {
+                edges.push((here.min(down), here.max(down)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges)
+}
+
+/// The barbell graph: two cliques of size `clique` joined by a path of
+/// `bridge` extra nodes (possibly zero, in which case the cliques share one
+/// edge).
+///
+/// Barbells have mixing time Θ(n³ / m) and are the canonical "slow mixing"
+/// stress test for random-walk based protocols.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `clique < 3`.
+pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, Error> {
+    if clique < 3 {
+        return Err(Error::InvalidTopology { reason: format!("barbell cliques need >= 3 nodes, got {clique}") });
+    }
+    let n = 2 * clique + bridge;
+    let mut edges = Vec::new();
+    // Left clique: 0..clique, right clique: clique + bridge .. n
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            edges.push((u, v));
+        }
+    }
+    let right_start = clique + bridge;
+    for u in right_start..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    // Bridge path connecting node clique-1 to node right_start.
+    let mut prev = clique - 1;
+    for b in 0..bridge {
+        let node = clique + b;
+        edges.push((prev, node));
+        prev = node;
+    }
+    edges.push((prev, right_start));
+    Graph::from_edges(n, &edges)
+}
+
+/// The lollipop graph: a clique of size `clique` with a path of `tail` nodes
+/// attached. Another canonical slow-mixing topology.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidTopology`] if `clique < 3` or `tail == 0`.
+pub fn lollipop(clique: usize, tail: usize) -> Result<Graph, Error> {
+    if clique < 3 {
+        return Err(Error::InvalidTopology { reason: format!("lollipop clique needs >= 3 nodes, got {clique}") });
+    }
+    if tail == 0 {
+        return Err(Error::InvalidTopology { reason: "lollipop tail must have at least one node".into() });
+    }
+    let n = clique + tail;
+    let mut edges = Vec::new();
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            edges.push((u, v));
+        }
+    }
+    let mut prev = clique - 1;
+    for t in 0..tail {
+        let node = clique + t;
+        edges.push((prev, node));
+        prev = node;
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_properties() {
+        let g = hypercube(5).unwrap();
+        assert_eq!(g.node_count(), 32);
+        assert_eq!(g.edge_count(), 32 * 5 / 2);
+        assert_eq!(g.diameter(), 5);
+        for v in 0..32 {
+            assert_eq!(g.degree(v), 5);
+        }
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn torus_properties() {
+        let g = torus(4, 5).unwrap();
+        assert_eq!(g.node_count(), 20);
+        assert!(g.is_connected());
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(torus(1, 5).is_err());
+    }
+
+    #[test]
+    fn torus_side_two_stays_simple() {
+        let g = torus(2, 2).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 4);
+        // Each node has exactly 2 distinct neighbours in the 2x2 case.
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn barbell_properties() {
+        let g = barbell(5, 3).unwrap();
+        assert_eq!(g.node_count(), 13);
+        assert!(g.is_connected());
+        // Diameter: across two cliques plus the bridge.
+        assert!(g.diameter() >= 5);
+        assert!(barbell(2, 1).is_err());
+    }
+
+    #[test]
+    fn barbell_without_bridge() {
+        let g = barbell(4, 0).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn lollipop_properties() {
+        let g = lollipop(6, 4).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(9), 1);
+        assert!(lollipop(6, 0).is_err());
+    }
+}

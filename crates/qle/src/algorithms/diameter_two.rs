@@ -1,0 +1,582 @@
+//! `QuantumQWLE` — quantum leader election on diameter-2 networks
+//! (Section 5.3, Algorithm 3).
+//!
+//! This is the paper's most intricate protocol and the first use of quantum
+//! walks in distributed computing. Candidates repeatedly and randomly split
+//! into *active* and *passive* ones; an active candidate `v` challenges the
+//! passive candidates by running an MNRS quantum walk on the Johnson graph
+//! `J(deg(v), k)` whose vertices are `k`-subsets of `v`'s neighbours (the
+//! *referees*):
+//!
+//! * `Setup(W)` sends `v`'s rank to every referee in `W`;
+//! * `Update(W, W′)` swaps one referee;
+//! * `Checking(W)` is a two-step procedure — a **decentralized** step in
+//!   which every passive candidate Grover-searches its own neighbourhood for
+//!   a referee holding a smaller rank (and informs it), and a **centralized**
+//!   step in which `v` Grover-searches `W` for a referee that was informed of
+//!   a higher rank.
+//!
+//! An active candidate that finds such a referee becomes `NON-ELECTED`; after
+//! `Θ(log³ n)` iterations the surviving candidate (with high probability the
+//! one with the highest rank) becomes the leader. With `k = Θ(n^{2/3})` the
+//! message complexity is `Õ(n^{2/3})` (Corollary 5.7), beating the classical
+//! `Θ(n)` bound of CPR20.
+//!
+//! **Clarification adopted from the analysis.** A referee `w ∈ N(v)`
+//! contradicts `v`'s leadership when it is adjacent to a passive candidate of
+//! higher rank *or is itself* such a candidate (the latter covers adjacent
+//! candidate pairs that share no common neighbour, which diameter 2 permits);
+//! with this reading the highest-ranked candidate is never eliminated and
+//! every other candidate has at least one contradicting referee whenever a
+//! higher-ranked candidate is passive, exactly as the proof of Theorem 5.6
+//! requires.
+
+use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use quantum_sim::johnson::JohnsonGraph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::candidate::{sample_candidates, Candidate};
+use crate::config::{AlphaChoice, KChoice};
+use crate::error::Error;
+use crate::framework::{
+    distributed_grover_search, distributed_walk_search, CheckingOracle, WalkOracle,
+};
+use crate::problems::{LeaderElectionOutcome, NodeStatus};
+use crate::protocol::LeaderElection;
+use crate::report::{CostSummary, LeaderElectionRun};
+
+/// Messages exchanged by `QuantumQWLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QwMessage {
+    /// A candidate's rank (Setup, Update, and the passive candidates'
+    /// "inform" messages).
+    Rank(u64),
+    /// A probe of the inner Grover searches ("do you hold a smaller rank /
+    /// were you informed of a higher rank?").
+    Probe(u64),
+    /// A one-bit reply to a probe.
+    Reply(bool),
+    /// The active candidate recalling its rank from a referee that leaves the
+    /// walk's current subset (Update).
+    Recall,
+}
+
+impl Payload for QwMessage {
+    fn size_bits(&self) -> usize {
+        match self {
+            QwMessage::Rank(_) | QwMessage::Probe(_) => 64,
+            QwMessage::Reply(_) => 2,
+            QwMessage::Recall => 8,
+        }
+    }
+}
+
+/// A reusable inner oracle: probe a node adjacent to `owner` and get a one-bit
+/// reply (two messages, two rounds). Used both by the passive candidates'
+/// decentralized search and by the active candidate's centralized search.
+struct NeighborProbeOracle {
+    owner: NodeId,
+    rank: u64,
+    domain: Vec<NodeId>,
+    marked: Vec<NodeId>,
+}
+
+impl CheckingOracle<QwMessage> for NeighborProbeOracle {
+    type Item = NodeId;
+
+    fn check(&mut self, net: &mut Network<QwMessage>, w: &NodeId) -> Result<bool, Error> {
+        net.send(self.owner, *w, QwMessage::Probe(self.rank))?;
+        net.advance_round();
+        let answer = self.marked.contains(w);
+        net.send(*w, self.owner, QwMessage::Reply(answer))?;
+        net.advance_round();
+        Ok(answer)
+    }
+
+    fn sample_input(&mut self, rng: &mut StdRng) -> NodeId {
+        self.domain[rng.gen_range(0..self.domain.len())]
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.domain.len() as u64
+    }
+
+    fn marked_count(&self) -> u64 {
+        self.marked.len() as u64
+    }
+
+    fn sample_marked(&mut self, rng: &mut StdRng) -> Option<NodeId> {
+        if self.marked.is_empty() {
+            None
+        } else {
+            Some(self.marked[rng.gen_range(0..self.marked.len())])
+        }
+    }
+}
+
+/// The MNRS walk oracle of one active candidate.
+struct ChallengeOracle<'a> {
+    active: Candidate,
+    /// The active candidate's neighbours, indexed by the Johnson-graph
+    /// universe `0..deg(v)`.
+    neighbors: Vec<NodeId>,
+    johnson: JohnsonGraph,
+    /// For each neighbour index, whether that referee contradicts the active
+    /// candidate's leadership (is, or is adjacent to, a passive candidate of
+    /// higher rank).
+    witness: Vec<bool>,
+    witness_count: usize,
+    /// The passive candidates (all of them run the decentralized step).
+    passive: &'a [Candidate],
+    graph: &'a Graph,
+    inner_alpha: f64,
+}
+
+impl ChallengeOracle<'_> {
+    /// Fraction of `k`-subsets of the neighbourhood containing at least one
+    /// witness: `1 − C(deg − h, k)/C(deg, k)`, computed as a running product.
+    fn marked_subset_fraction(&self) -> f64 {
+        let g = self.neighbors.len() as f64;
+        let h = self.witness_count as f64;
+        let mut none = 1.0;
+        for i in 0..self.johnson.subset_size() {
+            let i = i as f64;
+            if g - i <= 0.0 {
+                break;
+            }
+            none *= ((g - h - i) / (g - i)).max(0.0);
+        }
+        1.0 - none
+    }
+
+    fn subset_nodes(&self, subset: &[usize]) -> Vec<NodeId> {
+        subset.iter().map(|&i| self.neighbors[i]).collect()
+    }
+}
+
+impl CheckingOracle<QwMessage> for ChallengeOracle<'_> {
+    type Item = Vec<usize>;
+
+    fn check(&mut self, net: &mut Network<QwMessage>, subset: &Vec<usize>) -> Result<bool, Error> {
+        let referees = self.subset_nodes(subset);
+
+        // Decentralized step: every passive candidate v' searches its own
+        // neighbourhood for a referee currently holding a smaller rank than
+        // its own, and informs it. The searches of different passive
+        // candidates run concurrently without being triggered by the active
+        // candidate (Section 4.1); the simulation executes them one after the
+        // other and the round complexity is accounted for at the protocol
+        // level.
+        for passive in self.passive {
+            let neighborhood: Vec<NodeId> = self.graph.neighbors(passive.node).to_vec();
+            let marked: Vec<NodeId> = if passive.rank > self.active.rank {
+                neighborhood.iter().copied().filter(|w| referees.contains(w)).collect()
+            } else {
+                Vec::new()
+            };
+            let epsilon = 1.0 / neighborhood.len() as f64;
+            let mut oracle = NeighborProbeOracle {
+                owner: passive.node,
+                rank: passive.rank,
+                domain: neighborhood,
+                marked,
+            };
+            let outcome =
+                distributed_grover_search(net, passive.node, &mut oracle, epsilon, self.inner_alpha)?;
+            if let Some(referee) = outcome.found {
+                net.send(passive.node, referee, QwMessage::Rank(passive.rank))?;
+                net.advance_round();
+            }
+        }
+
+        // Centralized step: the active candidate searches its current referee
+        // set for one that was informed of a higher rank.
+        let informed: Vec<NodeId> = referees
+            .iter()
+            .copied()
+            .filter(|&w| {
+                let idx = self.neighbors.iter().position(|&x| x == w).expect("referee is a neighbour");
+                self.witness[idx]
+            })
+            .collect();
+        let epsilon = 1.0 / referees.len() as f64;
+        let mut oracle = NeighborProbeOracle {
+            owner: self.active.node,
+            rank: self.active.rank,
+            domain: referees,
+            marked: informed,
+        };
+        distributed_grover_search(net, self.active.node, &mut oracle, epsilon, self.inner_alpha)?;
+
+        // The value of f(W) itself (the nested searches above realise the
+        // evaluation distributively; their own failure probabilities are
+        // folded into the primitive's α as in the proof of Theorem 5.6).
+        Ok(subset.iter().any(|&i| self.witness[i]))
+    }
+
+    fn sample_input(&mut self, rng: &mut StdRng) -> Vec<usize> {
+        self.johnson.random_subset(rng)
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.johnson.vertex_count().min(u64::MAX as u128) as u64
+    }
+
+    fn marked_count(&self) -> u64 {
+        (self.marked_subset_fraction() * self.domain_size() as f64).round() as u64
+    }
+
+    fn sample_marked(&mut self, rng: &mut StdRng) -> Option<Vec<usize>> {
+        if self.witness_count == 0 {
+            return None;
+        }
+        // Build a marked subset directly: one uniformly chosen witness plus
+        // k − 1 other distinct neighbours.
+        let witnesses: Vec<usize> =
+            (0..self.neighbors.len()).filter(|&i| self.witness[i]).collect();
+        let chosen_witness = witnesses[rng.gen_range(0..witnesses.len())];
+        let mut subset = vec![chosen_witness];
+        let mut others: Vec<usize> =
+            (0..self.neighbors.len()).filter(|&i| i != chosen_witness).collect();
+        while subset.len() < self.johnson.subset_size() && !others.is_empty() {
+            let pick = rng.gen_range(0..others.len());
+            subset.push(others.swap_remove(pick));
+        }
+        subset.sort_unstable();
+        Some(subset)
+    }
+
+    fn marked_fraction(&self) -> f64 {
+        self.marked_subset_fraction()
+    }
+}
+
+impl WalkOracle<QwMessage> for ChallengeOracle<'_> {
+    fn setup(&mut self, net: &mut Network<QwMessage>, subset: &Vec<usize>) -> Result<(), Error> {
+        for &i in subset {
+            net.send(self.active.node, self.neighbors[i], QwMessage::Rank(self.active.rank))?;
+        }
+        net.advance_round();
+        Ok(())
+    }
+
+    fn update(
+        &mut self,
+        net: &mut Network<QwMessage>,
+        subset: &Vec<usize>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<usize>, Error> {
+        if self.johnson.subset_size() >= self.johnson.universe() {
+            // Degenerate walk (the subset is the whole neighbourhood): the
+            // Johnson graph has a single vertex and the walk stays put.
+            return Ok(subset.clone());
+        }
+        let (next, leave, join) = self.johnson.random_neighbor(subset, rng)?;
+        net.send(self.active.node, self.neighbors[leave], QwMessage::Recall)?;
+        net.advance_round();
+        net.send(self.neighbors[leave], self.active.node, QwMessage::Rank(self.active.rank))?;
+        net.send(self.active.node, self.neighbors[join], QwMessage::Rank(self.active.rank))?;
+        net.advance_round();
+        Ok(next)
+    }
+
+    fn spectral_gap(&self) -> f64 {
+        self.johnson.spectral_gap()
+    }
+}
+
+/// The `QuantumQWLE` protocol (Algorithm 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantumQwLe {
+    /// The referee-subset size `k`. The message-optimal choice is
+    /// `k = n^{2/3}` (clamped per candidate to its degree).
+    pub k: KChoice,
+    /// The failure probability of the quantum subroutines.
+    pub alpha: AlphaChoice,
+    /// Number of active/passive iterations. `None` uses the paper's
+    /// `⌈ln³ n⌉`.
+    pub iterations: Option<usize>,
+    /// Per-iteration activation probability. `None` uses the paper's
+    /// `1/ln² n`.
+    pub activation_probability: Option<f64>,
+    /// Skip the (expensive, `O(n·m)`) exact diameter validation and only spot
+    /// check a few eccentricities; intended for large benchmark graphs that
+    /// are diameter-2 by construction.
+    pub skip_full_topology_check: bool,
+}
+
+impl Default for QuantumQwLe {
+    fn default() -> Self {
+        QuantumQwLe {
+            k: KChoice::Optimal,
+            alpha: AlphaChoice::HighProbability,
+            iterations: None,
+            activation_probability: None,
+            skip_full_topology_check: false,
+        }
+    }
+}
+
+impl QuantumQwLe {
+    /// The paper's message-optimal configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        QuantumQwLe::default()
+    }
+
+    /// A configuration with explicit parameter choices.
+    #[must_use]
+    pub fn with_parameters(
+        k: KChoice,
+        alpha: AlphaChoice,
+        iterations: Option<usize>,
+        activation_probability: Option<f64>,
+    ) -> Self {
+        QuantumQwLe { k, alpha, iterations, activation_probability, skip_full_topology_check: false }
+    }
+
+    /// A constant-success profile for scaling experiments: constant failure
+    /// probability, activation probability 1/4, and `⌈6·ln n⌉` iterations
+    /// (enough for every candidate to be activated `Θ(log n)` times), so the
+    /// `polylog(n)` amplification constants do not drown the `n^{2/3}` shape
+    /// at simulable sizes.
+    #[must_use]
+    pub fn benchmark_profile(n: usize) -> Self {
+        QuantumQwLe {
+            k: KChoice::Optimal,
+            alpha: AlphaChoice::Fixed(0.25),
+            iterations: Some((6.0 * (n.max(3) as f64).ln()).ceil() as usize),
+            activation_probability: Some(0.25),
+            skip_full_topology_check: true,
+        }
+    }
+
+    fn validate(&self, graph: &Graph) -> Result<(), Error> {
+        let n = graph.node_count();
+        if n < 4 {
+            return Err(Error::UnsupportedTopology {
+                protocol: "QuantumQWLE",
+                reason: "need at least four nodes".into(),
+            });
+        }
+        let diameter_ok = if graph.node_count() <= 600 && !self.skip_full_topology_check {
+            graph.diameter() <= 2
+        } else {
+            // Spot-check a handful of eccentricities on large graphs.
+            (0..graph.node_count()).step_by((graph.node_count() / 8).max(1)).all(|v| graph.eccentricity(v) <= 2)
+        };
+        if !diameter_ok {
+            return Err(Error::UnsupportedTopology {
+                protocol: "QuantumQWLE",
+                reason: "graph diameter exceeds 2".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn resolve_iterations(&self, n: usize) -> usize {
+        self.iterations.unwrap_or_else(|| {
+            let ln = (n.max(3) as f64).ln();
+            (ln * ln * ln).ceil() as usize
+        })
+    }
+
+    fn resolve_activation(&self, n: usize) -> f64 {
+        self.activation_probability
+            .unwrap_or_else(|| {
+                let ln = (n.max(3) as f64).ln();
+                1.0 / (ln * ln)
+            })
+            .clamp(1e-6, 1.0)
+    }
+}
+
+impl LeaderElection for QuantumQwLe {
+    fn name(&self) -> &'static str {
+        "QuantumQWLE"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+        self.validate(graph)?;
+        let n = graph.node_count();
+        let k_target = self.k.resolve(n, 2.0 / 3.0);
+        let alpha = self.alpha.resolve(n);
+        let inner_alpha = match self.alpha {
+            AlphaChoice::HighProbability => self.alpha.resolve_inner(n),
+            AlphaChoice::Fixed(a) => a.clamp(1e-12, 0.49),
+        };
+        let iterations = self.resolve_iterations(n);
+        let activation = self.resolve_activation(n);
+        let mut net: Network<QwMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+
+        let candidates = sample_candidates(&mut net);
+        let mut in_race: Vec<bool> = vec![false; n];
+        for c in &candidates {
+            in_race[c.node] = true;
+        }
+        let mut effective_rounds = 0u64;
+
+        for _iteration in 0..iterations {
+            let racers: Vec<Candidate> = candidates.iter().copied().filter(|c| in_race[c.node]).collect();
+            if racers.len() <= 1 {
+                break;
+            }
+            // Each remaining candidate flips active/passive with its private coin.
+            let mut active = Vec::new();
+            let mut passive = Vec::new();
+            for c in &racers {
+                if net.rng(c.node).gen_bool(activation) {
+                    active.push(*c);
+                } else {
+                    passive.push(*c);
+                }
+            }
+            if active.is_empty() {
+                effective_rounds += 1;
+                continue;
+            }
+
+            let mut max_challenge_rounds = 0u64;
+            for candidate in &active {
+                let neighbors: Vec<NodeId> = graph.neighbors(candidate.node).to_vec();
+                let degree = neighbors.len();
+                let k = k_target.min(degree);
+                let johnson = JohnsonGraph::new(degree, k)?;
+                // A neighbour is a witness when it is, or is adjacent to, a
+                // passive candidate with a strictly higher rank.
+                let witness: Vec<bool> = neighbors
+                    .iter()
+                    .map(|&w| {
+                        passive.iter().any(|p| {
+                            p.rank > candidate.rank && (p.node == w || graph.are_adjacent(p.node, w))
+                        })
+                    })
+                    .collect();
+                let witness_count = witness.iter().filter(|b| **b).count();
+                let mut oracle = ChallengeOracle {
+                    active: *candidate,
+                    neighbors,
+                    johnson,
+                    witness,
+                    witness_count,
+                    passive: &passive,
+                    graph,
+                    inner_alpha,
+                };
+                let epsilon = (k as f64 / degree as f64).min(1.0);
+                let rounds_before = net.metrics().rounds;
+                let outcome = distributed_walk_search(&mut net, candidate.node, &mut oracle, epsilon, alpha)?;
+                // The final extra Checking call of line 11 of Algorithm 3.
+                let final_subset = {
+                    use rand::SeedableRng;
+                    let mut rng = StdRng::seed_from_u64(net.rng(candidate.node).gen());
+                    oracle.sample_input(&mut rng)
+                };
+                net.quantum_scope(|net| oracle.check(net, &final_subset))?;
+                max_challenge_rounds = max_challenge_rounds.max(net.metrics().rounds - rounds_before);
+                if outcome.found.is_some() {
+                    in_race[candidate.node] = false;
+                }
+            }
+            effective_rounds += max_challenge_rounds;
+        }
+
+        let mut statuses = vec![NodeStatus::NonElected; n];
+        for c in &candidates {
+            if in_race[c.node] {
+                statuses[c.node] = NodeStatus::Elected;
+            }
+        }
+        Ok(LeaderElectionRun {
+            protocol: self.name().to_string(),
+            nodes: n,
+            edges: graph.edge_count(),
+            outcome: LeaderElectionOutcome::new(statuses),
+            cost: CostSummary { metrics: net.metrics(), effective_rounds },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_net::topology;
+
+    fn test_profile(n: usize) -> QuantumQwLe {
+        QuantumQwLe::with_parameters(
+            KChoice::Optimal,
+            AlphaChoice::Fixed(0.25),
+            Some((6.0 * (n as f64).ln()).ceil() as usize),
+            Some(0.3),
+        )
+    }
+
+    #[test]
+    fn elects_a_unique_leader_on_clique_of_cliques() {
+        let graph = topology::clique_of_cliques(6).unwrap();
+        let protocol = test_profile(graph.node_count());
+        let trials = 5;
+        let mut ok = 0;
+        for seed in 0..trials {
+            let run = protocol.run(&graph, seed).unwrap();
+            if run.succeeded() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 1, "ok = {ok}/{trials}");
+    }
+
+    #[test]
+    fn elects_a_unique_leader_on_hub_graphs() {
+        let graph = topology::hub_and_spokes_d2(40).unwrap();
+        let protocol = test_profile(40);
+        let run = protocol.run(&graph, 3).unwrap();
+        assert!(run.succeeded());
+    }
+
+    #[test]
+    fn works_on_shared_hub_worst_case() {
+        let graph = topology::shared_hub_pair(12).unwrap();
+        let protocol = test_profile(graph.node_count());
+        let run = protocol.run(&graph, 8).unwrap();
+        assert!(run.succeeded());
+    }
+
+    #[test]
+    fn rejects_graphs_of_larger_diameter() {
+        let graph = topology::cycle(12).unwrap();
+        assert!(matches!(
+            QuantumQwLe::new().run(&graph, 0),
+            Err(Error::UnsupportedTopology { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_complete_graphs_as_a_degenerate_case() {
+        // Diameter 1 ≤ 2, so the protocol applies (with k clamped to the
+        // degree and a degenerate walk).
+        let graph = topology::complete(24).unwrap();
+        let run = test_profile(24).run(&graph, 2).unwrap();
+        assert!(run.succeeded());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let graph = topology::clique_of_cliques(5).unwrap();
+        let protocol = test_profile(25);
+        let a = protocol.run(&graph, 17).unwrap();
+        let b = protocol.run(&graph, 17).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.cost.metrics.total_messages(), b.cost.metrics.total_messages());
+    }
+
+    #[test]
+    fn benchmark_profile_is_cheaper_than_paper_profile_per_iteration() {
+        let bench = QuantumQwLe::benchmark_profile(400);
+        assert_eq!(bench.alpha, AlphaChoice::Fixed(0.25));
+        assert!(bench.iterations.unwrap() < 400);
+        assert!(bench.skip_full_topology_check);
+    }
+}

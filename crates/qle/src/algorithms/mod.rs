@@ -1,0 +1,21 @@
+//! The paper's five protocols.
+//!
+//! | Protocol | Topology | Message complexity | Paper |
+//! |---|---|---|---|
+//! | [`QuantumLe`](complete::QuantumLe) | complete graphs | `Õ(n^{1/3})` | §5.1, Alg. 1 |
+//! | [`QuantumRwLe`](mixing::QuantumRwLe) | mixing time `τ` | `Õ(τ^{5/3} n^{1/3})` | §5.2, Alg. 2 |
+//! | [`QuantumQwLe`](diameter_two::QuantumQwLe) | diameter 2 | `Õ(n^{2/3})` | §5.3, Alg. 3 |
+//! | [`QuantumGeneralLe`](general::QuantumGeneralLe) | arbitrary | `Õ(√(m·n))` | §5.4 |
+//! | [`QuantumAgreement`](agreement::QuantumAgreement) | complete + shared coin | `Õ(n^{1/5})` expected | §6, Alg. 4 |
+
+pub mod agreement;
+pub mod complete;
+pub mod diameter_two;
+pub mod general;
+pub mod mixing;
+
+pub use agreement::QuantumAgreement;
+pub use complete::QuantumLe;
+pub use diameter_two::QuantumQwLe;
+pub use general::QuantumGeneralLe;
+pub use mixing::QuantumRwLe;

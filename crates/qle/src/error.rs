@@ -1,0 +1,96 @@
+//! Error type for the protocol crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the quantum leader-election and agreement protocols.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The underlying network simulator reported an error.
+    Network(congest_net::Error),
+    /// A quantum subroutine reported an error.
+    Quantum(quantum_sim::Error),
+    /// The provided graph does not satisfy a protocol's topology requirement
+    /// (e.g. `QuantumLE` requires a complete graph, `QuantumQWLE` requires
+    /// diameter at most 2).
+    UnsupportedTopology {
+        /// The protocol that rejected the graph.
+        protocol: &'static str,
+        /// Why the graph was rejected.
+        reason: String,
+    },
+    /// A protocol parameter was outside its valid range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The number of agreement inputs does not match the number of nodes.
+    InputLengthMismatch {
+        /// Number of inputs provided.
+        inputs: usize,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Network(e) => write!(f, "network error: {e}"),
+            Error::Quantum(e) => write!(f, "quantum subroutine error: {e}"),
+            Error::UnsupportedTopology { protocol, reason } => {
+                write!(f, "{protocol} does not support this topology: {reason}")
+            }
+            Error::InvalidConfig { name, reason } => write!(f, "invalid configuration {name}: {reason}"),
+            Error::InputLengthMismatch { inputs, nodes } => {
+                write!(f, "got {inputs} agreement inputs for {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Network(e) => Some(e),
+            Error::Quantum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<congest_net::Error> for Error {
+    fn from(e: congest_net::Error) -> Self {
+        Error::Network(e)
+    }
+}
+
+impl From<quantum_sim::Error> for Error {
+    fn from(e: quantum_sim::Error) -> Self {
+        Error::Quantum(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::from(congest_net::Error::Disconnected);
+        assert!(e.to_string().contains("network error"));
+        assert!(StdError::source(&e).is_some());
+        let e = Error::UnsupportedTopology { protocol: "QuantumLE", reason: "not complete".into() };
+        assert!(e.to_string().contains("QuantumLE"));
+        assert!(StdError::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

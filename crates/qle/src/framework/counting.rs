@@ -1,0 +1,128 @@
+//! The distributed approximate quantum counting primitive `ApproxCount(c, α)`
+//! (Theorem 4.2 and Corollary 4.3).
+
+use congest_net::{Network, NodeId, Payload};
+use quantum_sim::counting::ApproxCountSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Error;
+use crate::framework::oracle::CheckingOracle;
+
+/// The result of one distributed approximate counting run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxCountOutcome {
+    /// The estimate `t̃` of the number of marked inputs, within `c·|X|` of the
+    /// truth with probability at least `1 − α`.
+    pub estimate: f64,
+    /// Number of `Checking` executions charged.
+    pub checking_executions: u64,
+    /// Rounds consumed by this counting run (as measured on the network).
+    pub rounds: u64,
+}
+
+/// Runs `ApproxCount(c, α)` for the node `owner` over the `Checking`
+/// procedure described by `oracle`.
+///
+/// The schedule follows Corollary 4.3: `⌈log₂(1/α)⌉` repetitions of a
+/// `⌈8π/c⌉`-point phase estimation of the Grover operator; each controlled
+/// Grover application uses one `Checking⁻¹ · PF · Checking` sandwich, i.e.
+/// two executions of the distributed procedure, charged inside a quantum
+/// scope. The estimate itself is drawn from the exact phase-estimation
+/// outcome distribution (see `quantum_sim::counting`), followed by the
+/// median amplification of the corollary.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for out-of-range `c`/`alpha` and
+/// propagates network errors raised by the oracle.
+pub fn distributed_approx_count<M, O>(
+    net: &mut Network<M>,
+    owner: NodeId,
+    oracle: &mut O,
+    c: f64,
+    alpha: f64,
+) -> Result<ApproxCountOutcome, Error>
+where
+    M: Payload,
+    O: CheckingOracle<M>,
+{
+    let spec = ApproxCountSpec::new(c, alpha).map_err(|e| Error::InvalidConfig {
+        name: "approx_count",
+        reason: e.to_string(),
+    })?;
+    let mut rng = StdRng::seed_from_u64(net.rng(owner).gen());
+    let rounds_before = net.metrics().rounds;
+    let iterations = spec.total_oracle_calls();
+    for _ in 0..iterations {
+        let representative = oracle.sample_input(&mut rng);
+        net.quantum_scope(|net| -> Result<(), Error> {
+            oracle.check(net, &representative)?;
+            oracle.check(net, &representative)?;
+            Ok(())
+        })?;
+    }
+    let estimate = spec.run(oracle.marked_count(), oracle.domain_size().max(1), &mut rng)?;
+    Ok(ApproxCountOutcome {
+        estimate,
+        checking_executions: 2 * iterations,
+        rounds: net.metrics().rounds - rounds_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::oracle::test_support::ProbeOracle;
+    use congest_net::{topology, NetworkConfig};
+
+    fn fresh_net(n: usize, seed: u64) -> Network<u64> {
+        Network::new(topology::complete(n).unwrap(), NetworkConfig::with_seed(seed))
+    }
+
+    #[test]
+    fn estimate_is_within_additive_error_with_high_probability() {
+        let trials = 30;
+        let mut ok = 0;
+        for seed in 0..trials {
+            let mut net = fresh_net(64, seed);
+            let marked: Vec<usize> = (1..20).collect();
+            let mut oracle = ProbeOracle { owner: 0, marked, domain: (1..64).collect() };
+            let out = distributed_approx_count(&mut net, 0, &mut oracle, 0.1, 1.0 / 64.0).unwrap();
+            if (out.estimate - 19.0).abs() <= 0.1 * 63.0 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 1, "ok = {ok}/{trials}");
+    }
+
+    #[test]
+    fn cost_scales_as_inverse_c() {
+        let run = |c: f64| {
+            let mut net = fresh_net(16, 5);
+            let mut oracle = ProbeOracle { owner: 0, marked: vec![1, 2], domain: (1..16).collect() };
+            distributed_approx_count(&mut net, 0, &mut oracle, c, 0.1).unwrap();
+            net.metrics().quantum_messages
+        };
+        let coarse = run(0.5);
+        let fine = run(0.05);
+        let ratio = fine as f64 / coarse as f64;
+        assert!(ratio > 7.0 && ratio < 13.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn counting_zero_marked_estimates_near_zero() {
+        let mut net = fresh_net(32, 2);
+        let mut oracle = ProbeOracle { owner: 0, marked: vec![], domain: (1..32).collect() };
+        let out = distributed_approx_count(&mut net, 0, &mut oracle, 0.1, 0.05).unwrap();
+        assert!(out.estimate <= 0.1 * 31.0, "estimate = {}", out.estimate);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut net = fresh_net(8, 3);
+        let mut oracle = ProbeOracle { owner: 0, marked: vec![1], domain: (1..8).collect() };
+        assert!(distributed_approx_count(&mut net, 0, &mut oracle, 0.0, 0.1).is_err());
+        assert!(distributed_approx_count(&mut net, 0, &mut oracle, 0.1, 0.0).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! The distributed Grover search primitive `GroverSearch(ε, α)`
+//! (Theorem 4.1).
+
+use congest_net::{Network, NodeId, Payload};
+use quantum_sim::grover::GroverSearchSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Error;
+use crate::framework::oracle::CheckingOracle;
+
+/// The result of one distributed Grover search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroverSearchOutcome<T> {
+    /// The marked element returned to the owner, if the search succeeded.
+    pub found: Option<T>,
+    /// Number of `Checking` executions charged (compute + uncompute per
+    /// Grover iteration, over all attempts).
+    pub checking_executions: u64,
+    /// Rounds consumed by this search (as measured on the network).
+    pub rounds: u64,
+}
+
+/// Runs `GroverSearch(ε, α)` for the node `owner` over the `Checking`
+/// procedure described by `oracle`.
+///
+/// The iteration schedule follows Theorem 4.1: `⌈log₂(1/α)⌉` BBHT passes of
+/// `O(1/√ε)` Grover iterations each. Every iteration applies
+/// `Checking⁻¹ · PF · Checking`, so the oracle's distributed procedure is
+/// executed twice per iteration inside a quantum scope (its messages are
+/// charged to the quantum meter under the max-over-superposed-configurations
+/// rule). The whole schedule always runs to completion — the network cannot
+/// be told to stop early without desynchronising (Definition 4.1) — so the
+/// cost is deterministic while the outcome is sampled from the exact Grover
+/// success law.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for out-of-range `epsilon`/`alpha` and
+/// propagates network errors raised by the oracle.
+pub fn distributed_grover_search<M, O>(
+    net: &mut Network<M>,
+    owner: NodeId,
+    oracle: &mut O,
+    epsilon: f64,
+    alpha: f64,
+) -> Result<GroverSearchOutcome<O::Item>, Error>
+where
+    M: Payload,
+    O: CheckingOracle<M>,
+{
+    let spec = GroverSearchSpec::new(epsilon, alpha).map_err(|e| Error::InvalidConfig {
+        name: "grover_search",
+        reason: e.to_string(),
+    })?;
+    let mut rng = StdRng::seed_from_u64(net.rng(owner).gen());
+    let rounds_before = net.metrics().rounds;
+    let iterations = spec.total_oracle_calls();
+    for _ in 0..iterations {
+        let representative = oracle.sample_input(&mut rng);
+        net.quantum_scope(|net| -> Result<(), Error> {
+            // Checking, then its inverse to uncompute (Lemma 3.1): same cost.
+            oracle.check(net, &representative)?;
+            oracle.check(net, &representative)?;
+            Ok(())
+        })?;
+    }
+    let found = if spec.sample_outcome(oracle.marked_fraction(), &mut rng) {
+        oracle.sample_marked(&mut rng)
+    } else {
+        None
+    };
+    Ok(GroverSearchOutcome {
+        found,
+        checking_executions: 2 * iterations,
+        rounds: net.metrics().rounds - rounds_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::oracle::test_support::ProbeOracle;
+    use congest_net::{topology, NetworkConfig};
+
+    fn fresh_net(n: usize, seed: u64) -> Network<u64> {
+        Network::new(topology::complete(n).unwrap(), NetworkConfig::with_seed(seed))
+    }
+
+    #[test]
+    fn empty_preimage_never_finds_anything() {
+        for seed in 0..10 {
+            let mut net = fresh_net(16, seed);
+            let mut oracle = ProbeOracle { owner: 0, marked: vec![], domain: (1..16).collect() };
+            let out = distributed_grover_search(&mut net, 0, &mut oracle, 0.25, 0.1).unwrap();
+            assert!(out.found.is_none());
+        }
+    }
+
+    #[test]
+    fn promised_fraction_finds_marked_with_high_probability() {
+        let mut hits = 0;
+        let trials = 40;
+        for seed in 0..trials {
+            let mut net = fresh_net(32, seed);
+            let marked: Vec<usize> = (1..9).collect(); // fraction 8/31 >= 0.2
+            let mut oracle = ProbeOracle { owner: 0, marked: marked.clone(), domain: (1..32).collect() };
+            let out = distributed_grover_search(&mut net, 0, &mut oracle, 0.2, 1.0 / 64.0).unwrap();
+            if let Some(found) = out.found {
+                assert!(marked.contains(&found));
+                hits += 1;
+            }
+        }
+        assert!(hits >= trials - 2, "hits = {hits}/{trials}");
+    }
+
+    #[test]
+    fn cost_is_deterministic_and_matches_schedule() {
+        let spec = GroverSearchSpec::new(0.25, 0.1).unwrap();
+        let expected_checks = 2 * spec.total_oracle_calls();
+        for seed in [1, 2, 3] {
+            let mut net = fresh_net(16, seed);
+            let mut oracle = ProbeOracle { owner: 0, marked: vec![5], domain: (1..16).collect() };
+            let out = distributed_grover_search(&mut net, 0, &mut oracle, 0.25, 0.1).unwrap();
+            assert_eq!(out.checking_executions, expected_checks);
+            // ProbeOracle: 2 messages and 2 rounds per checking execution.
+            assert_eq!(net.metrics().quantum_messages, 2 * expected_checks);
+            assert_eq!(net.metrics().classical_messages, 0);
+            assert_eq!(out.rounds, 2 * expected_checks);
+        }
+    }
+
+    #[test]
+    fn messages_scale_as_inverse_sqrt_epsilon() {
+        let run = |epsilon: f64| {
+            let mut net = fresh_net(8, 3);
+            let mut oracle = ProbeOracle { owner: 0, marked: vec![1], domain: (1..8).collect() };
+            distributed_grover_search(&mut net, 0, &mut oracle, epsilon, 0.1).unwrap();
+            net.metrics().quantum_messages
+        };
+        // Quartering ε should roughly double the message cost; the BBHT stage
+        // constants drift a little between small caps, hence the slack.
+        let coarse = run(1.0 / 256.0);
+        let fine = run(1.0 / 4096.0);
+        let ratio = fine as f64 / coarse as f64;
+        assert!(ratio > 2.5 && ratio < 6.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut net = fresh_net(8, 3);
+        let mut oracle = ProbeOracle { owner: 0, marked: vec![1], domain: (1..8).collect() };
+        assert!(distributed_grover_search(&mut net, 0, &mut oracle, 0.0, 0.1).is_err());
+        assert!(distributed_grover_search(&mut net, 0, &mut oracle, 0.5, 1.5).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! The distributed quantum subroutine framework of Section 4.
+//!
+//! The paper's protocols are built from three primitives, each owned by a
+//! node `u` and parameterised by a distributed `Checking` procedure that lets
+//! `u` evaluate a function `f : X → {0, 1}` by exchanging messages:
+//!
+//! * [`distributed_grover_search`](grover::distributed_grover_search) —
+//!   `GroverSearch(ε, α)` (Theorem 4.1),
+//! * [`distributed_approx_count`](counting::distributed_approx_count) —
+//!   `ApproxCount(c, α)` (Corollary 4.3),
+//! * [`distributed_walk_search`](walksearch::distributed_walk_search) —
+//!   `WalkSearch(P, δ, ε, α)` (Theorem 4.4).
+//!
+//! A protocol supplies the `Checking` (and, for walk search, `Setup` and
+//! `Update`) procedures by implementing [`CheckingOracle`] /
+//! [`WalkOracle`](walksearch::WalkOracle); the framework drives the
+//! iteration schedule of the corresponding quantum algorithm, executing the
+//! procedures on the live network inside a
+//! [`quantum scope`](congest_net::Network::quantum_scope) so that their
+//! traffic is charged per the superposed-configuration rule of Section 3.1,
+//! and finally samples the primitive's outcome from the exact quantum law
+//! implemented in the `quantum-sim` crate.
+//!
+//! The `Checking` procedure may itself be *decentralized* (nodes act without
+//! being asked, relying on global synchronisation — Section 4.1); the
+//! framework is agnostic: whatever traffic the oracle generates is charged.
+
+pub mod counting;
+pub mod grover;
+pub mod oracle;
+pub mod walksearch;
+
+pub use counting::{distributed_approx_count, ApproxCountOutcome};
+pub use grover::{distributed_grover_search, GroverSearchOutcome};
+pub use oracle::CheckingOracle;
+pub use walksearch::{distributed_walk_search, WalkOracle, WalkSearchOutcome};

@@ -1,0 +1,145 @@
+//! The `Checking` oracle abstraction shared by all three distributed quantum
+//! primitives (Section 4.2).
+
+use congest_net::{Network, Payload};
+use rand::rngs::StdRng;
+
+use crate::error::Error;
+
+/// A distributed `Checking` procedure for a function `f : X → {0, 1}` owned
+/// by some node `u`.
+///
+/// The simulator needs four things from the protocol:
+///
+/// * [`check`](CheckingOracle::check) — execute the distributed procedure for
+///   one input, exchanging real messages on the network (this is what gets
+///   charged, once per Grover/counting iteration for the *representative*
+///   superposition branch, plus once more for the uncomputation
+///   `Checking⁻¹`);
+/// * [`sample_input`](CheckingOracle::sample_input) — draw the representative
+///   input for an iteration (uniform over the domain, like the uniform
+///   superposition the real algorithm holds);
+/// * [`domain_size`](CheckingOracle::domain_size) and
+///   [`marked_count`](CheckingOracle::marked_count) — the quantities
+///   `|X|` and `t_f = |f⁻¹(1)|` that determine the exact outcome law of the
+///   quantum primitive (known to the simulator, *not* to the node);
+/// * [`sample_marked`](CheckingOracle::sample_marked) — draw a uniformly
+///   random marked input, returned to the owner when the primitive succeeds.
+pub trait CheckingOracle<M: Payload> {
+    /// The type of inputs `x ∈ X`.
+    type Item: Clone;
+
+    /// Executes the distributed `Checking` procedure for `input`, sending its
+    /// messages on `net` and advancing rounds as the real procedure would.
+    /// Returns `f(input)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors, which indicate a protocol bug.
+    fn check(&mut self, net: &mut Network<M>, input: &Self::Item) -> Result<bool, Error>;
+
+    /// Samples a uniform element of the domain `X`.
+    fn sample_input(&mut self, rng: &mut StdRng) -> Self::Item;
+
+    /// The domain size `|X|`.
+    fn domain_size(&self) -> u64;
+
+    /// The number of marked inputs `t_f = |f⁻¹(1)|`.
+    fn marked_count(&self) -> u64;
+
+    /// Samples a uniformly random marked input, or `None` if nothing is
+    /// marked.
+    fn sample_marked(&mut self, rng: &mut StdRng) -> Option<Self::Item>;
+
+    /// The marked fraction `ε_f = t_f / |X|`.
+    fn marked_fraction(&self) -> f64 {
+        if self.domain_size() == 0 {
+            0.0
+        } else {
+            self.marked_count() as f64 / self.domain_size() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A reference oracle over an explicit marked set, used by the framework
+    //! unit tests: `Checking` costs exactly two messages and two rounds
+    //! (query and reply between the owner and the probed node), like the
+    //! `Checking_v` of Algorithm 1.
+
+    use congest_net::NodeId;
+
+    use super::*;
+
+    #[derive(Debug)]
+    pub(crate) struct ProbeOracle {
+        pub(crate) owner: NodeId,
+        pub(crate) marked: Vec<NodeId>,
+        pub(crate) domain: Vec<NodeId>,
+    }
+
+    impl CheckingOracle<u64> for ProbeOracle {
+        type Item = NodeId;
+
+        fn check(&mut self, net: &mut Network<u64>, input: &NodeId) -> Result<bool, Error> {
+            net.send(self.owner, *input, 1)?;
+            net.advance_round();
+            let answer = self.marked.contains(input);
+            net.send(*input, self.owner, u64::from(answer))?;
+            net.advance_round();
+            Ok(answer)
+        }
+
+        fn sample_input(&mut self, rng: &mut StdRng) -> NodeId {
+            use rand::Rng;
+            self.domain[rng.gen_range(0..self.domain.len())]
+        }
+
+        fn domain_size(&self) -> u64 {
+            self.domain.len() as u64
+        }
+
+        fn marked_count(&self) -> u64 {
+            self.marked.len() as u64
+        }
+
+        fn sample_marked(&mut self, rng: &mut StdRng) -> Option<NodeId> {
+            use rand::Rng;
+            if self.marked.is_empty() {
+                None
+            } else {
+                Some(self.marked[rng.gen_range(0..self.marked.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::ProbeOracle;
+    use super::*;
+    use congest_net::{topology, NetworkConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn marked_fraction_is_ratio() {
+        let oracle = ProbeOracle { owner: 0, marked: vec![1, 2], domain: (0..8).collect() };
+        assert!((oracle.marked_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_oracle_charges_two_messages_and_two_rounds() {
+        let graph = topology::complete(8).unwrap();
+        let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(1));
+        let mut oracle = ProbeOracle { owner: 0, marked: vec![3], domain: (1..8).collect() };
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(oracle.check(&mut net, &3).unwrap());
+        assert!(!oracle.check(&mut net, &4).unwrap());
+        assert_eq!(net.metrics().total_messages(), 4);
+        assert_eq!(net.metrics().rounds, 4);
+        let sampled = oracle.sample_input(&mut rng);
+        assert!(oracle.domain_size() >= 1 && (1..8).contains(&sampled));
+        assert_eq!(oracle.sample_marked(&mut rng), Some(3));
+    }
+}

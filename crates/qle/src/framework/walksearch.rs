@@ -1,0 +1,273 @@
+//! The distributed search-via-quantum-walk primitive `WalkSearch(P, δ, ε, α)`
+//! (Theorem 4.4), in the MNRS framework.
+
+use congest_net::{Network, NodeId, Payload};
+use quantum_sim::walk::WalkSearchSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Error;
+use crate::framework::oracle::CheckingOracle;
+
+/// A `Checking` oracle extended with the `Setup` and `Update` procedures of
+/// the MNRS framework (Section 4.5): the walk maintains a *distributed
+/// database* (in `QuantumQWLE`, the set of referees currently holding the
+/// active candidate's rank), which `Setup` initialises for a walk vertex and
+/// `Update` adjusts when the walk moves to an adjacent vertex.
+pub trait WalkOracle<M: Payload>: CheckingOracle<M> {
+    /// Executes the distributed `Setup` procedure for `vertex`, charging its
+    /// messages and rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors, which indicate a protocol bug.
+    fn setup(&mut self, net: &mut Network<M>, vertex: &Self::Item) -> Result<(), Error>;
+
+    /// Executes the distributed `Update` procedure for one step of the walk
+    /// out of `vertex`, charging its messages and rounds, and returns the new
+    /// vertex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors, which indicate a protocol bug.
+    fn update(
+        &mut self,
+        net: &mut Network<M>,
+        vertex: &Self::Item,
+        rng: &mut StdRng,
+    ) -> Result<Self::Item, Error>;
+
+    /// The spectral gap `δ` of the walk.
+    fn spectral_gap(&self) -> f64;
+}
+
+/// The result of one distributed walk search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkSearchOutcome<T> {
+    /// The marked vertex returned to the owner, if the search succeeded.
+    pub found: Option<T>,
+    /// Number of `Setup` executions charged.
+    pub setup_executions: u64,
+    /// Number of `Update` executions charged.
+    pub update_executions: u64,
+    /// Number of `Checking` executions charged.
+    pub checking_executions: u64,
+    /// Rounds consumed by the search (as measured on the network).
+    pub rounds: u64,
+}
+
+/// Runs `WalkSearch(P, δ, ε, α)` for the node `owner`.
+///
+/// The invocation schedule follows Theorem 4.4: per attempt, one `Setup`,
+/// then `⌈1/√ε⌉` phases of `⌈1/√δ⌉` `Update`s followed by one
+/// `Checking⁻¹ · PF · Checking` sandwich; `⌈log(1/α)⌉`-ish attempts in total
+/// (see `quantum_sim::walk::WalkSearchSpec`). All procedure executions happen
+/// inside a quantum scope on the live network; the outcome follows the MNRS
+/// success law with the oracle's true marked fraction.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for out-of-range parameters and
+/// propagates network errors raised by the oracle.
+pub fn distributed_walk_search<M, O>(
+    net: &mut Network<M>,
+    owner: NodeId,
+    oracle: &mut O,
+    epsilon: f64,
+    alpha: f64,
+) -> Result<WalkSearchOutcome<O::Item>, Error>
+where
+    M: Payload,
+    O: WalkOracle<M>,
+{
+    let spec = WalkSearchSpec::new(oracle.spectral_gap(), epsilon, alpha).map_err(|e| {
+        Error::InvalidConfig { name: "walk_search", reason: e.to_string() }
+    })?;
+    let mut rng = StdRng::seed_from_u64(net.rng(owner).gen());
+    let rounds_before = net.metrics().rounds;
+    let mut setups = 0u64;
+    let mut updates = 0u64;
+    let mut checks = 0u64;
+    for _ in 0..spec.attempts() {
+        // Setup on a stationary (uniform) representative vertex.
+        let mut vertex = oracle.sample_input(&mut rng);
+        net.quantum_scope(|net| oracle.setup(net, &vertex))?;
+        setups += 1;
+        for _ in 0..spec.phases_per_attempt() {
+            for _ in 0..spec.updates_per_phase() {
+                vertex = net.quantum_scope(|net| oracle.update(net, &vertex, &mut rng))?;
+                updates += 1;
+            }
+            net.quantum_scope(|net| -> Result<(), Error> {
+                oracle.check(net, &vertex)?;
+                oracle.check(net, &vertex)?;
+                Ok(())
+            })?;
+            checks += 1;
+        }
+    }
+    let found = if spec.sample_outcome(oracle.marked_fraction(), &mut rng) {
+        oracle.sample_marked(&mut rng)
+    } else {
+        None
+    };
+    Ok(WalkSearchOutcome {
+        found,
+        setup_executions: setups,
+        update_executions: updates,
+        checking_executions: 2 * checks,
+        rounds: net.metrics().rounds - rounds_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_net::{topology, NetworkConfig};
+    use quantum_sim::johnson::JohnsonGraph;
+
+    /// A toy walk oracle over the Johnson graph J(universe, k) of subsets of
+    /// the owner's neighbours on a star graph: Setup sends the owner's token
+    /// to every subset member, Update swaps one member, Checking asks one
+    /// subset member whether it is marked.
+    #[derive(Debug)]
+    struct SubsetOracle {
+        owner: NodeId,
+        johnson: JohnsonGraph,
+        neighbors: Vec<NodeId>,
+        marked_neighbors: Vec<NodeId>,
+    }
+
+    impl SubsetOracle {
+        fn marked_subset_fraction(&self) -> f64 {
+            // Fraction of k-subsets containing at least one marked neighbour:
+            // 1 - C(n - m, k)/C(n, k), computed as a product to avoid overflow.
+            let n = self.neighbors.len() as f64;
+            let m = self.marked_neighbors.len() as f64;
+            let mut none = 1.0;
+            for i in 0..self.johnson.subset_size() {
+                none *= ((n - m - i as f64) / (n - i as f64)).max(0.0);
+            }
+            1.0 - none
+        }
+    }
+
+    impl CheckingOracle<u64> for SubsetOracle {
+        type Item = Vec<usize>;
+
+        fn check(&mut self, net: &mut Network<u64>, subset: &Vec<usize>) -> Result<bool, Error> {
+            // Ask the first subset member (representative traffic), then
+            // evaluate f exactly from global knowledge.
+            let probe = self.neighbors[subset[0]];
+            net.send(self.owner, probe, 7)?;
+            net.advance_round();
+            net.send(probe, self.owner, 1)?;
+            net.advance_round();
+            Ok(subset.iter().any(|&i| self.marked_neighbors.contains(&self.neighbors[i])))
+        }
+
+        fn sample_input(&mut self, rng: &mut StdRng) -> Vec<usize> {
+            self.johnson.random_subset(rng)
+        }
+
+        fn domain_size(&self) -> u64 {
+            self.johnson.vertex_count().min(u64::MAX as u128) as u64
+        }
+
+        fn marked_count(&self) -> u64 {
+            (self.marked_subset_fraction() * self.domain_size() as f64).round() as u64
+        }
+
+        fn sample_marked(&mut self, rng: &mut StdRng) -> Option<Vec<usize>> {
+            if self.marked_neighbors.is_empty() {
+                return None;
+            }
+            // Rejection-sample a subset containing a marked neighbour.
+            for _ in 0..1000 {
+                let s = self.johnson.random_subset(rng);
+                if s.iter().any(|&i| self.marked_neighbors.contains(&self.neighbors[i])) {
+                    return Some(s);
+                }
+            }
+            None
+        }
+
+        fn marked_fraction(&self) -> f64 {
+            self.marked_subset_fraction()
+        }
+    }
+
+    impl WalkOracle<u64> for SubsetOracle {
+        fn setup(&mut self, net: &mut Network<u64>, subset: &Vec<usize>) -> Result<(), Error> {
+            for &i in subset {
+                net.send(self.owner, self.neighbors[i], 3)?;
+            }
+            net.advance_round();
+            Ok(())
+        }
+
+        fn update(
+            &mut self,
+            net: &mut Network<u64>,
+            subset: &Vec<usize>,
+            rng: &mut StdRng,
+        ) -> Result<Vec<usize>, Error> {
+            let (next, leave, join) = self.johnson.random_neighbor(subset, rng).map_err(Error::from)?;
+            net.send(self.owner, self.neighbors[leave], 4)?;
+            net.send(self.owner, self.neighbors[join], 3)?;
+            net.advance_round();
+            Ok(next)
+        }
+
+        fn spectral_gap(&self) -> f64 {
+            self.johnson.spectral_gap()
+        }
+    }
+
+    fn star_oracle(n: usize, k: usize, marked: Vec<NodeId>) -> (Network<u64>, SubsetOracle) {
+        let net = Network::new(topology::star(n).unwrap(), NetworkConfig::with_seed(13));
+        let neighbors: Vec<NodeId> = (1..n).collect();
+        let johnson = JohnsonGraph::new(neighbors.len(), k).unwrap();
+        (net, SubsetOracle { owner: 0, johnson, neighbors, marked_neighbors: marked })
+    }
+
+    #[test]
+    fn walk_search_finds_marked_subsets() {
+        let mut hits = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let (mut net, mut oracle) = star_oracle(33, 4, (1..9).collect());
+            let epsilon = oracle.marked_fraction() * 0.8;
+            let out = distributed_walk_search(&mut net, 0, &mut oracle, epsilon, 0.05).unwrap();
+            if let Some(subset) = out.found {
+                assert!(subset.iter().any(|&i| (1..9).contains(&oracle.neighbors[i])));
+                hits += 1;
+            }
+        }
+        assert!(hits >= trials - 1, "hits = {hits}/{trials}");
+    }
+
+    #[test]
+    fn walk_search_with_nothing_marked_finds_nothing() {
+        let (mut net, mut oracle) = star_oracle(17, 3, vec![]);
+        let out = distributed_walk_search(&mut net, 0, &mut oracle, 0.3, 0.1).unwrap();
+        assert!(out.found.is_none());
+        // Cost is still charged: setups, updates, checks all ran.
+        assert!(out.setup_executions >= 1);
+        assert!(out.update_executions > 0);
+        assert!(net.metrics().quantum_messages > 0);
+    }
+
+    #[test]
+    fn invocation_counts_match_the_mnrs_budget() {
+        let (mut net, mut oracle) = star_oracle(33, 4, vec![1]);
+        let epsilon = 0.1;
+        let alpha = 0.05;
+        let spec = WalkSearchSpec::new(oracle.spectral_gap(), epsilon, alpha).unwrap();
+        let budget = spec.budget();
+        let out = distributed_walk_search(&mut net, 0, &mut oracle, epsilon, alpha).unwrap();
+        assert_eq!(out.setup_executions, budget.setup_calls);
+        assert_eq!(out.update_executions, budget.update_calls);
+        assert_eq!(out.checking_executions, 2 * budget.checking_calls);
+    }
+}

@@ -1,0 +1,43 @@
+//! Protocol traits: the public interface shared by the quantum protocols of
+//! this crate and the classical baselines of `classical-baselines`.
+
+use congest_net::Graph;
+
+use crate::error::Error;
+use crate::report::{AgreementRun, LeaderElectionRun};
+
+/// A (randomized or quantum) implicit leader-election protocol.
+///
+/// `run` executes one simulation of the protocol over `graph`, with all
+/// randomness derived from `seed`, and returns the outcome together with the
+/// measured message and round complexity.
+pub trait LeaderElection {
+    /// A short human-readable protocol name used in reports and experiment
+    /// tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the protocol once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph violates the protocol's topology
+    /// requirements, if the configuration is invalid, or if the simulation
+    /// encounters a network error (which indicates a protocol bug).
+    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error>;
+}
+
+/// A (randomized or quantum) implicit agreement protocol.
+pub trait Agreement {
+    /// A short human-readable protocol name used in reports and experiment
+    /// tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the protocol once with the given per-node binary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs.len()` does not match the node count, if
+    /// the graph violates the protocol's topology requirements, or if the
+    /// simulation encounters a network error.
+    fn run(&self, graph: &Graph, inputs: &[bool], seed: u64) -> Result<AgreementRun, Error>;
+}

@@ -1,0 +1,103 @@
+//! Run reports: the measured costs and outcomes of one protocol execution.
+
+use congest_net::Metrics;
+
+use crate::problems::{AgreementOutcome, LeaderElectionOutcome};
+
+/// The measured cost of one protocol execution.
+///
+/// `metrics` carries the network's raw counters (message totals are additive
+/// over all nodes, as the paper's message complexity is). `effective_rounds`
+/// is the protocol's own estimate of the parallel round complexity: the
+/// simulator executes logically-parallel branches (e.g. the per-candidate
+/// Grover searches of `QuantumLE`, which use disjoint edges) one after the
+/// other, so the raw `metrics.rounds` counter over-counts rounds and the
+/// protocol reports the maximum over parallel branches here instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostSummary {
+    /// Raw network counters (messages, bits, raw sequential rounds).
+    pub metrics: Metrics,
+    /// Parallel round complexity as defined by the paper (Definition 4.1).
+    pub effective_rounds: u64,
+}
+
+impl CostSummary {
+    /// Total messages, classical plus quantum.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.metrics.total_messages()
+    }
+}
+
+/// The result of running a leader-election protocol once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderElectionRun {
+    /// Name of the protocol that produced this run.
+    pub protocol: String,
+    /// Number of nodes in the network.
+    pub nodes: usize,
+    /// Number of edges in the network.
+    pub edges: usize,
+    /// The final statuses.
+    pub outcome: LeaderElectionOutcome,
+    /// The measured cost.
+    pub cost: CostSummary,
+}
+
+impl LeaderElectionRun {
+    /// Whether the run solved leader election.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_valid()
+    }
+}
+
+/// The result of running an agreement protocol once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementRun {
+    /// Name of the protocol that produced this run.
+    pub protocol: String,
+    /// Number of nodes in the network.
+    pub nodes: usize,
+    /// The inputs and final decisions.
+    pub outcome: AgreementOutcome,
+    /// The measured cost.
+    pub cost: CostSummary,
+}
+
+impl AgreementRun {
+    /// Whether the run solved implicit agreement.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::NodeStatus;
+
+    #[test]
+    fn cost_summary_totals() {
+        let cost = CostSummary {
+            metrics: Metrics { classical_messages: 5, quantum_messages: 7, ..Metrics::default() },
+            effective_rounds: 3,
+        };
+        assert_eq!(cost.total_messages(), 12);
+    }
+
+    #[test]
+    fn run_success_delegates_to_outcome() {
+        let mut statuses = vec![NodeStatus::NonElected; 4];
+        statuses[0] = NodeStatus::Elected;
+        let run = LeaderElectionRun {
+            protocol: "test".into(),
+            nodes: 4,
+            edges: 6,
+            outcome: LeaderElectionOutcome::new(statuses),
+            cost: CostSummary::default(),
+        };
+        assert!(run.succeeded());
+    }
+}

@@ -1,0 +1,345 @@
+//! The star-graph worked example of Appendix B.2: distributed search and
+//! counting from the centre of a star.
+//!
+//! The centre node `u` of an `(n+1)`-node star wants to find a leaf whose
+//! input bit is 1 (*Searching*) or to estimate the number of such leaves
+//! (*Counting*). Classically both cost `Θ(n)` respectively `Θ(1/ε²)`
+//! messages; with the distributed quantum subroutines of Section 4 they cost
+//! `O(√n)` (or `O(√(n·k))` with `k`-leaf buckets, trading rounds for
+//! messages) and `O(1/ε)` messages. These routines are the smallest complete
+//! end-to-end use of the framework and drive experiments E7 and E8.
+
+use congest_net::{topology, Network, NetworkConfig, NodeId, Payload};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::Error;
+use crate::framework::{distributed_approx_count, distributed_grover_search, CheckingOracle};
+
+/// Messages exchanged by the star-graph examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StarMessage {
+    /// The centre's query to a leaf (or to the first leaf of a bucket).
+    Query,
+    /// A leaf's one-bit reply.
+    Reply(bool),
+}
+
+impl Payload for StarMessage {
+    fn size_bits(&self) -> usize {
+        match self {
+            StarMessage::Query => 8,
+            StarMessage::Reply(_) => 2,
+        }
+    }
+}
+
+/// The result of one star-graph experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarRunReport {
+    /// Whether the search found a marked leaf (searching) — always `true` for
+    /// counting runs.
+    pub found: bool,
+    /// The counting estimate, rounded (0 for searching runs).
+    pub estimate: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total rounds elapsed.
+    pub rounds: u64,
+}
+
+/// A `Checking` oracle over buckets of `bucket_size` leaves: the centre asks
+/// every leaf of the bucket and ORs the replies (`2·bucket_size` messages per
+/// check), exactly the bucketed trade-off described in Appendix B.2.
+struct BucketOracle<'a> {
+    buckets: Vec<Vec<NodeId>>,
+    inputs: &'a [bool],
+    marked_buckets: Vec<usize>,
+}
+
+impl<'a> BucketOracle<'a> {
+    fn new(leaves: &[NodeId], inputs: &'a [bool], bucket_size: usize) -> Self {
+        let buckets: Vec<Vec<NodeId>> =
+            leaves.chunks(bucket_size.max(1)).map(<[NodeId]>::to_vec).collect();
+        let marked_buckets = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| bucket.iter().any(|&leaf| inputs[leaf - 1]))
+            .map(|(i, _)| i)
+            .collect();
+        BucketOracle { buckets, inputs, marked_buckets }
+    }
+}
+
+impl CheckingOracle<StarMessage> for BucketOracle<'_> {
+    type Item = usize;
+
+    fn check(&mut self, net: &mut Network<StarMessage>, bucket: &usize) -> Result<bool, Error> {
+        let mut any = false;
+        for &leaf in &self.buckets[*bucket] {
+            net.send(0, leaf, StarMessage::Query)?;
+        }
+        net.advance_round();
+        for &leaf in &self.buckets[*bucket] {
+            let bit = self.inputs[leaf - 1];
+            any |= bit;
+            net.send(leaf, 0, StarMessage::Reply(bit))?;
+        }
+        net.advance_round();
+        Ok(any)
+    }
+
+    fn sample_input(&mut self, rng: &mut StdRng) -> usize {
+        rng.gen_range(0..self.buckets.len())
+    }
+
+    fn domain_size(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    fn marked_count(&self) -> u64 {
+        self.marked_buckets.len() as u64
+    }
+
+    fn sample_marked(&mut self, rng: &mut StdRng) -> Option<usize> {
+        if self.marked_buckets.is_empty() {
+            None
+        } else {
+            Some(self.marked_buckets[rng.gen_range(0..self.marked_buckets.len())])
+        }
+    }
+}
+
+fn star_network(inputs: &[bool], seed: u64) -> Result<(Network<StarMessage>, Vec<NodeId>), Error> {
+    let n = inputs.len();
+    let graph = topology::star(n + 1)?;
+    let net = Network::new(graph, NetworkConfig::with_seed(seed));
+    Ok((net, (1..=n).collect()))
+}
+
+/// Quantum searching on a star (Appendix B.2, *Searching*): the centre finds
+/// a leaf with input 1, if any, with failure probability at most `alpha`,
+/// using `O(√(n/bucket_size) · bucket_size · log(1/α)) = O(√(n·bucket_size))`
+/// messages.
+///
+/// # Errors
+///
+/// Returns an error if `inputs` is empty or the parameters are out of range.
+pub fn quantum_star_search(
+    inputs: &[bool],
+    bucket_size: usize,
+    alpha: f64,
+    seed: u64,
+) -> Result<StarRunReport, Error> {
+    if inputs.is_empty() {
+        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+    }
+    let (mut net, leaves) = star_network(inputs, seed)?;
+    let mut oracle = BucketOracle::new(&leaves, inputs, bucket_size);
+    let epsilon = 1.0 / oracle.domain_size() as f64;
+    let outcome = distributed_grover_search(&mut net, 0, &mut oracle, epsilon, alpha)?;
+    Ok(StarRunReport {
+        found: outcome.found.is_some(),
+        estimate: 0,
+        messages: net.metrics().total_messages(),
+        rounds: net.metrics().rounds,
+    })
+}
+
+/// Classical searching baseline: the centre queries every leaf (`2n` messages,
+/// 2 rounds), the `Θ(n)` cost quoted in Appendix B.2.
+///
+/// # Errors
+///
+/// Returns an error if `inputs` is empty.
+pub fn classical_star_search(inputs: &[bool], seed: u64) -> Result<StarRunReport, Error> {
+    if inputs.is_empty() {
+        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+    }
+    let (mut net, leaves) = star_network(inputs, seed)?;
+    for &leaf in &leaves {
+        net.send(0, leaf, StarMessage::Query)?;
+    }
+    net.advance_round();
+    let mut found = false;
+    for &leaf in &leaves {
+        let bit = inputs[leaf - 1];
+        found |= bit;
+        net.send(leaf, 0, StarMessage::Reply(bit))?;
+    }
+    net.advance_round();
+    Ok(StarRunReport {
+        found,
+        estimate: 0,
+        messages: net.metrics().total_messages(),
+        rounds: net.metrics().rounds,
+    })
+}
+
+/// Quantum counting on a star (Appendix B.2, *Counting*): the centre
+/// estimates the number of leaves with input 1 to additive error
+/// `epsilon · n` using `O(log(1/α)/ε)` messages.
+///
+/// # Errors
+///
+/// Returns an error if `inputs` is empty or the parameters are out of range.
+pub fn quantum_star_count(
+    inputs: &[bool],
+    epsilon: f64,
+    alpha: f64,
+    seed: u64,
+) -> Result<StarRunReport, Error> {
+    if inputs.is_empty() {
+        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+    }
+    let (mut net, leaves) = star_network(inputs, seed)?;
+    let mut oracle = BucketOracle::new(&leaves, inputs, 1);
+    let outcome = distributed_approx_count(&mut net, 0, &mut oracle, epsilon, alpha)?;
+    Ok(StarRunReport {
+        found: true,
+        estimate: outcome.estimate.round() as u64,
+        messages: net.metrics().total_messages(),
+        rounds: net.metrics().rounds,
+    })
+}
+
+/// Classical counting baseline: the centre samples `⌈1/ε²⌉` random leaves and
+/// scales the observed frequency — the `Θ(1/ε²)` sampling cost quoted in
+/// Appendix B.2.
+///
+/// # Errors
+///
+/// Returns an error if `inputs` is empty or `epsilon` is out of range.
+pub fn classical_star_count(inputs: &[bool], epsilon: f64, seed: u64) -> Result<StarRunReport, Error> {
+    if inputs.is_empty() {
+        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+    }
+    if !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(Error::InvalidConfig { name: "epsilon", reason: format!("must be in (0, 1], got {epsilon}") });
+    }
+    let (mut net, leaves) = star_network(inputs, seed)?;
+    let samples = (1.0 / (epsilon * epsilon)).ceil() as usize;
+    let mut ones = 0u64;
+    for _ in 0..samples {
+        let leaf = leaves[net.rng(0).gen_range(0..leaves.len())];
+        net.send(0, leaf, StarMessage::Query)?;
+        net.advance_round();
+        let bit = inputs[leaf - 1];
+        net.send(leaf, 0, StarMessage::Reply(bit))?;
+        net.advance_round();
+        ones += u64::from(bit);
+    }
+    let estimate = (ones as f64 / samples as f64 * inputs.len() as f64).round() as u64;
+    Ok(StarRunReport {
+        found: true,
+        estimate,
+        messages: net.metrics().total_messages(),
+        rounds: net.metrics().rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs_with_ones(n: usize, ones: usize) -> Vec<bool> {
+        (0..n).map(|i| i < ones).collect()
+    }
+
+    #[test]
+    fn quantum_search_finds_marked_leaf() {
+        let inputs = inputs_with_ones(512, 1);
+        let quantum = quantum_star_search(&inputs, 1, 0.05, 3).unwrap();
+        let classical = classical_star_search(&inputs, 3).unwrap();
+        assert!(classical.found);
+        assert!(quantum.found);
+        assert_eq!(classical.messages, 2 * 512);
+    }
+
+    #[test]
+    fn quantum_search_beats_classical_in_absolute_terms_at_large_n() {
+        // The O(√n) vs Θ(n) separation: the amplification constants of the
+        // quantum search are paid off once n is large enough (here the star
+        // has 16384 leaves, one of which is marked).
+        let inputs = inputs_with_ones(16_384, 1);
+        let quantum = quantum_star_search(&inputs, 1, 0.05, 3).unwrap();
+        let classical = classical_star_search(&inputs, 3).unwrap();
+        assert!(quantum.found);
+        assert!(
+            quantum.messages < classical.messages / 2,
+            "quantum = {}, classical = {}",
+            quantum.messages,
+            classical.messages
+        );
+    }
+
+    #[test]
+    fn quantum_search_messages_scale_as_sqrt_n() {
+        let measure = |n: usize| quantum_star_search(&inputs_with_ones(n, 1), 1, 0.1, 2).unwrap().messages as f64;
+        let ratio = measure(4096) / measure(256);
+        // 16x more leaves should cost about 4x more messages.
+        assert!(ratio > 2.5 && ratio < 6.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn quantum_search_reports_absence_correctly() {
+        let inputs = inputs_with_ones(64, 0);
+        let report = quantum_star_search(&inputs, 1, 0.05, 1).unwrap();
+        assert!(!report.found);
+    }
+
+    #[test]
+    fn bucketing_trades_messages_for_rounds() {
+        let inputs = inputs_with_ones(256, 1);
+        let flat = quantum_star_search(&inputs, 1, 0.1, 5).unwrap();
+        let bucketed = quantum_star_search(&inputs, 16, 0.1, 5).unwrap();
+        assert!(bucketed.rounds < flat.rounds, "bucketed {} vs flat {}", bucketed.rounds, flat.rounds);
+        assert!(bucketed.messages > flat.messages);
+    }
+
+    #[test]
+    fn quantum_count_is_accurate() {
+        let inputs = inputs_with_ones(1000, 300);
+        let epsilon = 0.05;
+        let quantum = quantum_star_count(&inputs, epsilon, 0.02, 7).unwrap();
+        let classical = classical_star_count(&inputs, epsilon, 7).unwrap();
+        assert!((quantum.estimate as f64 - 300.0).abs() <= epsilon * 1000.0 * 1.5);
+        assert!((classical.estimate as f64 - 300.0).abs() <= epsilon * 1000.0 * 3.0);
+    }
+
+    #[test]
+    fn quantum_count_beats_classical_at_high_precision() {
+        // The O(1/ε) vs Θ(1/ε²) separation pays off once ε is small: at
+        // ε = 1/500 the classical sampler needs 1/ε² = 250k probes while the
+        // quantum counter needs O(log(1/α)/ε).
+        let inputs = inputs_with_ones(4000, 1200);
+        let epsilon = 0.002;
+        let quantum = quantum_star_count(&inputs, epsilon, 0.2, 9).unwrap();
+        let classical = classical_star_count(&inputs, epsilon, 9).unwrap();
+        assert!(
+            quantum.messages < classical.messages / 2,
+            "quantum = {}, classical = {}",
+            quantum.messages,
+            classical.messages
+        );
+        assert!((quantum.estimate as f64 - 1200.0).abs() <= epsilon * 4000.0 * 2.0);
+    }
+
+    #[test]
+    fn quantum_count_messages_scale_as_inverse_epsilon() {
+        let inputs = inputs_with_ones(256, 100);
+        let measure = |eps: f64| quantum_star_count(&inputs, eps, 0.1, 4).unwrap().messages as f64;
+        let ratio = measure(0.01) / measure(0.04);
+        // Quartering ε should cost about 4x more messages.
+        assert!(ratio > 3.0 && ratio < 5.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(quantum_star_search(&[], 1, 0.1, 0).is_err());
+        assert!(classical_star_search(&[], 0).is_err());
+        assert!(quantum_star_count(&[], 0.1, 0.1, 0).is_err());
+        assert!(classical_star_count(&[], 0.1, 0).is_err());
+        assert!(classical_star_count(&[true], 2.0, 0).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Qubit gates over the dense [`StateVector`].
+//!
+//! Only the gates needed to cross-validate the analytic engines are provided:
+//! single-qubit unitaries (Hadamard, Pauli-X/Z, phase), controlled-phase, and
+//! a convenience routine applying Hadamard to a whole register.
+
+use crate::complex::Complex;
+use crate::error::Error;
+use crate::statevector::StateVector;
+
+/// A 2×2 single-qubit gate, row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gate1 {
+    /// The matrix entries `[[m00, m01], [m10, m11]]`.
+    pub matrix: [[Complex; 2]; 2],
+}
+
+impl Gate1 {
+    /// The Hadamard gate.
+    #[must_use]
+    pub fn hadamard() -> Self {
+        let h = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        Gate1 { matrix: [[h, h], [h, -h]] }
+    }
+
+    /// The Pauli-X (NOT) gate.
+    #[must_use]
+    pub fn pauli_x() -> Self {
+        Gate1 { matrix: [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]] }
+    }
+
+    /// The Pauli-Z gate.
+    #[must_use]
+    pub fn pauli_z() -> Self {
+        Gate1 { matrix: [[Complex::ONE, Complex::ZERO], [Complex::ZERO, -Complex::ONE]] }
+    }
+
+    /// The phase gate `diag(1, e^{iθ})`.
+    #[must_use]
+    pub fn phase(theta: f64) -> Self {
+        Gate1 {
+            matrix: [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::from_polar(theta)]],
+        }
+    }
+}
+
+/// Applies a single-qubit gate to qubit `q` (qubit 0 is the least-significant
+/// bit of the basis index).
+///
+/// # Errors
+///
+/// Returns [`Error::NotQubitRegister`] if the state dimension is not a power
+/// of two, or [`Error::QubitOutOfRange`] if `q` is too large.
+pub fn apply_single(state: &mut StateVector, q: u32, gate: Gate1) -> Result<(), Error> {
+    let qubits = state.qubit_count().ok_or(Error::NotQubitRegister { dim: state.dim() })?;
+    if q >= qubits {
+        return Err(Error::QubitOutOfRange { qubit: q, qubits });
+    }
+    let stride = 1usize << q;
+    let dim = state.dim();
+    let amps = state.amplitudes_mut();
+    let m = gate.matrix;
+    let mut base = 0;
+    while base < dim {
+        for offset in 0..stride {
+            let i0 = base + offset;
+            let i1 = i0 + stride;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+        base += 2 * stride;
+    }
+    Ok(())
+}
+
+/// Applies a controlled-phase gate: multiplies the amplitude of every basis
+/// state in which both `control` and `target` are 1 by `e^{iθ}`.
+///
+/// # Errors
+///
+/// Same as [`apply_single`], plus [`Error::InvalidParameter`] if
+/// `control == target`.
+pub fn apply_controlled_phase(
+    state: &mut StateVector,
+    control: u32,
+    target: u32,
+    theta: f64,
+) -> Result<(), Error> {
+    let qubits = state.qubit_count().ok_or(Error::NotQubitRegister { dim: state.dim() })?;
+    if control >= qubits {
+        return Err(Error::QubitOutOfRange { qubit: control, qubits });
+    }
+    if target >= qubits {
+        return Err(Error::QubitOutOfRange { qubit: target, qubits });
+    }
+    if control == target {
+        return Err(Error::InvalidParameter {
+            name: "target",
+            reason: "control and target qubits must differ".into(),
+        });
+    }
+    let phase = Complex::from_polar(theta);
+    let mask = (1usize << control) | (1usize << target);
+    for (index, amp) in state.amplitudes_mut().iter_mut().enumerate() {
+        if index & mask == mask {
+            *amp *= phase;
+        }
+    }
+    Ok(())
+}
+
+/// Applies Hadamard to every qubit of the register, mapping `|0…0⟩` to the
+/// uniform superposition.
+///
+/// # Errors
+///
+/// Returns [`Error::NotQubitRegister`] if the dimension is not a power of two.
+pub fn apply_hadamard_all(state: &mut StateVector) -> Result<(), Error> {
+    let qubits = state.qubit_count().ok_or(Error::NotQubitRegister { dim: state.dim() })?;
+    for q in 0..qubits {
+        apply_single(state, q, Gate1::hadamard())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_all_creates_uniform_superposition() {
+        let mut s = StateVector::basis(8, 0).unwrap();
+        apply_hadamard_all(&mut s).unwrap();
+        for x in 0..8 {
+            assert!((s.probability(x) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hadamard_is_self_inverse() {
+        let mut s = StateVector::basis(4, 2).unwrap();
+        apply_single(&mut s, 1, Gate1::hadamard()).unwrap();
+        apply_single(&mut s, 1, Gate1::hadamard()).unwrap();
+        assert!((s.probability(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_x_flips_the_bit() {
+        let mut s = StateVector::basis(4, 0).unwrap();
+        apply_single(&mut s, 1, Gate1::pauli_x()).unwrap();
+        assert!((s.probability(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_z_and_phase_agree_at_pi() {
+        let mut a = StateVector::uniform(2).unwrap();
+        let mut b = a.clone();
+        apply_single(&mut a, 0, Gate1::pauli_z()).unwrap();
+        apply_single(&mut b, 0, Gate1::phase(std::f64::consts::PI)).unwrap();
+        for x in 0..2 {
+            assert!(a.amplitude(x).approx_eq(b.amplitude(x), 1e-12));
+        }
+    }
+
+    #[test]
+    fn controlled_phase_only_affects_both_ones() {
+        let mut s = StateVector::uniform(4).unwrap();
+        apply_controlled_phase(&mut s, 0, 1, std::f64::consts::PI).unwrap();
+        assert!(s.amplitude(3).approx_eq(Complex::real(-0.5), 1e-12));
+        assert!(s.amplitude(1).approx_eq(Complex::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn gate_errors() {
+        let mut s = StateVector::uniform(6).unwrap();
+        assert!(matches!(apply_single(&mut s, 0, Gate1::pauli_x()), Err(Error::NotQubitRegister { .. })));
+        let mut q = StateVector::uniform(4).unwrap();
+        assert!(matches!(apply_single(&mut q, 7, Gate1::pauli_x()), Err(Error::QubitOutOfRange { .. })));
+        assert!(matches!(
+            apply_controlled_phase(&mut q, 1, 1, 0.3),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+}

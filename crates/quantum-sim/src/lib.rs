@@ -1,0 +1,66 @@
+//! # quantum-sim
+//!
+//! The quantum subroutine substrate for the reproduction of *Quantum
+//! Communication Advantage for Leader Election and Agreement* (PODC 2025).
+//!
+//! The paper's protocols consume a small number of quantum primitives —
+//! Grover search with an unknown number of marked items (Theorem 4.1),
+//! quantum counting (Theorem 4.2 / Corollary 4.3), and MNRS search via
+//! quantum walks on Johnson graphs (Theorem 4.4) — together with the
+//! superposed-trajectory routing model of Section 3. This crate implements
+//! all of them as pure engines, independent of any network:
+//!
+//! * [`grover`] — exact Grover dynamics (the rotation in the 2-dimensional
+//!   invariant subspace is simulated exactly, so outcome distributions match
+//!   real hardware at any domain size) plus the BBHT schedule and the
+//!   `GroverSearch(ε, α)` parameterisation.
+//! * [`counting`] — exact phase-estimation outcome distributions and the
+//!   `Count(P)` / `ApproxCount(c, α)` primitives.
+//! * [`johnson`] and [`walk`] — Johnson graphs, their spectral gaps, and the
+//!   MNRS `WalkSearch` invocation budget and success law.
+//! * [`statevector`] and [`gates`] — a dense state-vector simulator used to
+//!   cross-validate the analytic engines gate-by-gate on small domains.
+//! * [`routing`] — the register-level superposed routing model of Appendix A
+//!   and the max-over-configurations message-complexity rule.
+//! * [`quantize`] — the cost bookkeeping of Lemma 3.1 (purification and
+//!   uncomputation).
+//!
+//! The distributed framework in the `qle` crate wires these engines to
+//! network-executed `Checking` procedures; this crate deliberately knows
+//! nothing about networks.
+//!
+//! # Example
+//!
+//! ```
+//! use quantum_sim::grover::{success_probability, GroverSearchSpec};
+//!
+//! # fn main() -> Result<(), quantum_sim::Error> {
+//! // Probability that Grover search finds one marked item out of 1024 after
+//! // the optimal 25 iterations:
+//! assert!(success_probability(1.0 / 1024.0, 25) > 0.99);
+//!
+//! // A distributed GroverSearch(ε = 1/64, α = 1/100) costs O(log(1/α)/√ε)
+//! // oracle calls regardless of outcome:
+//! let spec = GroverSearchSpec::new(1.0 / 64.0, 0.01)?;
+//! assert!(spec.total_oracle_calls() < 64 * 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod counting;
+pub mod error;
+pub mod gates;
+pub mod grover;
+pub mod johnson;
+pub mod quantize;
+pub mod routing;
+pub mod statevector;
+pub mod walk;
+
+pub use complex::Complex;
+pub use error::Error;
+pub use statevector::StateVector;

@@ -1,0 +1,81 @@
+//! Cost bookkeeping for the quantization of classical procedures
+//! (Lemma 3.1 / Appendix B.1).
+//!
+//! Any randomized distributed procedure can be purified into a reversible
+//! (unitary) procedure with the *same* round and message complexity; running
+//! it inside a Grover iteration additionally requires running its inverse to
+//! uncompute garbage (`Checking⁻¹ · PF · Checking` in the proof of
+//! Theorem 4.1). This module captures those cost-transformation rules so that
+//! the framework crate charges the right number of network executions for
+//! each quantum subroutine iteration.
+
+/// The round and message complexity of one execution of a distributed
+/// procedure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcedureCost {
+    /// Rounds used by one execution.
+    pub rounds: u64,
+    /// Messages sent by one execution.
+    pub messages: u64,
+}
+
+impl ProcedureCost {
+    /// Creates a cost record.
+    #[must_use]
+    pub fn new(rounds: u64, messages: u64) -> Self {
+        ProcedureCost { rounds, messages }
+    }
+
+    /// The cost of running this procedure and then another, sequentially.
+    #[must_use]
+    pub fn then(self, other: ProcedureCost) -> ProcedureCost {
+        ProcedureCost { rounds: self.rounds + other.rounds, messages: self.messages + other.messages }
+    }
+
+    /// The cost of `times` sequential repetitions.
+    #[must_use]
+    pub fn repeat(self, times: u64) -> ProcedureCost {
+        ProcedureCost { rounds: self.rounds * times, messages: self.messages * times }
+    }
+
+    /// The cost of the inverse (uncomputation) of the purified procedure —
+    /// identical to the forward cost, by Lemma 3.1 (the inverse applies the
+    /// reversed sequence of the same elementary operations).
+    #[must_use]
+    pub fn inverse(self) -> ProcedureCost {
+        self
+    }
+
+    /// The cost of one phase-flip application `Checking⁻¹ · PF · Checking`
+    /// inside a Grover iteration: forward plus inverse (the local phase flip
+    /// is free of communication).
+    #[must_use]
+    pub fn with_uncompute(self) -> ProcedureCost {
+        self.then(self.inverse())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_adds_costs() {
+        let a = ProcedureCost::new(2, 3);
+        let b = ProcedureCost::new(5, 7);
+        assert_eq!(a.then(b), ProcedureCost::new(7, 10));
+        assert_eq!(a.repeat(4), ProcedureCost::new(8, 12));
+    }
+
+    #[test]
+    fn inverse_preserves_cost_and_uncompute_doubles_it() {
+        let a = ProcedureCost::new(2, 3);
+        assert_eq!(a.inverse(), a);
+        assert_eq!(a.with_uncompute(), ProcedureCost::new(4, 6));
+    }
+
+    #[test]
+    fn default_is_free() {
+        assert_eq!(ProcedureCost::default().then(ProcedureCost::new(1, 1)), ProcedureCost::new(1, 1));
+    }
+}

@@ -1,0 +1,247 @@
+//! The superposed-trajectory routing model of Section 3 and Appendix A.
+//!
+//! A node may select *quantumly* which neighbour it talks to: the recipient
+//! is controlled by a register that can itself be in superposition. The
+//! global state of the network is then a superposition of deterministic
+//! configurations, and the paper defines the message complexity of a round as
+//! the **maximum** number of messages over the superposed configurations
+//! (Section 3.1).
+//!
+//! This module gives an executable version of the register model of
+//! Appendix A.1 (vacuum states, per-port emission/reception registers, the
+//! `Send` operator that swaps them) and of the worked example of
+//! Appendix A.2, and it exposes the max-over-branches message-complexity
+//! rule that the metered network charges for quantum subroutines.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::error::Error;
+
+/// A message travelling between two ports (an opaque `O(log n)`-bit word).
+pub type PortMessage = u64;
+
+/// One deterministic configuration of all emission/reception registers.
+///
+/// Register `u→v` holds the message `u` wants delivered to `v` (or vacuum);
+/// register `v←u` holds the message `v` received from `u` (or vacuum).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Configuration {
+    /// Emission registers keyed by `(sender, recipient)`.
+    outgoing: BTreeMap<(usize, usize), PortMessage>,
+    /// Reception registers keyed by `(recipient, sender)`.
+    incoming: BTreeMap<(usize, usize), PortMessage>,
+}
+
+impl Configuration {
+    /// An all-vacuum configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Configuration::default()
+    }
+
+    /// Loads `msg` into the emission register `from→to` (the message
+    /// preparation step of Appendix A.2).
+    pub fn prepare(&mut self, from: usize, to: usize, msg: PortMessage) {
+        self.outgoing.insert((from, to), msg);
+    }
+
+    /// Number of non-vacuum emission registers — the messages this
+    /// configuration will put on the wire this round.
+    #[must_use]
+    pub fn pending_messages(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Applies the `Send` operator (Appendix A.1): every non-vacuum emission
+    /// register `u→v` is swapped with the vacuum reception register `v←u`.
+    pub fn apply_send(&mut self) {
+        for ((from, to), msg) in std::mem::take(&mut self.outgoing) {
+            self.incoming.insert((to, from), msg);
+        }
+    }
+
+    /// The messages received by `node`, as `(sender, message)` pairs.
+    #[must_use]
+    pub fn received_by(&self, node: usize) -> Vec<(usize, PortMessage)> {
+        self.incoming
+            .iter()
+            .filter(|((to, _), _)| *to == node)
+            .map(|((_, from), msg)| (*from, *msg))
+            .collect()
+    }
+
+    /// Clears all reception registers back to vacuum (end of round).
+    pub fn clear_received(&mut self) {
+        self.incoming.clear();
+    }
+}
+
+/// A superposition of routing configurations with complex amplitudes.
+#[derive(Debug, Clone)]
+pub struct SuperposedRouting {
+    branches: Vec<(Complex, Configuration)>,
+}
+
+impl SuperposedRouting {
+    /// Builds a superposition from `(amplitude, configuration)` branches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the branch list is empty or the
+    /// amplitudes are not normalised (`Σ|α|² = 1` up to 10⁻⁶).
+    pub fn new(branches: Vec<(Complex, Configuration)>) -> Result<Self, Error> {
+        if branches.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "branches",
+                reason: "superposition must have at least one branch".into(),
+            });
+        }
+        let total: f64 = branches.iter().map(|(a, _)| a.norm_sqr()).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(Error::InvalidParameter {
+                name: "branches",
+                reason: format!("amplitudes are not normalised (sum of squares = {total})"),
+            });
+        }
+        Ok(SuperposedRouting { branches })
+    }
+
+    /// The branch configurations and their amplitudes.
+    #[must_use]
+    pub fn branches(&self) -> &[(Complex, Configuration)] {
+        &self.branches
+    }
+
+    /// The message complexity charged for this round: the **maximum** number
+    /// of pending messages over the superposed configurations (Section 3.1).
+    #[must_use]
+    pub fn round_message_complexity(&self) -> usize {
+        self.branches.iter().map(|(_, c)| c.pending_messages()).max().unwrap_or(0)
+    }
+
+    /// Applies the `Send` operator to every branch.
+    pub fn apply_send(&mut self) {
+        for (_, config) in &mut self.branches {
+            config.apply_send();
+        }
+    }
+
+    /// Measures the configuration register, collapsing to (and returning) a
+    /// single branch with the Born probabilities.
+    #[must_use]
+    pub fn measure(&self, rng: &mut StdRng) -> Configuration {
+        let draw: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (amp, config) in &self.branches {
+            acc += amp.norm_sqr();
+            if draw < acc {
+                return config.clone();
+            }
+        }
+        self.branches.last().expect("non-empty by construction").1.clone()
+    }
+
+    /// Builds the Appendix A.2 example: a node `sender` prepares message
+    /// `msg` addressed to a uniform superposition over the recipients
+    /// `targets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `targets` is empty.
+    pub fn uniform_recipient(sender: usize, targets: &[usize], msg: PortMessage) -> Result<Self, Error> {
+        if targets.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "targets",
+                reason: "recipient superposition must be non-empty".into(),
+            });
+        }
+        let amp = Complex::real(1.0 / (targets.len() as f64).sqrt());
+        let branches = targets
+            .iter()
+            .map(|&t| {
+                let mut config = Configuration::new();
+                config.prepare(sender, t, msg);
+                (amp, config)
+            })
+            .collect();
+        SuperposedRouting::new(branches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn send_operator_swaps_registers() {
+        let mut config = Configuration::new();
+        config.prepare(0, 3, 42);
+        config.prepare(0, 5, 43);
+        assert_eq!(config.pending_messages(), 2);
+        config.apply_send();
+        assert_eq!(config.pending_messages(), 0);
+        assert_eq!(config.received_by(3), vec![(0, 42)]);
+        assert_eq!(config.received_by(5), vec![(0, 43)]);
+        assert!(config.received_by(0).is_empty());
+        config.clear_received();
+        assert!(config.received_by(3).is_empty());
+    }
+
+    #[test]
+    fn appendix_a2_example_costs_one_message() {
+        // A node sends one message to a uniform superposition of 8 recipients:
+        // every branch carries exactly one message, so the round's message
+        // complexity is 1, not 8.
+        let targets: Vec<usize> = (1..9).collect();
+        let sup = SuperposedRouting::uniform_recipient(0, &targets, 99).unwrap();
+        assert_eq!(sup.branches().len(), 8);
+        assert_eq!(sup.round_message_complexity(), 1);
+    }
+
+    #[test]
+    fn measurement_collapses_to_one_recipient() {
+        let targets: Vec<usize> = (1..5).collect();
+        let mut sup = SuperposedRouting::uniform_recipient(0, &targets, 7).unwrap();
+        sup.apply_send();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let config = sup.measure(&mut rng);
+            let receivers: Vec<usize> = targets
+                .iter()
+                .copied()
+                .filter(|&t| !config.received_by(t).is_empty())
+                .collect();
+            assert_eq!(receivers.len(), 1);
+            seen.insert(receivers[0]);
+        }
+        // With 200 samples all four recipients should have been observed.
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn superposition_validation() {
+        assert!(SuperposedRouting::new(vec![]).is_err());
+        let unnormalised = vec![(Complex::real(1.0), Configuration::new()), (Complex::real(1.0), Configuration::new())];
+        assert!(SuperposedRouting::new(unnormalised).is_err());
+        assert!(SuperposedRouting::uniform_recipient(0, &[], 1).is_err());
+    }
+
+    #[test]
+    fn max_rule_over_heterogeneous_branches() {
+        let mut heavy = Configuration::new();
+        heavy.prepare(0, 1, 1);
+        heavy.prepare(0, 2, 2);
+        heavy.prepare(3, 2, 5);
+        let mut light = Configuration::new();
+        light.prepare(0, 1, 1);
+        let amp = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        let sup = SuperposedRouting::new(vec![(amp, heavy), (amp, light)]).unwrap();
+        assert_eq!(sup.round_message_complexity(), 3);
+    }
+}

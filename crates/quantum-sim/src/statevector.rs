@@ -1,0 +1,277 @@
+//! A dense state-vector simulator over arbitrary finite dimensions.
+//!
+//! The simulator is used to *validate* the analytic engines (Grover rotation,
+//! phase-estimation outcome distributions) on small domains; the distributed
+//! protocols themselves use the analytic engines, which are exact at every
+//! domain size.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::error::Error;
+
+/// A pure quantum state over a `dim`-dimensional Hilbert space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The computational basis state `|index⟩` in dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimension`] if `dim == 0` or
+    /// [`Error::IndexOutOfRange`] if `index >= dim`.
+    pub fn basis(dim: usize, index: usize) -> Result<Self, Error> {
+        if dim == 0 {
+            return Err(Error::InvalidDimension { dim });
+        }
+        if index >= dim {
+            return Err(Error::IndexOutOfRange { index, dim });
+        }
+        let mut amplitudes = vec![Complex::ZERO; dim];
+        amplitudes[index] = Complex::ONE;
+        Ok(StateVector { amplitudes })
+    }
+
+    /// The uniform superposition `|s⟩ = Σ_x |x⟩ / √dim` — the starting state
+    /// of Grover search and quantum counting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimension`] if `dim == 0`.
+    pub fn uniform(dim: usize) -> Result<Self, Error> {
+        if dim == 0 {
+            return Err(Error::InvalidDimension { dim });
+        }
+        let amp = Complex::real(1.0 / (dim as f64).sqrt());
+        Ok(StateVector { amplitudes: vec![amp; dim] })
+    }
+
+    /// Builds a state from raw amplitudes, normalising them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimension`] if the vector is empty or has zero
+    /// norm.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Result<Self, Error> {
+        if amplitudes.is_empty() {
+            return Err(Error::InvalidDimension { dim: 0 });
+        }
+        let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return Err(Error::InvalidDimension { dim: amplitudes.len() });
+        }
+        let amplitudes = amplitudes.into_iter().map(|a| a.scale(1.0 / norm)).collect();
+        Ok(StateVector { amplitudes })
+    }
+
+    /// Dimension of the Hilbert space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Number of qubits, if the dimension is a power of two.
+    #[must_use]
+    pub fn qubit_count(&self) -> Option<u32> {
+        let d = self.dim();
+        d.is_power_of_two().then(|| d.trailing_zeros())
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    #[must_use]
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amplitudes[index]
+    }
+
+    /// The probability of observing basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    #[must_use]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// Read-only access to the amplitude vector.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// Mutable access for gate implementations in this crate.
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amplitudes
+    }
+
+    /// The squared norm of the state (should be 1 up to numerical error).
+    #[must_use]
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the dimensions differ.
+    pub fn inner_product(&self, other: &StateVector) -> Result<Complex, Error> {
+        if self.dim() != other.dim() {
+            return Err(Error::DimensionMismatch { left: self.dim(), right: other.dim() });
+        }
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amplitudes.iter().zip(&other.amplitudes) {
+            acc += a.conj() * *b;
+        }
+        Ok(acc)
+    }
+
+    /// Applies the phase oracle `S_f : |x⟩ ↦ (−1)^{f(x)} |x⟩`.
+    pub fn apply_phase_oracle(&mut self, f: impl Fn(usize) -> bool) {
+        for (x, amp) in self.amplitudes.iter_mut().enumerate() {
+            if f(x) {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies the Grover diffusion operator `D = 2|s⟩⟨s| − I` (reflection
+    /// through the uniform superposition).
+    pub fn apply_diffusion(&mut self) {
+        let dim = self.dim() as f64;
+        let mean = self
+            .amplitudes
+            .iter()
+            .fold(Complex::ZERO, |acc, a| acc + *a)
+            .scale(1.0 / dim);
+        for amp in &mut self.amplitudes {
+            *amp = mean.scale(2.0) - *amp;
+        }
+    }
+
+    /// Applies the reflection through an arbitrary axis state `axis`
+    /// (`2|a⟩⟨a| − I`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the dimensions differ.
+    pub fn apply_reflection_about(&mut self, axis: &StateVector) -> Result<(), Error> {
+        let overlap = axis.inner_product(self)?;
+        for (amp, a) in self.amplitudes.iter_mut().zip(&axis.amplitudes) {
+            *amp = (*a * overlap).scale(2.0) - *amp;
+        }
+        Ok(())
+    }
+
+    /// Total probability mass on the indices where `f(x)` is true.
+    #[must_use]
+    pub fn success_probability(&self, f: impl Fn(usize) -> bool) -> f64 {
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| f(*x))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples a measurement outcome in the computational basis (the state is
+    /// left untouched; callers model collapse explicitly if they need it).
+    #[must_use]
+    pub fn measure(&self, rng: &mut StdRng) -> usize {
+        let draw: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (x, amp) in self.amplitudes.iter().enumerate() {
+            acc += amp.norm_sqr();
+            if draw < acc {
+                return x;
+            }
+        }
+        self.dim() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_and_uniform_are_normalized() {
+        let b = StateVector::basis(8, 3).unwrap();
+        assert!((b.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(b.probability(3), 1.0);
+        let u = StateVector::uniform(10).unwrap();
+        assert!((u.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((u.probability(7) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructors_reject_bad_input() {
+        assert!(StateVector::basis(0, 0).is_err());
+        assert!(StateVector::basis(4, 4).is_err());
+        assert!(StateVector::uniform(0).is_err());
+        assert!(StateVector::from_amplitudes(vec![]).is_err());
+        assert!(StateVector::from_amplitudes(vec![Complex::ZERO; 4]).is_err());
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(vec![Complex::real(3.0), Complex::real(4.0)]).unwrap();
+        assert!((s.probability(0) - 0.36).abs() < 1e-12);
+        assert!((s.probability(1) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubit_count_detects_powers_of_two() {
+        assert_eq!(StateVector::uniform(8).unwrap().qubit_count(), Some(3));
+        assert_eq!(StateVector::uniform(12).unwrap().qubit_count(), None);
+    }
+
+    #[test]
+    fn one_grover_iteration_on_four_elements_is_exact() {
+        // With N = 4 and one marked element, a single Grover iteration finds
+        // the marked element with probability exactly 1.
+        let mut s = StateVector::uniform(4).unwrap();
+        s.apply_phase_oracle(|x| x == 2);
+        s.apply_diffusion();
+        assert!((s.probability(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflection_about_axis_matches_diffusion() {
+        let mut a = StateVector::uniform(16).unwrap();
+        let mut b = a.clone();
+        a.apply_phase_oracle(|x| x % 5 == 0);
+        b.apply_phase_oracle(|x| x % 5 == 0);
+        a.apply_diffusion();
+        let axis = StateVector::uniform(16).unwrap();
+        b.apply_reflection_about(&axis).unwrap();
+        for x in 0..16 {
+            assert!(a.amplitude(x).approx_eq(b.amplitude(x), 1e-12));
+        }
+    }
+
+    #[test]
+    fn inner_product_dimension_mismatch() {
+        let a = StateVector::uniform(4).unwrap();
+        let b = StateVector::uniform(8).unwrap();
+        assert!(a.inner_product(&b).is_err());
+    }
+
+    #[test]
+    fn measurement_follows_distribution() {
+        let s = StateVector::from_amplitudes(vec![Complex::real(1.0), Complex::real(3.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..4000).filter(|_| s.measure(&mut rng) == 1).count();
+        let freq = hits as f64 / 4000.0;
+        assert!((freq - 0.9).abs() < 0.03, "freq = {freq}");
+    }
+}

@@ -1,0 +1,208 @@
+//! The MNRS search-via-quantum-walk framework (Magniez–Nayak–Roland–Santha),
+//! as used by the paper's `WalkSearch(P, δ, ε, α)` primitive (Theorem 4.4).
+//!
+//! An MNRS search over a reversible Markov chain with spectral gap `δ`,
+//! marked-vertex probability `ε_f` under the stationary distribution, and
+//! procedures `Setup`, `Update`, `Checking` costs
+//!
+//! ```text
+//! Setup + (1/√ε) · ( (1/√δ) · Update + Checking )
+//! ```
+//!
+//! per attempt, and finds a marked vertex with constant probability whenever
+//! `ε_f ≥ ε`. The distributed protocols only consume two quantities from the
+//! walk — the invocation counts of the three procedures (which determine the
+//! message and round complexity, because the procedures are executed on the
+//! live network) and the success law — so that is exactly what
+//! [`WalkSearchSpec`] exposes. The Johnson-graph structural facts it relies
+//! on (uniform stationary distribution, gap `≈ 1/k`) are validated in
+//! [`johnson`](crate::johnson).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::Error;
+
+/// Success probability of a single MNRS attempt when the marked fraction
+/// meets the promise. The MNRS analysis gives a constant; we use 3/4, and
+/// amplify with `⌈log_{4}(1/α)⌉`-fold repetition (each failure is independent)
+/// so the overall failure probability is at most `α`.
+const SINGLE_ATTEMPT_SUCCESS: f64 = 0.75;
+
+/// Parameters of a distributed `WalkSearch(P, δ, ε, α)` invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkSearchSpec {
+    /// Spectral gap `δ` of the walk.
+    pub delta: f64,
+    /// Marked-fraction promise `ε`: either no vertex is marked, or at least
+    /// an `ε` fraction (under the stationary distribution) is.
+    pub epsilon: f64,
+    /// Maximum allowed failure probability when the promise holds.
+    pub alpha: f64,
+}
+
+/// The invocation counts of one full (synchronised, worst-case) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkSearchBudget {
+    /// Number of independent attempts.
+    pub attempts: u64,
+    /// `Setup` invocations (one per attempt).
+    pub setup_calls: u64,
+    /// `Update` invocations in total.
+    pub update_calls: u64,
+    /// `Checking` invocations in total.
+    pub checking_calls: u64,
+}
+
+impl WalkSearchSpec {
+    /// Creates a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 < δ ≤ 1`, `0 < ε ≤ 1`,
+    /// and `0 < α < 1`.
+    pub fn new(delta: f64, epsilon: f64, alpha: f64) -> Result<Self, Error> {
+        if !(delta > 0.0 && delta <= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "delta",
+                reason: format!("must be in (0, 1], got {delta}"),
+            });
+        }
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be in (0, 1], got {epsilon}"),
+            });
+        }
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be in (0, 1), got {alpha}"),
+            });
+        }
+        Ok(WalkSearchSpec { delta, epsilon, alpha })
+    }
+
+    /// Number of independent attempts: `⌈log₄(1/α)⌉`.
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        ((1.0 / self.alpha).ln() / (1.0 / (1.0 - SINGLE_ATTEMPT_SUCCESS)).ln()).ceil().max(1.0) as u64
+    }
+
+    /// Grover-style phases per attempt: `⌈1/√ε⌉`.
+    #[must_use]
+    pub fn phases_per_attempt(&self) -> u64 {
+        (1.0 / self.epsilon.sqrt()).ceil() as u64
+    }
+
+    /// Walk steps (Update calls) per phase: `⌈1/√δ⌉`.
+    #[must_use]
+    pub fn updates_per_phase(&self) -> u64 {
+        (1.0 / self.delta.sqrt()).ceil() as u64
+    }
+
+    /// The full invocation budget of a synchronised execution, matching the
+    /// complexity expression of Theorem 4.4.
+    #[must_use]
+    pub fn budget(&self) -> WalkSearchBudget {
+        let attempts = self.attempts();
+        let phases = self.phases_per_attempt();
+        WalkSearchBudget {
+            attempts,
+            setup_calls: attempts,
+            update_calls: attempts * phases * self.updates_per_phase(),
+            checking_calls: attempts * phases,
+        }
+    }
+
+    /// Samples whether the search returns a marked vertex, given the true
+    /// marked fraction `epsilon_f` under the stationary distribution.
+    ///
+    /// * `epsilon_f == 0` → never succeeds (the walk has nothing to find);
+    /// * `epsilon_f ≥ ε` → succeeds with probability at least `1 − α`;
+    /// * `0 < epsilon_f < ε` → succeeds with a degraded probability
+    ///   (proportionally scaled per attempt), modelling a walk that was run
+    ///   for fewer phases than the marked density would require.
+    #[must_use]
+    pub fn sample_outcome(&self, epsilon_f: f64, rng: &mut StdRng) -> bool {
+        if epsilon_f <= 0.0 {
+            return false;
+        }
+        let per_attempt = if epsilon_f >= self.epsilon {
+            SINGLE_ATTEMPT_SUCCESS
+        } else {
+            SINGLE_ATTEMPT_SUCCESS * (epsilon_f / self.epsilon).sqrt()
+        };
+        (0..self.attempts()).any(|_| rng.gen_bool(per_attempt.clamp(0.0, 1.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spec_validation() {
+        assert!(WalkSearchSpec::new(0.1, 0.1, 0.1).is_ok());
+        assert!(WalkSearchSpec::new(0.0, 0.1, 0.1).is_err());
+        assert!(WalkSearchSpec::new(0.1, 0.0, 0.1).is_err());
+        assert!(WalkSearchSpec::new(0.1, 0.1, 1.0).is_err());
+        assert!(WalkSearchSpec::new(2.0, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn budget_matches_theorem_4_4_shape() {
+        // ε = k/n, δ = 1/k with k = n^{2/3} (the QuantumQWLE setting): per
+        // attempt the walk does √(n/k)·√k = √n updates and √(n/k) checks.
+        let n = 4096.0;
+        let k = 256.0;
+        let spec = WalkSearchSpec::new(1.0 / k, k / n, 0.25).unwrap();
+        let budget = spec.budget();
+        let per_attempt_updates = budget.update_calls / budget.attempts;
+        let per_attempt_checks = budget.checking_calls / budget.attempts;
+        assert_eq!(per_attempt_checks, 4); // √(n/k) = 4
+        assert_eq!(per_attempt_updates, 4 * 16); // √(n/k)·√k = 64
+        assert_eq!(budget.setup_calls, budget.attempts);
+    }
+
+    #[test]
+    fn budget_scales_with_epsilon_and_delta() {
+        let base = WalkSearchSpec::new(1.0 / 64.0, 1.0 / 100.0, 0.1).unwrap().budget();
+        let finer_eps = WalkSearchSpec::new(1.0 / 64.0, 1.0 / 400.0, 0.1).unwrap().budget();
+        let finer_delta = WalkSearchSpec::new(1.0 / 256.0, 1.0 / 100.0, 0.1).unwrap().budget();
+        assert_eq!(finer_eps.checking_calls, 2 * base.checking_calls);
+        assert_eq!(finer_delta.checking_calls, base.checking_calls);
+        assert_eq!(finer_delta.update_calls, 2 * base.update_calls);
+    }
+
+    #[test]
+    fn outcome_law_zero_and_promised() {
+        let spec = WalkSearchSpec::new(0.1, 0.05, 1.0 / 64.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(!spec.sample_outcome(0.0, &mut rng));
+        }
+        let trials = 300;
+        let hits = (0..trials).filter(|_| spec.sample_outcome(0.1, &mut rng)).count();
+        assert!(hits as f64 > 0.97 * trials as f64, "hits = {hits}");
+    }
+
+    #[test]
+    fn degraded_promise_still_sometimes_succeeds() {
+        let spec = WalkSearchSpec::new(0.1, 0.5, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 400;
+        let hits = (0..trials).filter(|_| spec.sample_outcome(0.05, &mut rng)).count();
+        assert!(hits > 0, "degraded search should not be impossible");
+        assert!(hits < trials, "degraded search should not be certain");
+    }
+
+    #[test]
+    fn attempts_grow_with_inverse_alpha() {
+        let loose = WalkSearchSpec::new(0.1, 0.1, 0.25).unwrap().attempts();
+        let tight = WalkSearchSpec::new(0.1, 0.1, 1e-6).unwrap().attempts();
+        assert!(tight > loose);
+        assert!(tight <= 12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Quickstart: elect a leader on a complete network with the paper's
+//! `QuantumLE` protocol and compare it against the classical baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use classical_baselines::KppCompleteLe;
+use congest_net::topology;
+use qle::algorithms::QuantumLe;
+use qle::{AlphaChoice, KChoice, LeaderElection};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let graph = topology::complete(n)?;
+
+    println!("Leader election on the complete graph K_{n}\n");
+    for protocol in [
+        Box::new(QuantumLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25)))
+            as Box<dyn LeaderElection>,
+        Box::new(KppCompleteLe::new()) as Box<dyn LeaderElection>,
+    ] {
+        let run = protocol.run(&graph, 2026)?;
+        println!("{}", protocol.name());
+        println!("  unique leader elected : {}", run.succeeded());
+        println!("  leader node           : {:?}", run.outcome.leaders());
+        println!("  total messages        : {}", run.cost.total_messages());
+        println!("    classical messages  : {}", run.cost.metrics.classical_messages);
+        println!("    quantum messages    : {}", run.cost.metrics.quantum_messages);
+        println!("  effective rounds      : {}\n", run.cost.effective_rounds);
+    }
+    println!("The quantum protocol trades rounds for messages: its message count grows");
+    println!("as Õ(n^(1/3)) against the classical Θ̃(√n) (Corollary 5.3 of the paper).");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! End-to-end integration tests: every leader-election protocol in the
+//! workspace, quantum and classical, run on every topology class it supports.
+
+use classical_baselines::{CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe};
+use congest_net::topology;
+use qle::algorithms::{QuantumGeneralLe, QuantumLe, QuantumQwLe, QuantumRwLe};
+use qle::{AlphaChoice, KChoice, LeaderElection};
+
+#[test]
+fn complete_graph_protocols_elect_unique_leaders() {
+    let graph = topology::complete(96).unwrap();
+    let protocols: Vec<Box<dyn LeaderElection>> = vec![
+        Box::new(QuantumLe::new()),
+        Box::new(QuantumLe::with_parameters(KChoice::Exponent(0.45), AlphaChoice::Fixed(0.2))),
+        Box::new(KppCompleteLe::new()),
+        Box::new(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3))),
+        Box::new(GhsLe::new()),
+    ];
+    for protocol in protocols {
+        let run = protocol.run(&graph, 7).unwrap();
+        assert!(run.succeeded(), "{} failed", protocol.name());
+        assert_eq!(run.nodes, 96);
+        assert!(run.cost.total_messages() > 0);
+        assert!(run.cost.effective_rounds > 0);
+    }
+}
+
+#[test]
+fn expander_protocols_elect_unique_leaders() {
+    let graph = topology::random_regular(72, 4, 3).unwrap();
+    let protocols: Vec<Box<dyn LeaderElection>> = vec![
+        Box::new(QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::HighProbability, Some(14))),
+        Box::new(KppMixingLe::with_tau(14)),
+        Box::new(QuantumGeneralLe::new()),
+        Box::new(GhsLe::new()),
+    ];
+    for protocol in protocols {
+        let run = protocol.run(&graph, 5).unwrap();
+        assert!(run.succeeded(), "{} failed", protocol.name());
+    }
+}
+
+#[test]
+fn diameter_two_protocols_elect_unique_leaders() {
+    let graph = topology::clique_of_cliques(6).unwrap();
+    let n = graph.node_count();
+    let quantum = QuantumQwLe::with_parameters(
+        KChoice::Optimal,
+        AlphaChoice::Fixed(0.25),
+        Some((6.0 * (n as f64).ln()).ceil() as usize),
+        Some(0.3),
+    );
+    let classical = CprDiameterTwoLe::new();
+    assert!(quantum.run(&graph, 2).unwrap().succeeded());
+    assert!(classical.run(&graph, 2).unwrap().succeeded());
+}
+
+#[test]
+fn quantum_protocols_charge_quantum_messages_and_classical_baselines_do_not() {
+    let graph = topology::complete(64).unwrap();
+    let quantum = QuantumLe::new().run(&graph, 1).unwrap();
+    let classical = KppCompleteLe::new().run(&graph, 1).unwrap();
+    assert!(quantum.cost.metrics.quantum_messages > 0);
+    assert_eq!(classical.cost.metrics.quantum_messages, 0);
+    assert!(classical.cost.metrics.classical_messages > 0);
+}
+
+#[test]
+fn runs_are_reproducible_across_protocols() {
+    let graph = topology::hypercube(5).unwrap();
+    let protocols: Vec<Box<dyn LeaderElection>> = vec![
+        Box::new(QuantumRwLe::with_parameters(KChoice::Fixed(4), AlphaChoice::Fixed(0.2), Some(8))),
+        Box::new(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3))),
+        Box::new(GhsLe::new()),
+        Box::new(KppMixingLe::with_tau(8)),
+    ];
+    for protocol in protocols {
+        let a = protocol.run(&graph, 31).unwrap();
+        let b = protocol.run(&graph, 31).unwrap();
+        assert_eq!(a.outcome, b.outcome, "{} not deterministic", protocol.name());
+        assert_eq!(
+            a.cost.metrics.total_messages(),
+            b.cost.metrics.total_messages(),
+            "{} message count not deterministic",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn unsupported_topologies_are_rejected_cleanly() {
+    let path = topology::path(12).unwrap();
+    assert!(QuantumLe::new().run(&path, 0).is_err());
+    assert!(KppCompleteLe::new().run(&path, 0).is_err());
+    assert!(QuantumQwLe::new().run(&path, 0).is_err());
+    assert!(CprDiameterTwoLe::new().run(&path, 0).is_err());
+    // The general protocols accept it.
+    assert!(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3)).run(&path, 0).is_ok());
+    assert!(GhsLe::new().run(&path, 0).is_ok());
+}

@@ -1,0 +1,112 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use congest_net::{topology, Graph, Network, NetworkConfig};
+use proptest::prelude::*;
+use qle::algorithms::{QuantumGeneralLe, QuantumLe};
+use qle::candidate::{sample_candidates_seeded, satisfies_fact_c2};
+use qle::{AlphaChoice, KChoice, LeaderElection};
+use quantum_sim::grover::{statevector_success_probability, success_probability};
+use quantum_sim::johnson::JohnsonGraph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated topology is a valid CONGEST network: connected, with
+    /// symmetric ports and consistent degree/edge counts.
+    #[test]
+    fn topologies_are_valid_networks(n in 8usize..48, seed in 0u64..500) {
+        let graphs: Vec<Graph> = vec![
+            topology::complete(n).unwrap(),
+            topology::cycle(n.max(3)).unwrap(),
+            topology::star(n).unwrap(),
+            topology::erdos_renyi_connected(n, 0.2, seed).unwrap(),
+            topology::random_regular(if n % 2 == 0 { n } else { n + 1 }, 4, seed).unwrap(),
+        ];
+        for g in graphs {
+            prop_assert!(g.is_connected());
+            let degree_sum: usize = (0..g.node_count()).map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.edge_count());
+            for v in 0..g.node_count() {
+                for (port, &u) in g.neighbors(v).iter().enumerate() {
+                    prop_assert_eq!(g.neighbor_through_port(v, port).unwrap(), u);
+                    prop_assert!(g.are_adjacent(u, v));
+                }
+            }
+        }
+    }
+
+    /// The analytic Grover success probability matches the state-vector
+    /// simulator for every small instance.
+    #[test]
+    fn grover_formula_matches_statevector(dim in 2usize..40, marked_count in 0usize..6, iters in 0u64..8) {
+        let marked: Vec<usize> = (0..marked_count.min(dim)).collect();
+        let exact = statevector_success_probability(dim, &marked, iters).unwrap();
+        let analytic = success_probability(marked.len() as f64 / dim as f64, iters);
+        prop_assert!((exact - analytic).abs() < 1e-8);
+    }
+
+    /// Johnson graph neighbours are always valid vertices at Hamming
+    /// distance exactly one (in subset terms).
+    #[test]
+    fn johnson_neighbors_are_adjacent(n in 4usize..14, k in 1usize..5, seed in 0u64..1000) {
+        let k = k.min(n - 1);
+        let johnson = JohnsonGraph::new(n, k).unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let subset = johnson.random_subset(&mut rng);
+        let (next, _, _) = johnson.random_neighbor(&subset, &mut rng).unwrap();
+        prop_assert!(johnson.are_adjacent(&subset, &next));
+        prop_assert_eq!(next.len(), k);
+    }
+
+    /// Message metering is consistent: total messages equal classical plus
+    /// quantum, and every delivered message was sent.
+    #[test]
+    fn network_metrics_are_consistent(n in 4usize..32, sends in 1usize..40, seed in 0u64..100) {
+        let graph = topology::complete(n).unwrap();
+        let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(seed));
+        let mut sent = 0;
+        for i in 0..sends {
+            let from = i % n;
+            let to = (i + 1 + i / n) % n;
+            if from != to && net.send(from, to, i as u64).is_ok() {
+                sent += 1;
+            }
+            net.advance_round();
+        }
+        let metrics = net.metrics();
+        prop_assert_eq!(metrics.classical_messages, sent);
+        prop_assert_eq!(metrics.total_messages(), metrics.classical_messages + metrics.quantum_messages);
+        prop_assert!(metrics.rounds >= sends as u64);
+    }
+
+    /// Candidate sampling satisfies Fact C.2 for (essentially) every seed.
+    #[test]
+    fn candidate_sampling_respects_fact_c2(seed in 0u64..2000) {
+        let candidates = sample_candidates_seeded(512, seed);
+        prop_assert!(satisfies_fact_c2(512, &candidates));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// QuantumLE elects exactly one leader for random sizes and seeds (the
+    /// failure probability at these parameters is far below the case count).
+    #[test]
+    fn quantum_le_always_elects_exactly_one_leader(n in 24usize..80, seed in 0u64..10_000) {
+        let graph = topology::complete(n).unwrap();
+        let run = QuantumLe::with_parameters(KChoice::Optimal, AlphaChoice::HighProbability)
+            .run(&graph, seed)
+            .unwrap();
+        prop_assert!(run.succeeded());
+        prop_assert_eq!(run.outcome.leaders().len(), 1);
+    }
+
+    /// QuantumGeneralLE elects a unique leader on random connected graphs.
+    #[test]
+    fn general_le_elects_unique_leader_on_random_graphs(n in 12usize..40, seed in 0u64..10_000) {
+        let graph = topology::erdos_renyi_connected(n, 0.15, seed).unwrap();
+        let run = QuantumGeneralLe::new().run(&graph, seed).unwrap();
+        prop_assert!(run.succeeded());
+    }
+}
