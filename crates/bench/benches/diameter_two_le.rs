@@ -16,7 +16,9 @@ fn bench_diameter_two(c: &mut Criterion) {
         let graph = topology::clique_of_cliques(side).unwrap();
         let n = graph.node_count();
         let quantum = QuantumQwLe::benchmark_profile(n);
-        let classical = CprDiameterTwoLe { skip_full_topology_check: true };
+        let classical = CprDiameterTwoLe {
+            skip_full_topology_check: true,
+        };
         group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
             let mut seed = 0;
             b.iter(|| {

@@ -15,22 +15,31 @@ fn bench_mixing_le(c: &mut Criterion) {
     for &dim in &[6u32, 8] {
         let graph = topology::hypercube(dim).unwrap();
         let tau = dim as usize;
-        let quantum = QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25), Some(tau));
+        let quantum =
+            QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25), Some(tau));
         let classical = KppMixingLe::with_tau(tau);
-        group.bench_with_input(BenchmarkId::new("quantum_hypercube", graph.node_count()), &dim, |b, _| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                quantum.run(&graph, seed).unwrap()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("classical_hypercube", graph.node_count()), &dim, |b, _| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                classical.run(&graph, seed).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quantum_hypercube", graph.node_count()),
+            &dim,
+            |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    quantum.run(&graph, seed).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classical_hypercube", graph.node_count()),
+            &dim,
+            |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    classical.run(&graph, seed).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

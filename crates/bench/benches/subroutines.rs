@@ -2,7 +2,9 @@
 //! classical).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qle::star::{classical_star_count, classical_star_search, quantum_star_count, quantum_star_search};
+use qle::star::{
+    classical_star_count, classical_star_search, quantum_star_count, quantum_star_search,
+};
 
 fn bench_star_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_star_search");
@@ -37,20 +39,28 @@ fn bench_star_counting(c: &mut Criterion) {
     let n = 2000usize;
     let inputs: Vec<bool> = (0..n).map(|i| i < 600).collect();
     for &eps in &[0.02f64, 0.01] {
-        group.bench_with_input(BenchmarkId::new("quantum", format!("eps_{eps}")), &eps, |b, _| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                quantum_star_count(&inputs, eps, 0.2, seed).unwrap()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("classical", format!("eps_{eps}")), &eps, |b, _| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                classical_star_count(&inputs, eps, seed).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quantum", format!("eps_{eps}")),
+            &eps,
+            |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    quantum_star_count(&inputs, eps, 0.2, seed).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classical", format!("eps_{eps}")),
+            &eps,
+            |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    classical_star_count(&inputs, eps, seed).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -12,14 +12,19 @@ fn bench_tradeoff(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let graph = topology::complete(256).unwrap();
     for &exponent in &[0.25f64, 1.0 / 3.0, 0.5] {
-        let protocol = QuantumLe::with_parameters(KChoice::Exponent(exponent), AlphaChoice::Fixed(0.25));
-        group.bench_with_input(BenchmarkId::new("k_exponent", format!("{exponent:.2}")), &exponent, |b, _| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                protocol.run(&graph, seed).unwrap()
-            });
-        });
+        let protocol =
+            QuantumLe::with_parameters(KChoice::Exponent(exponent), AlphaChoice::Fixed(0.25));
+        group.bench_with_input(
+            BenchmarkId::new("k_exponent", format!("{exponent:.2}")),
+            &exponent,
+            |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    protocol.run(&graph, seed).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

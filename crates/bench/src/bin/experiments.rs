@@ -1,23 +1,100 @@
-//! Prints every experiment table (E1–E10) of the reproduction.
+//! Prints every experiment table (E1–E10) of the reproduction, and dumps the
+//! round-engine performance benchmark on request.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench-harness --bin experiments            # all experiments
-//! cargo run --release -p bench-harness --bin experiments -- e1 e7   # a selection
+//! cargo run --release -p bench-harness --bin experiments                  # all experiments
+//! cargo run --release -p bench-harness --bin experiments -- e1 e7         # a selection
+//! cargo run --release -p bench-harness --bin experiments -- --bench-network
+//!     # round-engine microbenchmark (CSR vs legacy); writes BENCH_network.json
 //! ```
 
+use bench_harness::network_bench;
 use bench_harness::{
     e10_candidate_sampling, e1_complete_le, e2_tradeoff, e3_mixing_le, e4_diameter_two_le,
     e5_general_le, e6_agreement, e7_star_search, e8_star_counting, e9_walk_ablation,
     ExperimentTable,
 };
 
+/// Runs the flood/GHS round-engine benchmark and writes `BENCH_network.json`
+/// next to the working directory, printing a human-readable summary.
+fn run_network_bench() {
+    let n = 4096;
+    let runs = 5;
+    println!("network_core round-engine benchmark (n = {n}, {runs} timed runs each)\n");
+    let records = network_bench::measure_all(n, runs);
+    println!(
+        "{:<10} {:<8} {:<16} {:>10} {:>12} {:>14} {:>14}",
+        "workload", "engine", "topology", "rounds", "messages", "ns/run", "ns/round"
+    );
+    for r in &records {
+        println!(
+            "{:<10} {:<8} {:<16} {:>10} {:>12} {:>14} {:>14}",
+            r.workload,
+            r.engine,
+            r.topology,
+            r.rounds,
+            r.messages,
+            r.ns_per_run,
+            r.ns_per_round()
+        );
+    }
+    // Headline: flood speedup per topology, CSR vs legacy.
+    println!();
+    let labels: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in &records {
+            if !seen.contains(&r.topology.as_str()) {
+                seen.push(r.topology.as_str());
+            }
+        }
+        seen
+    };
+    for label in labels {
+        let of = |engine: &str| {
+            records
+                .iter()
+                .find(|r| r.workload == "flood" && r.engine == engine && r.topology == label)
+                .map(|r| r.ns_per_run)
+        };
+        if let (Some(csr), Some(legacy)) = (of("csr"), of("legacy")) {
+            println!(
+                "flood {label}: {:.2}x speedup (csr vs legacy)",
+                legacy as f64 / csr as f64
+            );
+        }
+    }
+    let total = |engine: &str| -> u128 {
+        records
+            .iter()
+            .filter(|r| r.workload == "flood" && r.engine == engine)
+            .map(|r| r.ns_per_run)
+            .sum()
+    };
+    let (csr_total, legacy_total) = (total("csr"), total("legacy"));
+    if csr_total > 0 {
+        println!(
+            "flood aggregate (all topologies): {:.2}x speedup (csr vs legacy)",
+            legacy_total as f64 / csr_total as f64
+        );
+    }
+    let json = network_bench::to_json(&records);
+    std::fs::write("BENCH_network.json", &json).expect("write BENCH_network.json");
+    println!("\nwrote BENCH_network.json");
+}
+
 fn main() {
-    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    if args.iter().any(|a| a == "--bench-network") {
+        run_network_bench();
+        return;
+    }
+    let requested: Vec<String> = args;
     let run_all = requested.is_empty();
-    let experiments: Vec<(&str, fn() -> ExperimentTable)> = vec![
-        ("e1", e1_complete_le as fn() -> ExperimentTable),
+    type Experiment = fn() -> ExperimentTable;
+    let experiments: Vec<(&str, Experiment)> = vec![
+        ("e1", e1_complete_le as Experiment),
         ("e2", e2_tradeoff),
         ("e3", e3_mixing_le),
         ("e4", e4_diameter_two_le),
@@ -28,7 +105,9 @@ fn main() {
         ("e9", e9_walk_ablation),
         ("e10", e10_candidate_sampling),
     ];
-    println!("Quantum Communication Advantage for Leader Election and Agreement — experiment suite");
+    println!(
+        "Quantum Communication Advantage for Leader Election and Agreement — experiment suite"
+    );
     println!("(message counts are measured on the CONGEST simulator; see EXPERIMENTS.md)\n");
     for (name, experiment) in experiments {
         if run_all || requested.iter().any(|r| r == name) {

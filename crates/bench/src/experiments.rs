@@ -14,13 +14,17 @@
 //! substitution and its effect are documented in EXPERIMENTS.md).
 
 use classical_baselines::{
-    AmpSharedCoinAgreement, CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe, PrivateCoinAgreement,
+    AmpSharedCoinAgreement, CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe,
+    PrivateCoinAgreement,
 };
 use congest_net::topology;
 use qle::algorithms::{QuantumAgreement, QuantumGeneralLe, QuantumLe, QuantumQwLe, QuantumRwLe};
 use qle::candidate::{sample_candidates_seeded, satisfies_fact_c2};
-use qle::star::{classical_star_count, classical_star_search, quantum_star_count, quantum_star_search};
+use qle::star::{
+    classical_star_count, classical_star_search, quantum_star_count, quantum_star_search,
+};
 use qle::{Agreement, AlphaChoice, KChoice, LeaderElection};
+use rayon::prelude::*;
 
 use crate::fit::fit_exponent;
 use crate::table::ExperimentTable;
@@ -28,17 +32,36 @@ use crate::table::ExperimentTable;
 /// Number of seeds averaged per configuration in the sweep experiments.
 const SEEDS: u64 = 2;
 
-fn average_le<P: LeaderElection>(protocol: &P, graph: &congest_net::Graph, seeds: u64) -> (f64, f64, f64) {
-    let mut messages = 0.0;
-    let mut rounds = 0.0;
-    let mut successes = 0.0;
-    for seed in 0..seeds {
-        let run = protocol.run(graph, seed).expect("protocol run failed");
-        messages += run.cost.total_messages() as f64;
-        rounds += run.cost.effective_rounds as f64;
-        successes += f64::from(u8::from(run.succeeded()));
-    }
-    (messages / seeds as f64, rounds / seeds as f64, successes / seeds as f64)
+/// Runs `protocol` once per seed **in parallel** and averages the measured
+/// costs. Every seed is an independent simulation with its own network, so
+/// the sweep is embarrassingly parallel; per-seed results are merged in seed
+/// order, keeping the averages bit-identical to the sequential loop.
+fn average_le<P: LeaderElection + Sync>(
+    protocol: &P,
+    graph: &congest_net::Graph,
+    seeds: u64,
+) -> (f64, f64, f64) {
+    let runs: Vec<(f64, f64, f64)> = (0..seeds)
+        .into_par_iter()
+        .map(|seed| {
+            let run = protocol.run(graph, seed).expect("protocol run failed");
+            (
+                run.cost.total_messages() as f64,
+                run.cost.effective_rounds as f64,
+                f64::from(u8::from(run.succeeded())),
+            )
+        })
+        .collect();
+    let (messages, rounds, successes) = runs
+        .iter()
+        .fold((0.0, 0.0, 0.0), |(m, r, s), &(rm, rr, rs)| {
+            (m + rm, r + rr, s + rs)
+        });
+    (
+        messages / seeds as f64,
+        rounds / seeds as f64,
+        successes / seeds as f64,
+    )
 }
 
 /// E1 — Theorem 5.2 / Corollary 5.3: `QuantumLE` on complete graphs versus
@@ -47,7 +70,15 @@ fn average_le<P: LeaderElection>(protocol: &P, graph: &congest_net::Graph, seeds
 pub fn e1_complete_le() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E1 (Cor 5.3): leader election on complete graphs — QuantumLE vs classical sqrt(n)",
-        &["n", "quantum msgs", "quantum rounds", "classical msgs", "classical rounds", "q success", "c success"],
+        &[
+            "n",
+            "quantum msgs",
+            "quantum rounds",
+            "classical msgs",
+            "classical rounds",
+            "q success",
+            "c success",
+        ],
     );
     let quantum = QuantumLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25));
     let classical = KppCompleteLe::new();
@@ -76,8 +107,10 @@ pub fn e1_complete_le() -> ExperimentTable {
         fit_exponent(&c_points)
     ));
     let normalise = |points: &[(f64, f64)]| {
-        let normalised: Vec<(f64, f64)> =
-            points.iter().map(|&(n, y)| (n, y / n.ln().powi(2))).collect();
+        let normalised: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(n, y)| (n, y / n.ln().powi(2)))
+            .collect();
         fit_exponent(&normalised)
     };
     table.push_note(format!(
@@ -99,7 +132,8 @@ pub fn e2_tradeoff() -> ExperimentTable {
     let n = 512usize;
     let graph = topology::complete(n).expect("complete graph");
     for &exponent in &[0.25, 1.0 / 3.0, 5.0 / 12.0, 0.5] {
-        let protocol = QuantumLe::with_parameters(KChoice::Exponent(exponent), AlphaChoice::Fixed(0.25));
+        let protocol =
+            QuantumLe::with_parameters(KChoice::Exponent(exponent), AlphaChoice::Fixed(0.25));
         let (messages, rounds, _) = average_le(&protocol, &graph, SEEDS);
         let k = (n as f64).powf(exponent).round() as usize;
         table.push_row(vec![
@@ -119,7 +153,15 @@ pub fn e2_tradeoff() -> ExperimentTable {
 pub fn e3_mixing_le() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E3 (Cor 5.5): leader election with mixing time τ — QuantumRWLE vs classical τ·sqrt(n)",
-        &["graph", "n", "τ", "quantum msgs", "classical msgs", "q success", "c success"],
+        &[
+            "graph",
+            "n",
+            "τ",
+            "quantum msgs",
+            "classical msgs",
+            "q success",
+            "c success",
+        ],
     );
     let mut q_points = Vec::new();
     let mut c_points = Vec::new();
@@ -128,7 +170,8 @@ pub fn e3_mixing_le() -> ExperimentTable {
         let n = graph.node_count();
         // The lazy walk on Q_d mixes in Θ(d·log d) steps, not d steps.
         let tau = (f64::from(dim) * f64::from(dim).ln()).ceil() as usize;
-        let quantum = QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25), Some(tau));
+        let quantum =
+            QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25), Some(tau));
         let classical = KppMixingLe::with_tau(tau);
         let (qm, _, qs) = average_le(&quantum, &graph, SEEDS);
         let (cm, _, cs) = average_le(&classical, &graph, SEEDS);
@@ -158,7 +201,14 @@ pub fn e3_mixing_le() -> ExperimentTable {
 pub fn e4_diameter_two_le() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E4 (Cor 5.7): leader election on diameter-2 graphs — QuantumQWLE vs classical Θ(n)",
-        &["graph", "n", "quantum msgs", "classical msgs", "q success", "c success"],
+        &[
+            "graph",
+            "n",
+            "quantum msgs",
+            "classical msgs",
+            "q success",
+            "c success",
+        ],
     );
     let mut q_points = Vec::new();
     let mut c_points = Vec::new();
@@ -166,7 +216,9 @@ pub fn e4_diameter_two_le() -> ExperimentTable {
         let graph = topology::clique_of_cliques(side).expect("clique of cliques");
         let n = graph.node_count();
         let quantum = QuantumQwLe::benchmark_profile(n);
-        let classical = CprDiameterTwoLe { skip_full_topology_check: true };
+        let classical = CprDiameterTwoLe {
+            skip_full_topology_check: true,
+        };
         let (qm, _, qs) = average_le(&quantum, &graph, 1);
         let (cm, _, cs) = average_le(&classical, &graph, SEEDS);
         q_points.push((n as f64, qm));
@@ -231,7 +283,14 @@ pub fn e5_general_le() -> ExperimentTable {
 pub fn e6_agreement() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E6 (Cor 6.8): implicit agreement on complete graphs with shared randomness",
-        &["n", "quantum msgs", "AMP shared-coin msgs", "private-coin msgs", "q valid", "amp valid"],
+        &[
+            "n",
+            "quantum msgs",
+            "AMP shared-coin msgs",
+            "private-coin msgs",
+            "q valid",
+            "amp valid",
+        ],
     );
     let quantum = QuantumAgreement::with_parameters(None, None, AlphaChoice::Fixed(0.25));
     let amp = AmpSharedCoinAgreement::new();
@@ -292,7 +351,13 @@ pub fn e7_star_search() -> ExperimentTable {
 pub fn e8_star_counting() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E8 (Cor 4.3, App. B.2): counting on a star graph — quantum O(1/ε) vs classical Θ(1/ε²)",
-        &["ε", "quantum msgs", "classical msgs", "quantum estimate", "true count"],
+        &[
+            "ε",
+            "quantum msgs",
+            "classical msgs",
+            "quantum estimate",
+            "true count",
+        ],
     );
     let n = 2000usize;
     let ones = 600usize;
@@ -357,19 +422,27 @@ pub fn e9_walk_ablation() -> ExperimentTable {
 pub fn e10_candidate_sampling() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E10 (Fact C.2): candidate sampling — Monte-Carlo check",
-        &["n", "trials", "fraction satisfying Fact C.2", "mean candidates", "24·ln n"],
+        &[
+            "n",
+            "trials",
+            "fraction satisfying Fact C.2",
+            "mean candidates",
+            "24·ln n",
+        ],
     );
     for &n in &[64usize, 256, 1024, 4096] {
         let trials = 200u64;
-        let mut satisfied = 0u64;
-        let mut total_candidates = 0usize;
-        for seed in 0..trials {
-            let candidates = sample_candidates_seeded(n, seed);
-            total_candidates += candidates.len();
-            if satisfies_fact_c2(n, &candidates) {
-                satisfied += 1;
-            }
-        }
+        // Independent Monte-Carlo trials, one per seed: run them in parallel
+        // and merge counts in seed order.
+        let outcomes: Vec<(usize, bool)> = (0..trials)
+            .into_par_iter()
+            .map(|seed| {
+                let candidates = sample_candidates_seeded(n, seed);
+                (candidates.len(), satisfies_fact_c2(n, &candidates))
+            })
+            .collect();
+        let satisfied = outcomes.iter().filter(|(_, ok)| *ok).count() as u64;
+        let total_candidates: usize = outcomes.iter().map(|(len, _)| len).sum();
         table.push_row(vec![
             n.to_string(),
             trials.to_string(),

@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn tolerates_constants_and_ignores_bad_points() {
-        let points: Vec<(f64, f64)> = (1..30).map(|i| (i as f64, 17.0 * (i as f64).powf(1.5))).collect();
+        let points: Vec<(f64, f64)> = (1..30)
+            .map(|i| (i as f64, 17.0 * (i as f64).powf(1.5)))
+            .collect();
         assert!((fit_exponent(&points) - 1.5).abs() < 1e-9);
         assert_eq!(fit_exponent(&[(0.0, 1.0), (-1.0, 2.0)]), 0.0);
         assert_eq!(fit_exponent(&[(2.0, 4.0)]), 0.0);

@@ -1,0 +1,191 @@
+//! A frozen copy of the **pre-CSR** round engine, kept solely as the
+//! baseline side of the `network_core` microbenchmark.
+//!
+//! This reproduces, faithfully and deliberately, the simulator data plane as
+//! it existed before the CSR/zero-allocation refactor:
+//!
+//! * nested `Vec<Vec<NodeId>>` adjacency with `O(log deg)` binary-search
+//!   port resolution on every delivered message,
+//! * CONGEST enforcement through a `HashSet<(NodeId, NodeId)>` that is
+//!   re-populated and cleared every round,
+//! * a fresh inbox `Vec` taken from the network and a fresh outbox `Vec`
+//!   allocated per node per round.
+//!
+//! Do **not** use this for anything but measurement: it exists so the
+//! benchmark can report "old engine vs new engine" numbers on identical
+//! workloads from a single binary, and so future sessions can re-verify the
+//! speedup claim without digging through git history.
+
+use std::collections::HashSet;
+
+use congest_net::{Graph, NodeId, Port};
+
+/// Nested-`Vec` adjacency as the seed's `Graph` stored it.
+#[derive(Debug, Clone)]
+pub struct LegacyGraph {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl LegacyGraph {
+    /// Copies a CSR graph into the legacy nested representation (port
+    /// numbering is identical: neighbours sorted ascending).
+    #[must_use]
+    pub fn from_graph(graph: &Graph) -> Self {
+        LegacyGraph {
+            adj: (0..graph.node_count())
+                .map(|v| graph.neighbors(v).to_vec())
+                .collect(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    fn neighbor_through_port(&self, v: NodeId, p: Port) -> NodeId {
+        self.adj[v][p]
+    }
+
+    fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.adj[v].binary_search(&u).ok()
+    }
+}
+
+/// The seed's network loop, specialised to one-bit flood messages.
+#[derive(Debug)]
+pub struct LegacyNetwork {
+    graph: LegacyGraph,
+    pending: Vec<(NodeId, NodeId, bool)>,
+    inboxes: Vec<Vec<(NodeId, bool)>>,
+    dirty_inboxes: Vec<NodeId>,
+    edges_used: HashSet<(NodeId, NodeId)>,
+    messages: u64,
+    rounds: u64,
+}
+
+impl LegacyNetwork {
+    fn new(graph: LegacyGraph) -> Self {
+        let n = graph.node_count();
+        LegacyNetwork {
+            graph,
+            pending: Vec::new(),
+            inboxes: vec![Vec::new(); n],
+            dirty_inboxes: Vec::new(),
+            edges_used: HashSet::new(),
+            messages: 0,
+            rounds: 0,
+        }
+    }
+
+    fn send_through_port(&mut self, from: NodeId, port: Port, msg: bool) {
+        let to = self.graph.neighbor_through_port(from, port);
+        // The seed's CONGEST check: hash-set insert per directed edge.
+        assert!(self.edges_used.insert((from, to)), "edge busy");
+        self.messages += 1;
+        self.pending.push((from, to, msg));
+    }
+
+    fn advance_round(&mut self) {
+        for v in self.dirty_inboxes.drain(..) {
+            self.inboxes[v].clear();
+        }
+        for (from, to, msg) in self.pending.drain(..) {
+            if self.inboxes[to].is_empty() {
+                self.dirty_inboxes.push(to);
+            }
+            self.inboxes[to].push((from, msg));
+        }
+        self.edges_used.clear();
+        self.rounds += 1;
+    }
+
+    fn take_inbox(&mut self, v: NodeId) -> Vec<(NodeId, bool)> {
+        std::mem::take(&mut self.inboxes[v])
+    }
+}
+
+/// Runs the seed-era flood loop: per-node allocated outboxes, `take_inbox`
+/// allocation churn, and binary-search arrival-port translation per message
+/// (exactly the shape of the old `SyncRuntime::step`).
+///
+/// Returns `(rounds, messages)` — byte-identical to the modern engine's
+/// counts on the same graph, which the determinism tests assert.
+#[must_use]
+pub fn run_flood(graph: &Graph, source: NodeId, max_rounds: u64) -> (u64, u64) {
+    let legacy = LegacyGraph::from_graph(graph);
+    let n = legacy.node_count();
+    let mut net = LegacyNetwork::new(legacy);
+    let mut has_token = vec![false; n];
+    let mut announced = vec![false; n];
+
+    // Start-up round.
+    has_token[source] = true;
+    {
+        let mut outbox: Vec<(Port, bool)> = Vec::new();
+        for port in 0..net.graph.degree(source) {
+            outbox.push((port, true));
+        }
+        announced[source] = true;
+        for (port, msg) in outbox {
+            net.send_through_port(source, port, msg);
+        }
+    }
+    net.advance_round();
+    let mut round = 1;
+
+    while round < max_rounds && !has_token.iter().all(|&t| t) {
+        for v in 0..n {
+            // Seed behaviour: every node takes (and reallocates) its inbox
+            // and translates senders to ports by binary search.
+            let inbox = net.take_inbox(v);
+            let incoming: Vec<(Port, bool)> = inbox
+                .into_iter()
+                .filter_map(|(from, msg)| net.graph.port_to(v, from).map(|p| (p, msg)))
+                .collect();
+            let mut outbox: Vec<(Port, bool)> = Vec::new();
+            if !has_token[v] && incoming.iter().any(|(_, t)| *t) {
+                has_token[v] = true;
+            }
+            if has_token[v] && !announced[v] {
+                for port in 0..net.graph.degree(v) {
+                    outbox.push((port, true));
+                }
+                announced[v] = true;
+            }
+            for (port, msg) in outbox {
+                net.send_through_port(v, port, msg);
+            }
+        }
+        net.advance_round();
+        round += 1;
+    }
+    (round, net.messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_net::programs::Flood;
+    use congest_net::{topology, NetworkConfig, SyncRuntime};
+
+    #[test]
+    fn legacy_flood_matches_modern_engine() {
+        for graph in [
+            topology::cycle(24).unwrap(),
+            topology::complete(12).unwrap(),
+            topology::hypercube(4).unwrap(),
+        ] {
+            let (legacy_rounds, legacy_msgs) = run_flood(&graph, 0, 10_000);
+            let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(0), |v, _| {
+                Flood::new(v == 0)
+            });
+            let modern_rounds = runtime.run_until_halt(10_000).unwrap();
+            assert_eq!(legacy_rounds, modern_rounds);
+            assert_eq!(legacy_msgs, runtime.metrics().classical_messages);
+        }
+    }
+}

@@ -16,11 +16,13 @@
 
 pub mod experiments;
 pub mod fit;
+pub mod legacy;
+pub mod network_bench;
 pub mod table;
 
 pub use experiments::{
-    e1_complete_le, e2_tradeoff, e3_mixing_le, e4_diameter_two_le, e5_general_le, e6_agreement,
-    e7_star_search, e8_star_counting, e9_walk_ablation, e10_candidate_sampling,
+    e10_candidate_sampling, e1_complete_le, e2_tradeoff, e3_mixing_le, e4_diameter_two_le,
+    e5_general_le, e6_agreement, e7_star_search, e8_star_counting, e9_walk_ablation,
 };
 pub use fit::fit_exponent;
 pub use table::ExperimentTable;

@@ -1,0 +1,199 @@
+//! Round-engine throughput measurement: modern CSR engine vs the frozen
+//! [`legacy`](crate::legacy) engine, plus GHS as a heavier protocol load.
+//!
+//! Used two ways:
+//!
+//! * the `network_core` criterion bench wraps [`flood_modern`] /
+//!   [`flood_legacy`] / [`ghs_modern`] in its timing harness,
+//! * `experiments --bench-network` calls [`measure_all`] and writes the
+//!   results to `BENCH_network.json`, so the performance trajectory of the
+//!   round engine is tracked in-repo from this PR onward.
+
+use std::time::Instant;
+
+use classical_baselines::GhsLe;
+use congest_net::programs::Flood;
+use congest_net::{topology, Graph, NetworkConfig, SyncRuntime};
+use qle::LeaderElection;
+
+use crate::legacy;
+
+/// The benchmark topologies: name × generator, at a benchmark size.
+///
+/// Cycle (diameter-bound, degree 2), complete (single-round, degree n−1),
+/// and a random 4-regular expander (the "typical" CONGEST workload).
+#[must_use]
+pub fn standard_topologies(n: usize) -> Vec<(String, Graph)> {
+    vec![
+        (format!("cycle/{n}"), topology::cycle(n).expect("cycle")),
+        (
+            format!("complete/{}", n / 4),
+            topology::complete(n / 4).expect("complete"),
+        ),
+        (
+            format!("expander4/{n}"),
+            topology::random_regular(n, 4, 7).expect("expander"),
+        ),
+    ]
+}
+
+/// One flood run on the modern engine; returns `(rounds, messages)`.
+#[must_use]
+pub fn flood_modern(graph: &Graph) -> (u64, u64) {
+    let mut runtime = SyncRuntime::new(graph.clone(), NetworkConfig::with_seed(0), |v, _| {
+        Flood::new(v == 0)
+    });
+    let rounds = runtime.run_until_halt(1_000_000).expect("flood run");
+    (rounds, runtime.metrics().classical_messages)
+}
+
+/// One flood run on the frozen pre-refactor engine; returns
+/// `(rounds, messages)`.
+#[must_use]
+pub fn flood_legacy(graph: &Graph) -> (u64, u64) {
+    legacy::run_flood(graph, 0, 1_000_000)
+}
+
+/// One GHS leader-election run on the modern engine; returns
+/// `(rounds, messages)`.
+#[must_use]
+pub fn ghs_modern(graph: &Graph, seed: u64) -> (u64, u64) {
+    let run = GhsLe::new().run(graph, seed).expect("ghs run");
+    (run.cost.metrics.rounds, run.cost.metrics.total_messages())
+}
+
+/// A single timed measurement for the JSON dump.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload name, e.g. `flood`.
+    pub workload: String,
+    /// Engine variant, `csr` or `legacy`.
+    pub engine: String,
+    /// Topology label, e.g. `cycle/4096`.
+    pub topology: String,
+    /// Nodes in the benchmarked graph.
+    pub nodes: usize,
+    /// Undirected edges in the benchmarked graph.
+    pub edges: usize,
+    /// Rounds executed per run.
+    pub rounds: u64,
+    /// Messages delivered per run.
+    pub messages: u64,
+    /// Timed runs.
+    pub runs: u32,
+    /// Median wall-clock nanoseconds per run.
+    pub ns_per_run: u128,
+}
+
+impl BenchRecord {
+    /// Nanoseconds per simulated round (the engine's headline number).
+    #[must_use]
+    pub fn ns_per_round(&self) -> u128 {
+        self.ns_per_run / u128::from(self.rounds.max(1))
+    }
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_runs(runs: u32, mut f: impl FnMut() -> (u64, u64)) -> (u64, u64, u128) {
+    // One warm-up run, then `runs` timed runs; report the median.
+    let (rounds, messages) = f();
+    let samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let out = std::hint::black_box(f());
+            assert_eq!(out, (rounds, messages), "non-deterministic benchmark run");
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    (rounds, messages, median_ns(samples))
+}
+
+/// Measures flood on both engines and GHS on the modern engine over the
+/// standard topologies at size `n`, with `runs` timed repetitions each.
+#[must_use]
+pub fn measure_all(n: usize, runs: u32) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for (label, graph) in standard_topologies(n) {
+        let (nodes, edges) = (graph.node_count(), graph.edge_count());
+        let mut push = |workload: &str, engine: &str, (rounds, messages, ns): (u64, u64, u128)| {
+            records.push(BenchRecord {
+                workload: workload.into(),
+                engine: engine.into(),
+                topology: label.clone(),
+                nodes,
+                edges,
+                rounds,
+                messages,
+                runs,
+                ns_per_run: ns,
+            });
+        };
+        push("flood", "csr", time_runs(runs, || flood_modern(&graph)));
+        push("flood", "legacy", time_runs(runs, || flood_legacy(&graph)));
+        push("ghs", "csr", time_runs(runs, || ghs_modern(&graph, 1)));
+    }
+    records
+}
+
+/// Renders the records as a JSON document (handwritten: the workspace has no
+/// serde; every field is numeric or a plain label, so escaping is not
+/// needed).
+#[must_use]
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"network_core\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"topology\": \"{}\", \
+             \"nodes\": {}, \"edges\": {}, \"rounds\": {}, \"messages\": {}, \
+             \"runs\": {}, \"ns_per_run\": {}, \"ns_per_round\": {}}}{}\n",
+            r.workload,
+            r.engine,
+            r.topology,
+            r.nodes,
+            r.edges,
+            r.rounds,
+            r.messages,
+            r.runs,
+            r.ns_per_run,
+            r.ns_per_round(),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_on_counts() {
+        let graph = topology::cycle(64).unwrap();
+        let modern = flood_modern(&graph);
+        let legacy = flood_legacy(&graph);
+        assert_eq!(modern, legacy);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let records = vec![BenchRecord {
+            workload: "flood".into(),
+            engine: "csr".into(),
+            topology: "cycle/64".into(),
+            nodes: 64,
+            edges: 64,
+            rounds: 33,
+            messages: 128,
+            runs: 3,
+            ns_per_run: 1000,
+        }];
+        let json = to_json(&records);
+        assert!(json.contains("\"ns_per_round\": 30"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -63,7 +63,15 @@ impl fmt::Display for ExperimentTable {
                 .join("  ")
         };
         writeln!(f, "{}", format_row(&self.header))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", format_row(row))?;
         }

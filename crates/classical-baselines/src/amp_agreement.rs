@@ -43,16 +43,10 @@ impl Payload for AmpMessage {
 
 /// The classical shared-coin agreement protocol with expected message
 /// complexity `Õ(n^{2/5})`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AmpSharedCoinAgreement {
     /// Estimation accuracy; `None` uses `ε = min(n^{−1/5}, 1/20)`.
     pub epsilon: Option<f64>,
-}
-
-impl Default for AmpSharedCoinAgreement {
-    fn default() -> Self {
-        AmpSharedCoinAgreement { epsilon: None }
-    }
 }
 
 impl AmpSharedCoinAgreement {
@@ -63,7 +57,9 @@ impl AmpSharedCoinAgreement {
     }
 
     fn resolve_epsilon(&self, n: usize) -> f64 {
-        self.epsilon.unwrap_or_else(|| (n as f64).powf(-0.2)).clamp(1.0 / n as f64, 0.05)
+        self.epsilon
+            .unwrap_or_else(|| (n as f64).powf(-0.2))
+            .clamp(1.0 / n as f64, 0.05)
     }
 }
 
@@ -76,7 +72,10 @@ impl Agreement for AmpSharedCoinAgreement {
     fn run(&self, graph: &Graph, inputs: &[bool], seed: u64) -> Result<AgreementRun, Error> {
         let n = graph.node_count();
         if inputs.len() != n {
-            return Err(Error::InputLengthMismatch { inputs: inputs.len(), nodes: n });
+            return Err(Error::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
         }
         if n < 4 || graph.edge_count() != n * (n - 1) / 2 {
             return Err(Error::UnsupportedTopology {
@@ -88,8 +87,10 @@ impl Agreement for AmpSharedCoinAgreement {
         let notify = ((epsilon * n as f64).sqrt().ceil() as usize).clamp(1, n - 1);
         let probes_per_detection = ((n as f64 / notify as f64) * (n as f64).ln()).ceil() as usize;
         let samples = (1.0 / (epsilon * epsilon)).ceil() as usize;
-        let mut net: Network<AmpMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed).shared_coin(true));
+        let mut net: Network<AmpMessage> = Network::new(
+            graph.clone(),
+            NetworkConfig::with_seed(seed).shared_coin(true),
+        );
 
         // Estimation phase: every candidate samples ⌈1/ε²⌉ random nodes.
         let candidates = sample_candidates(&mut net);
@@ -181,7 +182,10 @@ impl Agreement for AmpSharedCoinAgreement {
             protocol: self.name().to_string(),
             nodes: n,
             outcome,
-            cost: CostSummary { metrics: net.metrics(), effective_rounds },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds,
+            },
         })
     }
 }
@@ -207,7 +211,10 @@ impl Agreement for PrivateCoinAgreement {
     fn run(&self, graph: &Graph, inputs: &[bool], seed: u64) -> Result<AgreementRun, Error> {
         let n = graph.node_count();
         if inputs.len() != n {
-            return Err(Error::InputLengthMismatch { inputs: inputs.len(), nodes: n });
+            return Err(Error::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
         }
         let election = KppCompleteLe::new().run(graph, seed)?;
         let mut decisions = vec![AgreementDecision::Undecided; n];
@@ -230,7 +237,9 @@ mod tests {
     use congest_net::topology;
 
     fn mixed_inputs(n: usize, fraction_ones: f64) -> Vec<bool> {
-        (0..n).map(|i| (i as f64) < fraction_ones * n as f64).collect()
+        (0..n)
+            .map(|i| (i as f64) < fraction_ones * n as f64)
+            .collect()
     }
 
     #[test]
@@ -239,7 +248,9 @@ mod tests {
         let inputs = mixed_inputs(48, 0.4);
         let protocol = AmpSharedCoinAgreement::new();
         let trials: u64 = 8;
-        let ok = (0..trials).filter(|&s| protocol.run(&graph, &inputs, s).unwrap().succeeded()).count();
+        let ok = (0..trials)
+            .filter(|&s| protocol.run(&graph, &inputs, s).unwrap().succeeded())
+            .count();
         assert!(ok as u64 >= trials - 1, "ok = {ok}/{trials}");
     }
 
@@ -247,7 +258,9 @@ mod tests {
     fn unanimous_inputs_yield_unanimous_value() {
         let graph = topology::complete(32).unwrap();
         let inputs = vec![true; 32];
-        let run = AmpSharedCoinAgreement::new().run(&graph, &inputs, 4).unwrap();
+        let run = AmpSharedCoinAgreement::new()
+            .run(&graph, &inputs, 4)
+            .unwrap();
         assert!(run.succeeded());
         assert_eq!(run.outcome.agreed_value(), Some(true));
     }
@@ -258,7 +271,12 @@ mod tests {
         let inputs = mixed_inputs(64, 0.7);
         let trials: u64 = 10;
         let ok = (0..trials)
-            .filter(|&s| PrivateCoinAgreement::new().run(&graph, &inputs, s).unwrap().succeeded())
+            .filter(|&s| {
+                PrivateCoinAgreement::new()
+                    .run(&graph, &inputs, s)
+                    .unwrap()
+                    .succeeded()
+            })
             .count();
         assert!(ok as u64 >= trials - 1, "ok = {ok}/{trials}");
     }
@@ -266,9 +284,15 @@ mod tests {
     #[test]
     fn input_length_is_validated() {
         let graph = topology::complete(16).unwrap();
-        assert!(AmpSharedCoinAgreement::new().run(&graph, &[true; 3], 0).is_err());
-        assert!(PrivateCoinAgreement::new().run(&graph, &[true; 3], 0).is_err());
+        assert!(AmpSharedCoinAgreement::new()
+            .run(&graph, &[true; 3], 0)
+            .is_err());
+        assert!(PrivateCoinAgreement::new()
+            .run(&graph, &[true; 3], 0)
+            .is_err());
         let cycle = topology::cycle(16).unwrap();
-        assert!(AmpSharedCoinAgreement::new().run(&cycle, &[true; 16], 0).is_err());
+        assert!(AmpSharedCoinAgreement::new()
+            .run(&cycle, &[true; 16], 0)
+            .is_err());
     }
 }

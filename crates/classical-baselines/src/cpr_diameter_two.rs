@@ -62,7 +62,9 @@ impl LeaderElection for CprDiameterTwoLe {
         let diameter_ok = if n <= 600 && !self.skip_full_topology_check {
             graph.diameter() <= 2
         } else {
-            (0..n).step_by((n / 8).max(1)).all(|v| graph.eccentricity(v) <= 2)
+            (0..n)
+                .step_by((n / 8).max(1))
+                .all(|v| graph.eccentricity(v) <= 2)
         };
         if !diameter_ok {
             return Err(Error::UnsupportedTopology {
@@ -70,7 +72,8 @@ impl LeaderElection for CprDiameterTwoLe {
                 reason: "graph diameter exceeds 2".into(),
             });
         }
-        let mut net: Network<CprMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<CprMessage> =
+            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
         let candidates = sample_candidates(&mut net);
         let mut statuses = vec![NodeStatus::NonElected; n];
 
@@ -93,8 +96,11 @@ impl LeaderElection for CprDiameterTwoLe {
                 net.send(w, c.node, CprMessage::MaxSeen(max_heard[w]))?;
                 highest_reply = highest_reply.max(max_heard[w]);
             }
-            statuses[c.node] =
-                if highest_reply <= c.rank { NodeStatus::Elected } else { NodeStatus::NonElected };
+            statuses[c.node] = if highest_reply <= c.rank {
+                NodeStatus::Elected
+            } else {
+                NodeStatus::NonElected
+            };
         }
         net.advance_round();
 
@@ -103,7 +109,10 @@ impl LeaderElection for CprDiameterTwoLe {
             nodes: n,
             edges: graph.edge_count(),
             outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary { metrics: net.metrics(), effective_rounds: 2 },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds: 2,
+            },
         })
     }
 }
@@ -124,8 +133,14 @@ mod tests {
         for graph in graphs {
             let protocol = CprDiameterTwoLe::new();
             let trials: u64 = 8;
-            let ok = (0..trials).filter(|&seed| protocol.run(&graph, seed).unwrap().succeeded()).count();
-            assert!(ok as u64 >= trials - 1, "ok = {ok}/{trials} on n = {}", graph.node_count());
+            let ok = (0..trials)
+                .filter(|&seed| protocol.run(&graph, seed).unwrap().succeeded())
+                .count();
+            assert!(
+                ok as u64 >= trials - 1,
+                "ok = {ok}/{trials} on n = {}",
+                graph.node_count()
+            );
         }
     }
 

@@ -90,7 +90,8 @@ impl LeaderElection for GhsLe {
                 reason: "need at least two nodes".into(),
             });
         }
-        let mut net: Network<GhsMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<GhsMessage> =
+            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
         let mut cluster_of: Vec<u64> = (0..n as u64).collect();
         let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let max_phases = (n.max(2) as f64).log2().ceil() as usize + 2;
@@ -107,9 +108,9 @@ impl LeaderElection for GhsLe {
             // Step 1: every node probes *all* incident edges for outgoing ones
             // (this is the Θ(m)-per-phase step the quantum protocol avoids).
             let mut proposals: Vec<Option<(NodeId, NodeId)>> = vec![None; n];
-            for v in 0..n {
+            for (v, &cluster) in cluster_of.iter().enumerate() {
                 for &w in graph.neighbors(v) {
-                    net.send(v, w, GhsMessage::ClusterQuery(cluster_of[v]))?;
+                    net.send(v, w, GhsMessage::ClusterQuery(cluster))?;
                 }
             }
             net.advance_round();
@@ -156,7 +157,9 @@ impl LeaderElection for GhsLe {
                 .collect();
             for _ in 0..2 {
                 for &cluster in &clusters {
-                    for &(node, parent) in tree_order(cluster, &cluster_of, &tree_adj).iter().skip(1) {
+                    for &(node, parent) in
+                        tree_order(cluster, &cluster_of, &tree_adj).iter().skip(1)
+                    {
                         if let Some(parent) = parent {
                             net.send(parent, node, GhsMessage::Matching(cluster))?;
                         }
@@ -188,7 +191,10 @@ impl LeaderElection for GhsLe {
             for &(cluster, (_, to)) in &chosen {
                 if !new_root.contains_key(&cluster) {
                     let other = cluster_of[to];
-                    let root = new_root.get(&other).copied().unwrap_or_else(|| other.min(cluster));
+                    let root = new_root
+                        .get(&other)
+                        .copied()
+                        .unwrap_or_else(|| other.min(cluster));
                     new_root.insert(cluster, root);
                     new_root.entry(other).or_insert(root);
                 }
@@ -201,9 +207,9 @@ impl LeaderElection for GhsLe {
                     tree_adj[to].push(from);
                 }
             }
-            for v in 0..n {
-                if let Some(&root) = new_root.get(&cluster_of[v]) {
-                    cluster_of[v] = root;
+            for cluster in cluster_of.iter_mut() {
+                if let Some(&root) = new_root.get(cluster) {
+                    *cluster = root;
                 }
             }
             let mut new_clusters: Vec<u64> = cluster_of.clone();
@@ -243,7 +249,10 @@ impl LeaderElection for GhsLe {
             nodes: n,
             edges: graph.edge_count(),
             outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary { metrics: net.metrics(), effective_rounds },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds,
+            },
         })
     }
 }
@@ -279,7 +288,10 @@ mod tests {
         // The dense graph has 31x the edges but converges in fewer phases and
         // the sparse run pays per-phase tree overheads, so the ratio is well
         // below 31; it must still clearly exceed parity.
-        assert!(dense_cost > 3 * sparse_cost, "sparse = {sparse_cost}, dense = {dense_cost}");
+        assert!(
+            dense_cost > 3 * sparse_cost,
+            "sparse = {sparse_cost}, dense = {dense_cost}"
+        );
     }
 
     #[test]

@@ -67,7 +67,8 @@ impl LeaderElection for KppCompleteLe {
             });
         }
         let s = self.referee_count(n);
-        let mut net: Network<KppMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<KppMessage> =
+            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
         let candidates = sample_candidates(&mut net);
         let mut statuses = vec![NodeStatus::NonElected; n];
 
@@ -100,8 +101,11 @@ impl LeaderElection for KppCompleteLe {
                 net.send(w, c.node, KppMessage::MaxSeen(max_seen[w]))?;
                 highest_reply = highest_reply.max(max_seen[w]);
             }
-            statuses[c.node] =
-                if highest_reply <= c.rank { NodeStatus::Elected } else { NodeStatus::NonElected };
+            statuses[c.node] = if highest_reply <= c.rank {
+                NodeStatus::Elected
+            } else {
+                NodeStatus::NonElected
+            };
         }
         net.advance_round();
 
@@ -110,7 +114,10 @@ impl LeaderElection for KppCompleteLe {
             nodes: n,
             edges: graph.edge_count(),
             outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary { metrics: net.metrics(), effective_rounds: 2 },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds: 2,
+            },
         })
     }
 }
@@ -125,7 +132,9 @@ mod tests {
         let graph = topology::complete(128).unwrap();
         let protocol = KppCompleteLe::new();
         let trials: u64 = 20;
-        let ok = (0..trials).filter(|&seed| protocol.run(&graph, seed).unwrap().succeeded()).count();
+        let ok = (0..trials)
+            .filter(|&seed| protocol.run(&graph, seed).unwrap().succeeded())
+            .count();
         assert!(ok as u64 >= trials - 1, "ok = {ok}/{trials}");
     }
 

@@ -7,8 +7,8 @@
 //! Referees report the highest rank they received back along the reverse
 //! walk, and a candidate withdraws when it hears of a higher rank.
 
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
 use congest_net::walks::spectral_mixing_time;
+use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
 use qle::candidate::sample_candidates;
 use qle::problems::{LeaderElectionOutcome, NodeStatus};
 use qle::report::{CostSummary, LeaderElectionRun};
@@ -51,7 +51,10 @@ impl KppMixingLe {
     /// A configuration with an explicit mixing time.
     #[must_use]
     pub fn with_tau(tau: usize) -> Self {
-        KppMixingLe { tokens: None, tau: Some(tau) }
+        KppMixingLe {
+            tokens: None,
+            tau: Some(tau),
+        }
     }
 }
 
@@ -69,7 +72,10 @@ impl LeaderElection for KppMixingLe {
                 reason: "need at least three nodes".into(),
             });
         }
-        let tau = self.tau.unwrap_or_else(|| spectral_mixing_time(graph, 0.25)).max(1);
+        let tau = self
+            .tau
+            .unwrap_or_else(|| spectral_mixing_time(graph, 0.25))
+            .max(1);
         // Two birthday-paradox margins: the constant 2 keeps the pairwise
         // endpoint-collision failure probability negligible even when walk
         // endpoints repeat (unlike the complete-graph protocol, the same node
@@ -123,8 +129,11 @@ impl LeaderElection for KppMixingLe {
             highest_reply[*candidate_index] = highest_reply[*candidate_index].max(report);
         }
         for (i, c) in candidates.iter().enumerate() {
-            statuses[c.node] =
-                if highest_reply[i] <= c.rank { NodeStatus::Elected } else { NodeStatus::NonElected };
+            statuses[c.node] = if highest_reply[i] <= c.rank {
+                NodeStatus::Elected
+            } else {
+                NodeStatus::NonElected
+            };
         }
 
         Ok(LeaderElectionRun {
@@ -132,7 +141,10 @@ impl LeaderElection for KppMixingLe {
             nodes: n,
             edges: graph.edge_count(),
             outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary { metrics: net.metrics(), effective_rounds: 2 * tau as u64 },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds: 2 * tau as u64,
+            },
         })
     }
 }
@@ -147,15 +159,25 @@ mod tests {
         let graph = topology::random_regular(64, 4, 7).unwrap();
         let protocol = KppMixingLe::with_tau(16);
         let trials: u64 = 10;
-        let ok = (0..trials).filter(|&seed| protocol.run(&graph, seed).unwrap().succeeded()).count();
+        let ok = (0..trials)
+            .filter(|&seed| protocol.run(&graph, seed).unwrap().succeeded())
+            .count();
         assert!(ok as u64 >= trials - 1, "ok = {ok}/{trials}");
     }
 
     #[test]
     fn message_cost_scales_with_tau() {
         let graph = topology::hypercube(5).unwrap();
-        let short = KppMixingLe::with_tau(4).run(&graph, 3).unwrap().cost.total_messages();
-        let long = KppMixingLe::with_tau(16).run(&graph, 3).unwrap().cost.total_messages();
+        let short = KppMixingLe::with_tau(4)
+            .run(&graph, 3)
+            .unwrap()
+            .cost
+            .total_messages();
+        let long = KppMixingLe::with_tau(16)
+            .run(&graph, 3)
+            .unwrap()
+            .cost
+            .total_messages();
         assert!(long > 2 * short, "short = {short}, long = {long}");
     }
 

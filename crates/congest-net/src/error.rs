@@ -71,16 +71,25 @@ impl fmt::Display for Error {
                 write!(f, "nodes {from} and {to} are not adjacent")
             }
             Error::PortOutOfRange { node, port, degree } => {
-                write!(f, "port {port} out of range for node {node} of degree {degree}")
+                write!(
+                    f,
+                    "port {port} out of range for node {node} of degree {degree}"
+                )
             }
             Error::MessageTooLarge { bits, budget } => {
-                write!(f, "message of {bits} bits exceeds the CONGEST budget of {budget} bits")
+                write!(
+                    f,
+                    "message of {bits} bits exceeds the CONGEST budget of {budget} bits"
+                )
             }
             Error::EdgeBusy { from, to } => {
                 write!(f, "edge {from}->{to} already carries a message this round")
             }
             Error::SharedCoinUnavailable => {
-                write!(f, "shared coin requested but the network has none configured")
+                write!(
+                    f,
+                    "shared coin requested but the network has none configured"
+                )
             }
             Error::Disconnected => write!(f, "graph is not connected"),
         }
@@ -96,11 +105,20 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            Error::InvalidTopology { reason: "zero nodes".into() },
+            Error::InvalidTopology {
+                reason: "zero nodes".into(),
+            },
             Error::NodeOutOfRange { node: 9, n: 4 },
             Error::NotAdjacent { from: 0, to: 3 },
-            Error::PortOutOfRange { node: 1, port: 7, degree: 3 },
-            Error::MessageTooLarge { bits: 900, budget: 64 },
+            Error::PortOutOfRange {
+                node: 1,
+                port: 7,
+                degree: 3,
+            },
+            Error::MessageTooLarge {
+                bits: 900,
+                budget: 64,
+            },
             Error::EdgeBusy { from: 2, to: 5 },
             Error::SharedCoinUnavailable,
             Error::Disconnected,
@@ -108,7 +126,9 @@ mod tests {
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+            assert!(
+                s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric()
+            );
         }
     }
 

@@ -1,9 +1,33 @@
-//! Undirected graphs with the KT0 port numbering used by the CONGEST model.
+//! Undirected graphs with the KT0 port numbering used by the CONGEST model,
+//! stored in CSR (compressed sparse row) form.
 //!
 //! Each node `v` has `deg(v)` ports numbered `0..deg(v)`; port `p` of `v` is
 //! connected to exactly one port `p'` of exactly one neighbour `u`, and the
 //! two ends of an edge know nothing about each other beyond the port number
 //! (clean network / KT0 assumption of the paper, Section 2.1).
+//!
+//! # Representation
+//!
+//! The graph is three flat arrays:
+//!
+//! * `offsets` (`n + 1` entries): node `v`'s neighbours occupy
+//!   `neighbors[offsets[v]..offsets[v + 1]]`,
+//! * `neighbors` (`2m` entries): the flat adjacency, sorted by neighbour id
+//!   within each node's segment — so a node's *port numbering* is its index
+//!   into this segment, exactly as in the old nested-`Vec` representation,
+//! * `rev_port` (`2m` entries): the **reverse-port table**. For the directed
+//!   edge slot `e = offsets[v] + p` describing `v →(port p)→ u`,
+//!   `rev_port[e]` is the port of `u` whose slot points back at `v`.
+//!
+//! Every directed edge therefore has a stable integer identity
+//! ([`Graph::edge_id`], in `0..2m`) which the [`Network`](crate::Network)
+//! uses for O(1) arrival-port resolution and round-stamped CONGEST
+//! enforcement without hashing. The invariants, checked by the constructor
+//! and exercised by property tests, are:
+//!
+//! * `neighbors[offsets[u] + rev_port[e]] == v` for every slot `e` of `v`,
+//! * `rev_port[reverse_edge(e)] == port of e` (the table is an involution),
+//! * each segment is strictly increasing (no duplicate edges, no self-loops).
 
 use std::collections::VecDeque;
 
@@ -20,10 +44,15 @@ pub type NodeId = usize;
 /// A port of a node: an index into that node's adjacency list, in `0..deg(v)`.
 pub type Port = usize;
 
-/// An undirected graph with port numbering.
+/// Identifier of a *directed* edge slot, in `0..2m`: the flat CSR index
+/// `offsets[v] + port`. The two directions of an undirected edge have two
+/// distinct ids, related by [`Graph::reverse_edge`].
+pub type EdgeId = usize;
+
+/// An undirected graph with port numbering, in CSR form.
 ///
-/// The adjacency list of each node is sorted by neighbour id, so port numbers
-/// are deterministic for a given edge set.
+/// The adjacency segment of each node is sorted by neighbour id, so port
+/// numbers are deterministic for a given edge set.
 ///
 /// # Example
 ///
@@ -36,13 +65,22 @@ pub type Port = usize;
 /// assert_eq!(g.degree(0), 2);
 /// assert!(g.is_connected());
 /// assert_eq!(g.diameter(), 2);
+///
+/// // CSR directed-edge identities: port 0 of node 0 leads to node 1, and
+/// // the reverse-port table names the port of 1 that leads back to 0.
+/// let e = g.edge_id(0, 0);
+/// assert_eq!(g.edge_target(e), 1);
+/// assert_eq!(g.neighbors(1)[g.reverse_port(e)], 0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    /// `adj[v]` lists the neighbours of `v` in increasing order.
-    adj: Vec<Vec<NodeId>>,
-    /// Number of undirected edges.
-    edges: usize,
+    /// CSR row offsets; `offsets[n]` is the directed edge count `2m`.
+    offsets: Vec<usize>,
+    /// Flat adjacency, sorted within each node's segment.
+    neighbors: Vec<NodeId>,
+    /// Reverse-port table: `rev_port[offsets[v] + p]` is the port of
+    /// `neighbors[offsets[v] + p]` that leads back to `v`.
+    rev_port: Vec<Port>,
 }
 
 impl Graph {
@@ -56,9 +94,12 @@ impl Graph {
     /// node `>= n`, if an edge is a self-loop, or if an edge appears twice.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, Error> {
         if n == 0 {
-            return Err(Error::InvalidTopology { reason: "graph must have at least one node".into() });
+            return Err(Error::InvalidTopology {
+                reason: "graph must have at least one node".into(),
+            });
         }
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Pass 1: validate endpoints and count degrees.
+        let mut offsets = vec![0usize; n + 1];
         for &(u, v) in edges {
             if u >= n || v >= n {
                 return Err(Error::InvalidTopology {
@@ -66,30 +107,71 @@ impl Graph {
                 });
             }
             if u == v {
-                return Err(Error::InvalidTopology { reason: format!("self-loop at node {u}") });
+                return Err(Error::InvalidTopology {
+                    reason: format!("self-loop at node {u}"),
+                });
             }
-            adj[u].push(v);
-            adj[v].push(u);
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
         }
-        for (v, list) in adj.iter_mut().enumerate() {
-            list.sort_unstable();
-            if list.windows(2).any(|w| w[0] == w[1]) {
-                return Err(Error::InvalidTopology { reason: format!("duplicate edge at node {v}") });
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Pass 2: scatter both directions into the flat array.
+        let mut neighbors = vec![0 as NodeId; 2 * edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Pass 3: sort each segment so ports are deterministic, and reject
+        // duplicates (which appear as equal adjacent entries after sorting).
+        for v in 0..n {
+            let segment = &mut neighbors[offsets[v]..offsets[v + 1]];
+            segment.sort_unstable();
+            if segment.windows(2).any(|w| w[0] == w[1]) {
+                return Err(Error::InvalidTopology {
+                    reason: format!("duplicate edge at node {v}"),
+                });
             }
         }
-        Ok(Graph { adj, edges: edges.len() })
+        // Pass 4: fill the reverse-port table. Each slot's reverse port is
+        // the position of the source node in the target's sorted segment.
+        let mut rev_port = vec![0 as Port; neighbors.len()];
+        for v in 0..n {
+            for e in offsets[v]..offsets[v + 1] {
+                let u = neighbors[e];
+                let seg = &neighbors[offsets[u]..offsets[u + 1]];
+                // The entry must exist: we inserted both directions.
+                rev_port[e] = seg.binary_search(&v).expect("asymmetric adjacency");
+            }
+        }
+        Ok(Graph {
+            offsets,
+            neighbors,
+            rev_port,
+        })
     }
 
     /// Number of nodes `n`.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `m`.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edges
+        self.neighbors.len() / 2
+    }
+
+    /// Number of *directed* edge slots, `2m` — the length of the CSR arrays
+    /// and the domain of [`EdgeId`].
+    #[must_use]
+    pub fn directed_edge_count(&self) -> usize {
+        self.neighbors.len()
     }
 
     /// Degree of node `v`.
@@ -99,7 +181,7 @@ impl Graph {
     /// Panics if `v >= n`.
     #[must_use]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// The neighbours of `v`, in increasing order (port order).
@@ -109,7 +191,54 @@ impl Graph {
     /// Panics if `v >= n`.
     #[must_use]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v]
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The directed edge id of `v`'s port `p`: the flat CSR slot
+    /// `offsets[v] + p`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `p >= deg(v)`; `v >= n` panics always.
+    #[must_use]
+    pub fn edge_id(&self, v: NodeId, p: Port) -> EdgeId {
+        debug_assert!(p < self.degree(v), "port {p} out of range for node {v}");
+        self.offsets[v] + p
+    }
+
+    /// The node a directed edge slot points at: for `e = edge_id(v, p)` this
+    /// is the neighbour of `v` behind port `p`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= 2m`.
+    #[must_use]
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.neighbors[e]
+    }
+
+    /// The reverse port of a directed edge slot: for `e = edge_id(v, p)`
+    /// pointing at `u`, the port of `u` that leads back to `v`. O(1) — this
+    /// is the lookup that lets the simulator resolve the *arrival port* of a
+    /// delivered message without scanning `u`'s adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= 2m`.
+    #[must_use]
+    pub fn reverse_port(&self, e: EdgeId) -> Port {
+        self.rev_port[e]
+    }
+
+    /// The opposite directed slot of `e`: if `e` describes `v → u`, the
+    /// returned id describes `u → v`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= 2m`.
+    #[must_use]
+    pub fn reverse_edge(&self, e: EdgeId) -> EdgeId {
+        self.offsets[self.neighbors[e]] + self.rev_port[e]
     }
 
     /// The neighbour of `v` reached through port `p`.
@@ -120,35 +249,48 @@ impl Graph {
     /// [`Error::NodeOutOfRange`] if `v >= n`.
     pub fn neighbor_through_port(&self, v: NodeId, p: Port) -> Result<NodeId, Error> {
         if v >= self.node_count() {
-            return Err(Error::NodeOutOfRange { node: v, n: self.node_count() });
+            return Err(Error::NodeOutOfRange {
+                node: v,
+                n: self.node_count(),
+            });
         }
-        self.adj[v]
-            .get(p)
-            .copied()
-            .ok_or(Error::PortOutOfRange { node: v, port: p, degree: self.adj[v].len() })
+        if p >= self.degree(v) {
+            return Err(Error::PortOutOfRange {
+                node: v,
+                port: p,
+                degree: self.degree(v),
+            });
+        }
+        Ok(self.neighbors[self.offsets[v] + p])
     }
 
     /// The port of `v` that leads to `u`, if `u` is adjacent to `v`.
+    ///
+    /// O(log deg(v)) — binary search in `v`'s sorted segment. Hot paths that
+    /// already hold an [`EdgeId`] should use [`reverse_port`](Graph::reverse_port)
+    /// instead, which is O(1).
     #[must_use]
     pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
         if v >= self.node_count() {
             return None;
         }
-        self.adj[v].binary_search(&u).ok()
+        self.neighbors(v).binary_search(&u).ok()
     }
 
     /// Whether `u` and `v` are adjacent.
     #[must_use]
     pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
-        u < self.node_count() && self.adj[u].binary_search(&v).is_ok()
+        u < self.node_count() && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterator over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        (0..self.node_count()).flat_map(|u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
     }
 
     /// Breadth-first distances from `source` (`usize::MAX` for unreachable nodes).
@@ -164,7 +306,7 @@ impl Graph {
         dist[source] = 0;
         queue.push_back(source);
         while let Some(v) = queue.pop_front() {
-            for &u in &self.adj[v] {
+            for &u in self.neighbors(v) {
                 if dist[u] == usize::MAX {
                     dist[u] = dist[v] + 1;
                     queue.push_back(u);
@@ -211,15 +353,19 @@ impl Graph {
     /// (`Σ√deg(v) ≤ √(2·m·n)`).
     #[must_use]
     pub fn sum_sqrt_degrees(&self) -> f64 {
-        self.adj.iter().map(|l| (l.len() as f64).sqrt()).sum()
+        (0..self.node_count())
+            .map(|v| (self.degree(v) as f64).sqrt())
+            .sum()
     }
 
     /// Degree-weighted stationary distribution `π(v) = deg(v) / 2m` of the
     /// simple random walk on the graph.
     #[must_use]
     pub fn stationary_distribution(&self) -> Vec<f64> {
-        let two_m = (2 * self.edges) as f64;
-        self.adj.iter().map(|l| l.len() as f64 / two_m).collect()
+        let two_m = self.directed_edge_count() as f64;
+        (0..self.node_count())
+            .map(|v| self.degree(v) as f64 / two_m)
+            .collect()
     }
 
     /// Validates that this graph is usable as a CONGEST communication network
@@ -247,7 +393,10 @@ mod tests {
 
     #[test]
     fn from_edges_rejects_zero_nodes() {
-        assert!(matches!(Graph::from_edges(0, &[]), Err(Error::InvalidTopology { .. })));
+        assert!(matches!(
+            Graph::from_edges(0, &[]),
+            Err(Error::InvalidTopology { .. })
+        ));
     }
 
     #[test]
@@ -277,8 +426,14 @@ mod tests {
     #[test]
     fn neighbor_through_port_errors() {
         let g = path_graph(3);
-        assert!(matches!(g.neighbor_through_port(0, 5), Err(Error::PortOutOfRange { .. })));
-        assert!(matches!(g.neighbor_through_port(9, 0), Err(Error::NodeOutOfRange { .. })));
+        assert!(matches!(
+            g.neighbor_through_port(0, 5),
+            Err(Error::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.neighbor_through_port(9, 0),
+            Err(Error::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -319,9 +474,55 @@ mod tests {
 
     #[test]
     fn sum_sqrt_degrees_cauchy_schwarz() {
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
         let lhs = g.sum_sqrt_degrees();
         let rhs = ((2 * g.edge_count() * g.node_count()) as f64).sqrt();
         assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn reverse_port_table_is_consistent() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 3),
+                (1, 4),
+            ],
+        )
+        .unwrap();
+        for v in 0..g.node_count() {
+            for p in 0..g.degree(v) {
+                let e = g.edge_id(v, p);
+                let u = g.edge_target(e);
+                // The reverse port points back at v...
+                assert_eq!(g.neighbors(u)[g.reverse_port(e)], v);
+                // ...and agrees with the binary-search path.
+                assert_eq!(g.port_to(u, v), Some(g.reverse_port(e)));
+                // reverse_edge is an involution.
+                assert_eq!(g.reverse_edge(g.reverse_edge(e)), e);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_cover_the_csr_domain() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.directed_edge_count(), 2 * g.edge_count());
+        let mut seen = vec![false; g.directed_edge_count()];
+        for v in 0..g.node_count() {
+            for p in 0..g.degree(v) {
+                let e = g.edge_id(v, p);
+                assert!(!seen[e], "edge id {e} assigned twice");
+                seen[e] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

@@ -24,8 +24,54 @@
 //!   advance rounds (all message/round accounting lives here, including the
 //!   separate *quantum* message meter of Section 3.1 of the paper),
 //! * an actor-style synchronous [`runtime`] for protocols written as per-node
-//!   state machines,
+//!   state machines, with reference programs in [`programs`],
 //! * random-walk machinery and mixing-time estimation ([`walks`]).
+//!
+//! # Performance architecture
+//!
+//! The simulator's data plane is built so that a steady-state round performs
+//! **zero heap allocation** and no hashing. Three design decisions carry
+//! this, and each comes with an invariant the rest of the crate relies on:
+//!
+//! ## 1. CSR graph with a reverse-port table
+//!
+//! [`Graph`] stores adjacency as flat `offsets` / `neighbors` arrays
+//! (compressed sparse row). Each directed edge slot `offsets[v] + p` is a
+//! stable integer [`EdgeId`], and a precomputed `rev_port` table maps every
+//! slot to the *receiving* port on the other side.
+//!
+//! **Invariant:** for every edge id `e = edge_id(v, p)` with target `u`,
+//! `neighbors(u)[reverse_port(e)] == v`, and
+//! `reverse_edge(reverse_edge(e)) == e`. Consequently the arrival port of a
+//! message is an O(1) array read at send time; nothing on the delivery path
+//! ever scans or searches an adjacency list. (`port_to(v, u)` for arbitrary
+//! pairs remains an `O(log deg)` binary search and is off the hot path.)
+//!
+//! ## 2. Round-stamped edge usage
+//!
+//! The CONGEST one-message-per-directed-edge rule is enforced by a
+//! `Vec<u64>` of *round stamps* indexed by [`EdgeId`]: an edge is busy iff
+//! `edge_stamp[e] == round_stamp`. Advancing a round just increments
+//! `round_stamp`.
+//!
+//! **Invariant:** `round_stamp` is strictly monotone (`advance_round` adds 1,
+//! `skip_rounds(r)` adds `r`), so a stamp written in an earlier round can
+//! never compare equal again — stale entries need no clearing, and
+//! enforcement is one load + compare + store, with no `HashSet` in sight.
+//!
+//! ## 3. Double-buffered inboxes and outboxes
+//!
+//! [`Network`] owns one reusable `pending` buffer and one inbox `Vec` per
+//! node (cleared via a dirty list, capacity retained).
+//! [`SyncRuntime`](runtime::SyncRuntime) owns its delivery and outbox
+//! scratch and rotates inbox storage through [`Network::swap_inbox`], so
+//! driving `n` programs allocates nothing once capacities have warmed up;
+//! halted nodes with empty inboxes are skipped outright.
+//!
+//! **Invariant:** buffers are only ever `clear()`ed or `swap()`ed on the
+//! round path — any code that `take`s, drops, or reallocates one of them in
+//! steady state is a regression (the `network_core` bench and the
+//! determinism suite in the workspace root guard this).
 //!
 //! # Example
 //!
@@ -37,7 +83,9 @@
 //! let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(7));
 //! net.send(0, 3, 42)?;
 //! net.advance_round();
-//! assert_eq!(net.inbox(3), &[(0, 42)]);
+//! // Deliveries carry (sender, arrival port, payload); in K_8 node 3's
+//! // port 0 leads back to node 0.
+//! assert_eq!(net.inbox(3), &[(0, 0, 42)]);
 //! assert_eq!(net.metrics().classical_messages, 1);
 //! # Ok(())
 //! # }
@@ -51,13 +99,14 @@ pub mod graph;
 pub mod message;
 pub mod metrics;
 pub mod network;
+pub mod programs;
 pub mod runtime;
 pub mod topology;
 pub mod walks;
 
 pub use error::Error;
-pub use graph::{Graph, NodeId, Port};
+pub use graph::{EdgeId, Graph, NodeId, Port};
 pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};
-pub use network::{Network, NetworkConfig};
+pub use network::{Delivery, Network, NetworkConfig};
 pub use runtime::{NodeProgram, Outbox, RoundContext, SyncRuntime};

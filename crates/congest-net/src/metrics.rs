@@ -44,7 +44,9 @@ impl Metrics {
         self.classical_messages += other.classical_messages;
         self.quantum_messages += other.quantum_messages;
         self.rounds += other.rounds;
-        self.peak_messages_per_round = self.peak_messages_per_round.max(other.peak_messages_per_round);
+        self.peak_messages_per_round = self
+            .peak_messages_per_round
+            .max(other.peak_messages_per_round);
         self.total_bits += other.total_bits;
     }
 }
@@ -87,16 +89,24 @@ impl MetricsRecorder {
         self.current_round_bits += bits as u64;
     }
 
-    pub(crate) fn finish_round(&mut self) {
+    /// Closes the current round. A [`RoundReport`] is recorded only when
+    /// `track_history` is set, so untracked runs never touch the history
+    /// vector (part of the zero-allocation steady state of
+    /// [`crate::Network::advance_round`]).
+    pub(crate) fn finish_round(&mut self, track_history: bool) {
         self.totals.rounds += 1;
-        self.totals.peak_messages_per_round =
-            self.totals.peak_messages_per_round.max(self.current_round_messages);
-        self.history.push(RoundReport {
-            round: self.totals.rounds,
-            messages: self.current_round_messages,
-            bits: self.current_round_bits,
-            quantum: self.current_round_quantum,
-        });
+        self.totals.peak_messages_per_round = self
+            .totals
+            .peak_messages_per_round
+            .max(self.current_round_messages);
+        if track_history {
+            self.history.push(RoundReport {
+                round: self.totals.rounds,
+                messages: self.current_round_messages,
+                bits: self.current_round_bits,
+                quantum: self.current_round_quantum,
+            });
+        }
         self.current_round_messages = 0;
         self.current_round_bits = 0;
         self.current_round_quantum = false;
@@ -124,7 +134,7 @@ mod tests {
         rec.record_send(20);
         rec.record_send(20);
         rec.quantum_depth = 0;
-        rec.finish_round();
+        rec.finish_round(true);
         assert_eq!(rec.totals.classical_messages, 1);
         assert_eq!(rec.totals.quantum_messages, 2);
         assert_eq!(rec.totals.total_messages(), 3);
@@ -139,11 +149,20 @@ mod tests {
     fn finish_round_resets_per_round_state() {
         let mut rec = MetricsRecorder::default();
         rec.record_send(8);
-        rec.finish_round();
-        rec.finish_round();
+        rec.finish_round(true);
+        rec.finish_round(true);
         assert_eq!(rec.totals.rounds, 2);
         assert_eq!(rec.history[1].messages, 0);
         assert!(!rec.history[1].quantum);
+    }
+
+    #[test]
+    fn untracked_rounds_leave_history_empty() {
+        let mut rec = MetricsRecorder::default();
+        rec.record_send(8);
+        rec.finish_round(false);
+        assert_eq!(rec.totals.rounds, 1);
+        assert!(rec.history.is_empty());
     }
 
     #[test]
@@ -156,8 +175,20 @@ mod tests {
 
     #[test]
     fn absorb_merges_counters() {
-        let mut a = Metrics { classical_messages: 3, quantum_messages: 5, rounds: 2, peak_messages_per_round: 4, total_bits: 90 };
-        let b = Metrics { classical_messages: 1, quantum_messages: 7, rounds: 9, peak_messages_per_round: 6, total_bits: 10 };
+        let mut a = Metrics {
+            classical_messages: 3,
+            quantum_messages: 5,
+            rounds: 2,
+            peak_messages_per_round: 4,
+            total_bits: 90,
+        };
+        let b = Metrics {
+            classical_messages: 1,
+            quantum_messages: 7,
+            rounds: 9,
+            peak_messages_per_round: 6,
+            total_bits: 10,
+        };
         a.absorb(&b);
         assert_eq!(a.classical_messages, 4);
         assert_eq!(a.quantum_messages, 12);

@@ -1,13 +1,29 @@
 //! The metered network handle: sending, round advancement, randomness, and
 //! quantum-scope message accounting.
-
-use std::collections::HashSet;
+//!
+//! # Data plane
+//!
+//! The network is built for steady-state **zero heap allocation** per round:
+//!
+//! * Sends append to one reusable `pending` buffer; delivery drains it into
+//!   per-node inbox buffers that are cleared (capacity kept) rather than
+//!   reallocated, with a dirty list so a round costs O(messages delivered),
+//!   not O(n).
+//! * The CONGEST one-message-per-directed-edge rule is enforced by a
+//!   **round-stamped** `Vec<u64>` indexed by the graph's directed
+//!   [`EdgeId`](crate::graph::EdgeId)s: an edge is busy iff its stamp equals
+//!   the current round stamp, so there is no hashing and nothing to clear
+//!   between rounds.
+//! * The arrival port of every message is resolved at *send* time through the
+//!   CSR graph's O(1) reverse-port table, so receivers (and the
+//!   [`SyncRuntime`](crate::runtime::SyncRuntime)) never scan adjacency
+//!   lists.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::error::Error;
-use crate::graph::{Graph, NodeId, Port};
+use crate::graph::{EdgeId, Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
 use crate::metrics::{Metrics, MetricsRecorder, RoundReport};
 
@@ -36,7 +52,12 @@ impl NetworkConfig {
     /// no shared coin, history tracking off.
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
-        NetworkConfig { seed, shared_coin: false, enforce_congest: true, track_round_history: false }
+        NetworkConfig {
+            seed,
+            shared_coin: false,
+            enforce_congest: true,
+            track_round_history: false,
+        }
     }
 
     /// Enables the global shared coin.
@@ -67,14 +88,22 @@ impl Default for NetworkConfig {
     }
 }
 
+/// A message delivered to a node: `(sender, arrival port, payload)`.
+///
+/// The arrival port is resolved at send time through the CSR reverse-port
+/// table; KT0 programs should use the port and ignore the sender id (which
+/// the simulator exposes for tracing and tests).
+pub type Delivery<M> = (NodeId, Port, M);
+
 /// A synchronous CONGEST network carrying messages of payload type `M`.
 ///
 /// Protocols interact with the network exclusively through this handle:
 /// sending ([`send`](Network::send), [`send_through_port`](Network::send_through_port),
 /// [`broadcast`](Network::broadcast)), advancing rounds
 /// ([`advance_round`](Network::advance_round)), reading delivered messages
-/// ([`inbox`](Network::inbox), [`take_inbox`](Network::take_inbox)), drawing
-/// private randomness ([`rng`](Network::rng)) or the shared coin
+/// ([`inbox`](Network::inbox), [`take_inbox`](Network::take_inbox),
+/// [`swap_inbox`](Network::swap_inbox)), drawing private randomness
+/// ([`rng`](Network::rng)) or the shared coin
 /// ([`shared_coin_uniform`](Network::shared_coin_uniform)), and charging
 /// quantum subroutine traffic ([`quantum_scope`](Network::quantum_scope)).
 #[derive(Debug)]
@@ -83,17 +112,25 @@ pub struct Network<M: Payload> {
     config: NetworkConfig,
     recorder: MetricsRecorder,
     budget_bits: usize,
-    /// Messages sent this round, delivered at the next `advance_round`.
-    pending: Vec<(NodeId, NodeId, M)>,
-    /// Messages delivered at the last `advance_round`.
-    inboxes: Vec<Vec<(NodeId, M)>>,
+    /// Messages sent this round as `(sender, arrival port, recipient,
+    /// payload)`, delivered at the next `advance_round`. Reused across
+    /// rounds (drained, never dropped).
+    pending: Vec<(NodeId, Port, NodeId, M)>,
+    /// Messages delivered at the last `advance_round`. Cleared (capacity
+    /// kept) rather than reallocated.
+    inboxes: Vec<Vec<Delivery<M>>>,
     /// Nodes whose inboxes are non-empty (so round advancement clears only
     /// what was touched, keeping each round `O(messages delivered)` instead
     /// of `O(n)`).
     dirty_inboxes: Vec<NodeId>,
-    /// Directed edges already used this round (only populated when CONGEST
-    /// enforcement is on).
-    edges_used: HashSet<(NodeId, NodeId)>,
+    /// Round stamp per directed edge id; `edge_stamp[e] == round_stamp`
+    /// means the edge already carries a message this round. Monotone stamps
+    /// make clearing unnecessary. Only consulted when CONGEST enforcement is
+    /// on.
+    edge_stamp: Vec<u64>,
+    /// The current round's stamp; starts at 1 so the zero-initialised
+    /// `edge_stamp` means "never used".
+    round_stamp: u64,
     node_rngs: Vec<StdRng>,
     shared_rng: Option<StdRng>,
 }
@@ -105,17 +142,22 @@ impl<M: Payload> Network<M> {
         let n = graph.node_count();
         let budget_bits = congest_budget_bits(n);
         let mut seeder = StdRng::seed_from_u64(config.seed);
-        let node_rngs = (0..n).map(|_| StdRng::seed_from_u64(seeder.next_u64())).collect();
-        let shared_rng = config.shared_coin.then(|| StdRng::seed_from_u64(seeder.next_u64()));
+        let node_rngs = (0..n)
+            .map(|_| StdRng::seed_from_u64(seeder.next_u64()))
+            .collect();
+        let shared_rng = config
+            .shared_coin
+            .then(|| StdRng::seed_from_u64(seeder.next_u64()));
         Network {
             inboxes: vec![Vec::new(); n],
             dirty_inboxes: Vec::new(),
+            edge_stamp: vec![0; graph.directed_edge_count()],
+            round_stamp: 1,
             graph,
             config,
             recorder: MetricsRecorder::default(),
             budget_bits,
             pending: Vec::new(),
-            edges_used: HashSet::new(),
             node_rngs,
             shared_rng,
         }
@@ -183,8 +225,43 @@ impl<M: Payload> Network<M> {
         }
     }
 
+    /// The hot send path: every send funnels here with a resolved directed
+    /// edge slot, where CONGEST enforcement is an O(1) stamp compare and the
+    /// arrival port an O(1) reverse-port lookup.
+    fn send_on_edge(&mut self, from: NodeId, edge: EdgeId, msg: M) -> Result<(), Error> {
+        let bits = msg.size_bits();
+        if self.config.enforce_congest {
+            if bits > self.budget_bits {
+                return Err(Error::MessageTooLarge {
+                    bits,
+                    budget: self.budget_bits,
+                });
+            }
+            let stamp = &mut self.edge_stamp[edge];
+            if *stamp == self.round_stamp {
+                return Err(Error::EdgeBusy {
+                    from,
+                    to: self.graph.edge_target(edge),
+                });
+            }
+            *stamp = self.round_stamp;
+        }
+        self.recorder.record_send(bits);
+        self.pending.push((
+            from,
+            self.graph.reverse_port(edge),
+            self.graph.edge_target(edge),
+            msg,
+        ));
+        Ok(())
+    }
+
     /// Sends `msg` from `from` to the adjacent node `to`, to be delivered at
     /// the next [`advance_round`](Network::advance_round).
+    ///
+    /// Costs one `O(log deg(from))` port lookup; protocols that already know
+    /// the port should prefer [`send_through_port`](Network::send_through_port),
+    /// which is O(1).
     ///
     /// # Errors
     ///
@@ -201,62 +278,70 @@ impl<M: Payload> Network<M> {
         if to >= n {
             return Err(Error::NodeOutOfRange { node: to, n });
         }
-        if !self.graph.are_adjacent(from, to) {
+        let Some(port) = self.graph.port_to(from, to) else {
             return Err(Error::NotAdjacent { from, to });
-        }
-        let bits = msg.size_bits();
-        if self.config.enforce_congest {
-            if bits > self.budget_bits {
-                return Err(Error::MessageTooLarge { bits, budget: self.budget_bits });
-            }
-            if !self.edges_used.insert((from, to)) {
-                return Err(Error::EdgeBusy { from, to });
-            }
-        }
-        self.recorder.record_send(bits);
-        self.pending.push((from, to, msg));
-        Ok(())
+        };
+        self.send_on_edge(from, self.graph.edge_id(from, port), msg)
     }
 
-    /// Sends `msg` from `from` through its local port `port` (KT0 addressing).
+    /// Sends `msg` from `from` through its local port `port` (KT0
+    /// addressing). O(1): the port *is* the directed edge slot.
     ///
     /// # Errors
     ///
     /// Same as [`send`](Network::send), plus [`Error::PortOutOfRange`].
     pub fn send_through_port(&mut self, from: NodeId, port: Port, msg: M) -> Result<(), Error> {
-        let to = self.graph.neighbor_through_port(from, port)?;
-        self.send(from, to, msg)
+        if from >= self.graph.node_count() {
+            return Err(Error::NodeOutOfRange {
+                node: from,
+                n: self.graph.node_count(),
+            });
+        }
+        if port >= self.graph.degree(from) {
+            return Err(Error::PortOutOfRange {
+                node: from,
+                port,
+                degree: self.graph.degree(from),
+            });
+        }
+        self.send_on_edge(from, self.graph.edge_id(from, port), msg)
     }
 
-    /// Sends `msg` from `v` to every neighbour of `v`.
+    /// Sends `msg` from `v` to every neighbour of `v`, without allocating.
     ///
     /// # Errors
     ///
     /// Same as [`send`](Network::send).
     pub fn broadcast(&mut self, v: NodeId, msg: M) -> Result<(), Error> {
-        let neighbors: Vec<NodeId> = self.graph.neighbors(v).to_vec();
-        for u in neighbors {
-            self.send(v, u, msg.clone())?;
+        if v >= self.graph.node_count() {
+            return Err(Error::NodeOutOfRange {
+                node: v,
+                n: self.graph.node_count(),
+            });
+        }
+        for port in 0..self.graph.degree(v) {
+            self.send_on_edge(v, self.graph.edge_id(v, port), msg.clone())?;
         }
         Ok(())
     }
 
     /// Delivers all pending messages and advances the round clock by one.
+    ///
+    /// Steady-state this performs **no heap allocation**: inboxes are
+    /// cleared in place, the pending buffer is drained in place, and edge
+    /// usage is invalidated by bumping the round stamp.
     pub fn advance_round(&mut self) {
         for v in self.dirty_inboxes.drain(..) {
             self.inboxes[v].clear();
         }
-        for (from, to, msg) in self.pending.drain(..) {
+        for (from, port, to, msg) in self.pending.drain(..) {
             if self.inboxes[to].is_empty() {
                 self.dirty_inboxes.push(to);
             }
-            self.inboxes[to].push((from, msg));
+            self.inboxes[to].push((from, port, msg));
         }
-        self.edges_used.clear();
-        self.recorder.finish_round();
-        if !self.config.track_round_history {
-            self.recorder.history.clear();
-        }
+        self.round_stamp += 1;
+        self.recorder.finish_round(self.config.track_round_history);
     }
 
     /// Advances the round clock by `rounds` rounds in which no messages are
@@ -264,28 +349,46 @@ impl<M: Payload> Network<M> {
     /// the quantum subroutines (Definition 4.1) without simulating each empty
     /// round individually.
     pub fn skip_rounds(&mut self, rounds: u64) {
-        debug_assert!(self.pending.is_empty(), "skip_rounds with undelivered messages");
+        debug_assert!(
+            self.pending.is_empty(),
+            "skip_rounds with undelivered messages"
+        );
+        self.round_stamp += rounds;
         self.recorder.record_idle_rounds(rounds);
     }
 
     /// Messages delivered to `v` at the last round advancement, as
-    /// `(sender, payload)` pairs.
+    /// `(sender, arrival port, payload)` triples.
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
     #[must_use]
-    pub fn inbox(&self, v: NodeId) -> &[(NodeId, M)] {
+    pub fn inbox(&self, v: NodeId) -> &[Delivery<M>] {
         &self.inboxes[v]
     }
 
-    /// Takes (and clears) the inbox of `v`.
+    /// Takes (and clears) the inbox of `v`. Allocates a replacement buffer;
+    /// zero-allocation consumers should use [`swap_inbox`](Network::swap_inbox).
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
-    pub fn take_inbox(&mut self, v: NodeId) -> Vec<(NodeId, M)> {
+    pub fn take_inbox(&mut self, v: NodeId) -> Vec<Delivery<M>> {
         std::mem::take(&mut self.inboxes[v])
+    }
+
+    /// Exchanges the inbox of `v` with `scratch`: `scratch` is cleared and
+    /// receives `v`'s messages, and `v`'s inbox takes over `scratch`'s
+    /// storage. Repeated use rotates a fixed set of buffers through the
+    /// network, so the steady state performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn swap_inbox(&mut self, v: NodeId, scratch: &mut Vec<Delivery<M>>) {
+        scratch.clear();
+        std::mem::swap(&mut self.inboxes[v], scratch);
     }
 
     /// Runs `body` with all message traffic charged to the quantum meter.
@@ -322,7 +425,12 @@ mod tests {
 
     fn small_net(shared: bool) -> Network<u64> {
         let graph = topology::complete(6).unwrap();
-        Network::new(graph, NetworkConfig::with_seed(42).shared_coin(shared).track_history(true))
+        Network::new(
+            graph,
+            NetworkConfig::with_seed(42)
+                .shared_coin(shared)
+                .track_history(true),
+        )
     }
 
     #[test]
@@ -334,9 +442,22 @@ mod tests {
         net.advance_round();
         let mut got: Vec<_> = net.inbox(1).to_vec();
         got.sort_unstable();
-        assert_eq!(got, vec![(0, 7), (2, 9)]);
+        // In K_6, node 1's port 0 leads to node 0 and port 1 to node 2.
+        assert_eq!(got, vec![(0, 0, 7), (2, 1, 9)]);
         assert_eq!(net.metrics().classical_messages, 2);
         assert_eq!(net.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn arrival_ports_match_port_to() {
+        let graph = topology::cycle(8).unwrap();
+        let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(0));
+        net.send(3, 4, 1).unwrap();
+        net.send(5, 4, 2).unwrap();
+        net.advance_round();
+        for &(from, port, _) in net.inbox(4) {
+            assert_eq!(net.graph().port_to(4, from), Some(port));
+        }
     }
 
     #[test]
@@ -344,7 +465,18 @@ mod tests {
         let graph = topology::path(4).unwrap();
         let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(1));
         assert!(matches!(net.send(0, 3, 1), Err(Error::NotAdjacent { .. })));
-        assert!(matches!(net.send(0, 9, 1), Err(Error::NodeOutOfRange { .. })));
+        assert!(matches!(
+            net.send(0, 9, 1),
+            Err(Error::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.send_through_port(0, 7, 1),
+            Err(Error::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.broadcast(9, 1),
+            Err(Error::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -360,6 +492,18 @@ mod tests {
     }
 
     #[test]
+    fn edge_stamps_survive_skip_rounds() {
+        let mut net = small_net(false);
+        net.send(0, 1, 1).unwrap();
+        net.advance_round();
+        net.skip_rounds(10);
+        // After skipping, the edge must be free.
+        net.send(0, 1, 2).unwrap();
+        net.advance_round();
+        assert_eq!(net.metrics().rounds, 12);
+    }
+
+    #[test]
     fn message_size_budget_enforced() {
         #[derive(Debug, Clone)]
         struct Huge;
@@ -370,7 +514,10 @@ mod tests {
         }
         let graph = topology::complete(4).unwrap();
         let mut net: Network<Huge> = Network::new(graph, NetworkConfig::with_seed(1));
-        assert!(matches!(net.send(0, 1, Huge), Err(Error::MessageTooLarge { .. })));
+        assert!(matches!(
+            net.send(0, 1, Huge),
+            Err(Error::MessageTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -391,7 +538,10 @@ mod tests {
     #[test]
     fn shared_coin_requires_configuration() {
         let mut without = small_net(false);
-        assert!(matches!(without.shared_coin_uniform(), Err(Error::SharedCoinUnavailable)));
+        assert!(matches!(
+            without.shared_coin_uniform(),
+            Err(Error::SharedCoinUnavailable)
+        ));
         let mut with = small_net(true);
         let a = with.shared_coin_uniform().unwrap();
         assert!((0.0..1.0).contains(&a));
@@ -430,7 +580,11 @@ mod tests {
         net.broadcast(0, 11).unwrap();
         net.advance_round();
         for v in 1..6 {
-            assert_eq!(net.inbox(v), &[(0, 11)]);
+            let inbox = net.inbox(v);
+            assert_eq!(inbox.len(), 1);
+            let (from, port, msg) = inbox[0];
+            assert_eq!((from, msg), (0, 11));
+            assert_eq!(net.graph().port_to(v, 0), Some(port));
         }
         assert_eq!(net.metrics().classical_messages, 5);
     }
@@ -451,7 +605,23 @@ mod tests {
         let mut net = small_net(false);
         net.send(0, 1, 5).unwrap();
         net.advance_round();
-        assert_eq!(net.take_inbox(1), vec![(0, 5)]);
+        assert_eq!(net.take_inbox(1), vec![(0, 0, 5)]);
         assert!(net.inbox(1).is_empty());
+    }
+
+    #[test]
+    fn swap_inbox_rotates_buffers() {
+        let mut net = small_net(false);
+        let mut scratch: Vec<(usize, usize, u64)> = Vec::with_capacity(4);
+        net.send(0, 1, 5).unwrap();
+        net.advance_round();
+        net.swap_inbox(1, &mut scratch);
+        assert_eq!(scratch, vec![(0, 0, 5)]);
+        assert!(net.inbox(1).is_empty());
+        // A second round reuses the rotated storage.
+        net.send(2, 1, 6).unwrap();
+        net.advance_round();
+        net.swap_inbox(1, &mut scratch);
+        assert_eq!(scratch, vec![(2, 1, 6)]);
     }
 }

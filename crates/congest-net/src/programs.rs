@@ -1,0 +1,99 @@
+//! Small reference [`NodeProgram`]s: building blocks and benchmark loads.
+//!
+//! These are deliberately simple protocols with known round/message bounds,
+//! used by the runtime's own tests, the determinism regression suite, and
+//! the `network_core` round-engine microbenchmark.
+
+use crate::graph::Port;
+use crate::runtime::{NodeProgram, Outbox, RoundContext};
+
+/// Single-source flooding: the node holding the token broadcasts it once;
+/// every node halts as soon as it holds the token.
+///
+/// On a connected graph with source `s`, termination takes
+/// `ecc(s) + O(1)` rounds and at most `2m` messages — which makes flooding
+/// the canonical "pure round-engine" load: every message is one bit, so
+/// measured throughput is simulator overhead, not protocol work.
+#[derive(Debug, Clone)]
+pub struct Flood {
+    has_token: bool,
+    announced: bool,
+}
+
+impl Flood {
+    /// A node that starts with the token iff `source` is true.
+    #[must_use]
+    pub fn new(source: bool) -> Self {
+        Flood {
+            has_token: source,
+            announced: false,
+        }
+    }
+
+    /// Whether this node has received (or started with) the token.
+    #[must_use]
+    pub fn has_token(&self) -> bool {
+        self.has_token
+    }
+}
+
+impl NodeProgram for Flood {
+    type Msg = bool;
+
+    fn on_start(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<bool>) {
+        if self.has_token {
+            outbox.send_all(ctx.degree, true);
+            self.announced = true;
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut RoundContext<'_>,
+        incoming: &[(Port, bool)],
+        outbox: &mut Outbox<bool>,
+    ) {
+        if !self.has_token && incoming.iter().any(|(_, t)| *t) {
+            self.has_token = true;
+        }
+        if self.has_token && !self.announced {
+            outbox.send_all(ctx.degree, true);
+            self.announced = true;
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.has_token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use crate::runtime::SyncRuntime;
+    use crate::topology;
+
+    #[test]
+    fn flood_reaches_every_node() {
+        for n in [4usize, 16, 33] {
+            let graph = topology::erdos_renyi_connected(n, 0.3, 7).unwrap();
+            let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(1), |v, _| {
+                Flood::new(v == 0)
+            });
+            runtime.run_until_halt(1000).unwrap();
+            assert!(runtime.programs().iter().all(Flood::has_token));
+        }
+    }
+
+    #[test]
+    fn flood_message_count_is_bounded_by_2m() {
+        let graph = topology::hypercube(5).unwrap();
+        let m = graph.edge_count() as u64;
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(1), |v, _| {
+            Flood::new(v == 0)
+        });
+        runtime.run_until_halt(1000).unwrap();
+        assert!(runtime.metrics().classical_messages <= 2 * m);
+    }
+}

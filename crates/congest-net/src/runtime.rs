@@ -10,6 +10,17 @@
 //!
 //! Addressing is strictly KT0: a program only ever names its own ports, and
 //! incoming messages are tagged with the port they arrived on.
+//!
+//! # Steady-state allocation
+//!
+//! The runtime owns all of its scratch: one inbox swap buffer, one
+//! port-tagged delivery buffer, and one [`Outbox`], each reused for every
+//! node in every round. Combined with the network's reusable pending/inbox
+//! buffers, a steady-state [`step`](SyncRuntime::step) performs **zero heap
+//! allocation** (after buffer capacities have warmed up in the first rounds).
+//! Halted nodes with empty inboxes are skipped entirely — they cannot send
+//! (their program has terminated) and have nothing to receive, so the round
+//! cost is proportional to the *active* part of the network.
 
 use rand::rngs::StdRng;
 
@@ -17,7 +28,7 @@ use crate::error::Error;
 use crate::graph::{Graph, NodeId, Port};
 use crate::message::Payload;
 use crate::metrics::Metrics;
-use crate::network::{Network, NetworkConfig};
+use crate::network::{Delivery, Network, NetworkConfig};
 
 /// The per-round view a node program gets of its environment.
 #[derive(Debug)]
@@ -94,6 +105,9 @@ pub trait NodeProgram {
 
     /// Whether this node has terminated. The runtime stops when every node
     /// has halted (or the round limit is reached).
+    ///
+    /// A halted node must stay halted and send nothing; the runtime relies
+    /// on this to skip halted nodes whose inboxes are empty.
     fn halted(&self) -> bool;
 }
 
@@ -103,16 +117,40 @@ pub struct SyncRuntime<P: NodeProgram> {
     net: Network<P::Msg>,
     programs: Vec<P>,
     round: u64,
+    /// Reusable buffer the per-node inbox is swapped into (capacity rotates
+    /// through the network's inbox pool — see [`Network::swap_inbox`]).
+    inbox_scratch: Vec<Delivery<P::Msg>>,
+    /// Reusable `(arrival port, message)` view handed to programs.
+    incoming: Vec<(Port, P::Msg)>,
+    /// Reusable outbox handed to programs; drained after each callback.
+    outbox: Outbox<P::Msg>,
+    /// Reusable drain buffer for flushing the outbox while the network is
+    /// borrowed mutably.
+    flush_scratch: Vec<(Port, P::Msg)>,
 }
 
 impl<P: NodeProgram> SyncRuntime<P> {
     /// Creates a runtime over `graph`, instantiating each node's program with
     /// `init(node, degree)` — the only knowledge a KT0 node starts with.
     #[must_use]
-    pub fn new(graph: Graph, config: NetworkConfig, mut init: impl FnMut(NodeId, usize) -> P) -> Self {
-        let programs = (0..graph.node_count()).map(|v| init(v, graph.degree(v))).collect();
+    pub fn new(
+        graph: Graph,
+        config: NetworkConfig,
+        mut init: impl FnMut(NodeId, usize) -> P,
+    ) -> Self {
+        let programs = (0..graph.node_count())
+            .map(|v| init(v, graph.degree(v)))
+            .collect();
         let net = Network::new(graph, config);
-        SyncRuntime { net, programs, round: 0 }
+        SyncRuntime {
+            net,
+            programs,
+            round: 0,
+            inbox_scratch: Vec::new(),
+            incoming: Vec::new(),
+            outbox: Outbox::new(),
+            flush_scratch: Vec::new(),
+        }
     }
 
     /// The underlying network (for metric inspection).
@@ -158,7 +196,6 @@ impl<P: NodeProgram> SyncRuntime<P> {
         let shared = self.shared_value();
         for v in 0..self.programs.len() {
             let degree = self.net.graph().degree(v);
-            let mut outbox = Outbox::new();
             {
                 let mut ctx = RoundContext {
                     node: v,
@@ -167,9 +204,9 @@ impl<P: NodeProgram> SyncRuntime<P> {
                     rng: self.net.rng(v),
                     shared_coin: shared,
                 };
-                self.programs[v].on_start(&mut ctx, &mut outbox);
+                self.programs[v].on_start(&mut ctx, &mut self.outbox);
             }
-            self.flush_outbox(v, outbox)?;
+            self.flush_outbox(v)?;
         }
         self.net.advance_round();
         self.round = 1;
@@ -178,22 +215,39 @@ impl<P: NodeProgram> SyncRuntime<P> {
 
     /// Executes one full round: delivery, per-node handlers, and sends.
     ///
+    /// Steady-state this performs no heap allocation and skips halted nodes
+    /// with empty inboxes entirely.
+    ///
     /// # Errors
     ///
     /// Propagates network errors from the queued sends.
     pub fn step(&mut self) -> Result<(), Error> {
         let shared = self.shared_value();
         for v in 0..self.programs.len() {
+            let inbox_empty = self.net.inbox(v).is_empty();
+            // A halted node sends nothing and, with an empty inbox, observes
+            // nothing: skip it without touching any buffer.
+            if inbox_empty && self.programs[v].halted() {
+                continue;
+            }
+            if inbox_empty {
+                // Idle-but-live node: hand it an empty view without touching
+                // the swap machinery (this path dominates sparse rounds).
+                self.incoming.clear();
+            } else {
+                // Translate (sender, port, msg) deliveries into (receiving
+                // port, msg) pairs: KT0 nodes see ports, not identifiers.
+                // The arrival port was already resolved in O(1) at send
+                // time.
+                self.net.swap_inbox(v, &mut self.inbox_scratch);
+                self.incoming.clear();
+                self.incoming.extend(
+                    self.inbox_scratch
+                        .drain(..)
+                        .map(|(_, port, msg)| (port, msg)),
+                );
+            }
             let degree = self.net.graph().degree(v);
-            // Translate (sender, msg) pairs into (receiving port, msg) pairs:
-            // KT0 nodes see ports, not identifiers.
-            let incoming: Vec<(Port, P::Msg)> = self
-                .net
-                .take_inbox(v)
-                .into_iter()
-                .filter_map(|(from, msg)| self.net.graph().port_to(v, from).map(|p| (p, msg)))
-                .collect();
-            let mut outbox = Outbox::new();
             {
                 let mut ctx = RoundContext {
                     node: v,
@@ -202,9 +256,11 @@ impl<P: NodeProgram> SyncRuntime<P> {
                     rng: self.net.rng(v),
                     shared_coin: shared,
                 };
-                self.programs[v].on_round(&mut ctx, &incoming, &mut outbox);
+                self.programs[v].on_round(&mut ctx, &self.incoming, &mut self.outbox);
             }
-            self.flush_outbox(v, outbox)?;
+            if !self.outbox.is_empty() {
+                self.flush_outbox(v)?;
+            }
         }
         self.net.advance_round();
         self.round += 1;
@@ -228,8 +284,14 @@ impl<P: NodeProgram> SyncRuntime<P> {
         self.net.shared_coin_uniform().ok()
     }
 
-    fn flush_outbox(&mut self, v: NodeId, outbox: Outbox<P::Msg>) -> Result<(), Error> {
-        for (port, msg) in outbox.msgs {
+    /// Sends everything queued in the shared outbox on behalf of `v`.
+    ///
+    /// The outbox contents are swapped into a scratch buffer first so the
+    /// network can be borrowed mutably while draining; both buffers are
+    /// reused across calls.
+    fn flush_outbox(&mut self, v: NodeId) -> Result<(), Error> {
+        std::mem::swap(&mut self.outbox.msgs, &mut self.flush_scratch);
+        for (port, msg) in self.flush_scratch.drain(..) {
             self.net.send_through_port(v, port, msg)?;
         }
         Ok(())
@@ -239,49 +301,15 @@ impl<P: NodeProgram> SyncRuntime<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::programs::Flood;
     use crate::topology;
-
-    /// A toy flooding program: node 0 starts with a token and floods it; every
-    /// node halts once it holds the token. Termination takes `diameter + 1`
-    /// rounds and `O(m)` messages.
-    #[derive(Debug)]
-    struct Flood {
-        has_token: bool,
-        announced: bool,
-    }
-
-    impl NodeProgram for Flood {
-        type Msg = bool;
-
-        fn on_start(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<bool>) {
-            if self.has_token {
-                outbox.send_all(ctx.degree, true);
-                self.announced = true;
-            }
-        }
-
-        fn on_round(&mut self, ctx: &mut RoundContext<'_>, incoming: &[(Port, bool)], outbox: &mut Outbox<bool>) {
-            if !self.has_token && incoming.iter().any(|(_, t)| *t) {
-                self.has_token = true;
-            }
-            if self.has_token && !self.announced {
-                outbox.send_all(ctx.degree, true);
-                self.announced = true;
-            }
-        }
-
-        fn halted(&self) -> bool {
-            self.has_token
-        }
-    }
 
     #[test]
     fn flooding_terminates_in_diameter_rounds() {
         let graph = topology::cycle(10).unwrap();
         let diameter = graph.diameter() as u64;
-        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |v, _| Flood {
-            has_token: v == 0,
-            announced: false,
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |v, _| {
+            Flood::new(v == 0)
         });
         let rounds = runtime.run_until_halt(100).unwrap();
         assert!(runtime.all_halted());
@@ -294,10 +322,8 @@ mod tests {
     fn run_respects_round_limit() {
         // Nobody ever halts (no node starts with the token).
         let graph = topology::path(4).unwrap();
-        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |_, _| Flood {
-            has_token: false,
-            announced: false,
-        });
+        let mut runtime =
+            SyncRuntime::new(graph, NetworkConfig::with_seed(3), |_, _| Flood::new(false));
         let rounds = runtime.run_until_halt(17).unwrap();
         assert_eq!(rounds, 17);
         assert!(!runtime.all_halted());
@@ -306,9 +332,8 @@ mod tests {
     #[test]
     fn into_parts_returns_programs_and_metrics() {
         let graph = topology::complete(4).unwrap();
-        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |v, _| Flood {
-            has_token: v == 0,
-            announced: false,
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3), |v, _| {
+            Flood::new(v == 0)
         });
         runtime.run_until_halt(10).unwrap();
         let (programs, metrics) = runtime.into_parts();
@@ -328,7 +353,13 @@ mod tests {
             fn on_start(&mut self, ctx: &mut RoundContext<'_>, _outbox: &mut Outbox<bool>) {
                 self.saw = ctx.shared_coin;
             }
-            fn on_round(&mut self, _ctx: &mut RoundContext<'_>, _incoming: &[(Port, bool)], _outbox: &mut Outbox<bool>) {}
+            fn on_round(
+                &mut self,
+                _ctx: &mut RoundContext<'_>,
+                _incoming: &[(Port, bool)],
+                _outbox: &mut Outbox<bool>,
+            ) {
+            }
             fn halted(&self) -> bool {
                 true
             }
@@ -344,5 +375,49 @@ mod tests {
         assert!(coins[0].is_some());
         assert_eq!(coins[0], coins[1]);
         assert_eq!(coins[1], coins[2]);
+    }
+
+    #[test]
+    fn halted_nodes_with_mail_still_observe_it() {
+        // A program that counts deliveries even while "halted": the runtime
+        // must not skip a halted node whose inbox is non-empty (its neighbour
+        // may have sent in the same round it halted).
+        #[derive(Debug)]
+        struct Sink {
+            sent: bool,
+            received: usize,
+        }
+        impl NodeProgram for Sink {
+            type Msg = bool;
+            fn on_start(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<bool>) {
+                if !self.sent {
+                    outbox.send_all(ctx.degree, true);
+                    self.sent = true;
+                }
+            }
+            fn on_round(
+                &mut self,
+                _ctx: &mut RoundContext<'_>,
+                incoming: &[(Port, bool)],
+                _outbox: &mut Outbox<bool>,
+            ) {
+                self.received += incoming.len();
+            }
+            fn halted(&self) -> bool {
+                true
+            }
+        }
+        let graph = topology::complete(3).unwrap();
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(1), |_, _| Sink {
+            sent: false,
+            received: 0,
+        });
+        runtime.start().unwrap();
+        runtime.step().unwrap();
+        // Every node broadcast at start-up, so each received 2 messages
+        // despite reporting halted() == true throughout.
+        for p in runtime.programs() {
+            assert_eq!(p.received, 2);
+        }
     }
 }

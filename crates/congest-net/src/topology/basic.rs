@@ -10,7 +10,9 @@ use crate::graph::Graph;
 /// Returns [`Error::InvalidTopology`] if `n < 2`.
 pub fn complete(n: usize) -> Result<Graph, Error> {
     if n < 2 {
-        return Err(Error::InvalidTopology { reason: format!("complete graph needs n >= 2, got {n}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("complete graph needs n >= 2, got {n}"),
+        });
     }
     let mut edges = Vec::with_capacity(n * (n - 1) / 2);
     for u in 0..n {
@@ -29,7 +31,9 @@ pub fn complete(n: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `n < 2`.
 pub fn star(n: usize) -> Result<Graph, Error> {
     if n < 2 {
-        return Err(Error::InvalidTopology { reason: format!("star graph needs n >= 2, got {n}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("star graph needs n >= 2, got {n}"),
+        });
     }
     let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
     Graph::from_edges(n, &edges)
@@ -42,7 +46,9 @@ pub fn star(n: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, Error> {
     if n < 3 {
-        return Err(Error::InvalidTopology { reason: format!("cycle needs n >= 3, got {n}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("cycle needs n >= 3, got {n}"),
+        });
     }
     let edges: Vec<_> = (0..n).map(|v| (v, (v + 1) % n)).collect();
     Graph::from_edges(n, &edges)
@@ -55,7 +61,9 @@ pub fn cycle(n: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `n < 2`.
 pub fn path(n: usize) -> Result<Graph, Error> {
     if n < 2 {
-        return Err(Error::InvalidTopology { reason: format!("path needs n >= 2, got {n}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("path needs n >= 2, got {n}"),
+        });
     }
     let edges: Vec<_> = (0..n - 1).map(|v| (v, v + 1)).collect();
     Graph::from_edges(n, &edges)

@@ -25,7 +25,9 @@ use crate::graph::Graph;
 /// Returns [`Error::InvalidTopology`] if `k < 2`.
 pub fn clique_of_cliques(k: usize) -> Result<Graph, Error> {
     if k < 2 {
-        return Err(Error::InvalidTopology { reason: format!("clique-of-cliques needs k >= 2, got {k}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("clique-of-cliques needs k >= 2, got {k}"),
+        });
     }
     let n = k * k;
     let idx = |clique: usize, member: usize| clique * k + member;
@@ -69,7 +71,9 @@ pub fn clique_of_cliques(k: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `n < 4`.
 pub fn hub_and_spokes_d2(n: usize) -> Result<Graph, Error> {
     if n < 4 {
-        return Err(Error::InvalidTopology { reason: format!("hub graph needs n >= 4, got {n}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("hub graph needs n >= 4, got {n}"),
+        });
     }
     let mut edges = Vec::new();
     for v in 1..n {
@@ -99,7 +103,9 @@ pub fn hub_and_spokes_d2(n: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `half < 3`.
 pub fn shared_hub_pair(half: usize) -> Result<Graph, Error> {
     if half < 3 {
-        return Err(Error::InvalidTopology { reason: format!("shared-hub pair needs half >= 3, got {half}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("shared-hub pair needs half >= 3, got {half}"),
+        });
     }
     let n = 2 * half - 1;
     let hub = 0;

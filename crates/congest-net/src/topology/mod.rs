@@ -128,7 +128,9 @@ mod tests {
             Family::Barbell,
         ];
         for family in families {
-            let g = family.generate(32, 11).unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            let g = family
+                .generate(32, 11)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
             assert!(g.is_connected(), "{} disconnected", family.name());
             assert!(g.node_count() >= 16, "{} too small", family.name());
         }

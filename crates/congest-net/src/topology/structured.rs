@@ -16,10 +16,14 @@ use crate::graph::Graph;
 /// Returns [`Error::InvalidTopology`] if `d == 0` or `2^d` overflows `usize`.
 pub fn hypercube(d: u32) -> Result<Graph, Error> {
     if d == 0 {
-        return Err(Error::InvalidTopology { reason: "hypercube dimension must be >= 1".into() });
+        return Err(Error::InvalidTopology {
+            reason: "hypercube dimension must be >= 1".into(),
+        });
     }
     if d >= usize::BITS {
-        return Err(Error::InvalidTopology { reason: format!("hypercube dimension {d} too large") });
+        return Err(Error::InvalidTopology {
+            reason: format!("hypercube dimension {d} too large"),
+        });
     }
     let n = 1usize << d;
     let mut edges = Vec::with_capacity(n * d as usize / 2);
@@ -49,24 +53,23 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, Error> {
     }
     let n = rows * cols;
     let idx = |r: usize, c: usize| r * cols + c;
-    let mut edges = Vec::new();
+    let mut edges = Vec::with_capacity(2 * n);
     for r in 0..rows {
         for c in 0..cols {
-            let right = idx(r, (c + 1) % cols);
-            let down = idx((r + 1) % rows, c);
             let here = idx(r, c);
-            // For a side of exactly 2 the wrap edge coincides with the direct
-            // edge; skip the duplicate so the graph stays simple.
-            if here != right && !edges.contains(&(right.min(here), right.max(here))) {
-                edges.push((here.min(right), here.max(right)));
+            // For a side of exactly 2 the wrap-around edge from the second
+            // cell coincides with the direct edge added from the first; skip
+            // exactly that duplicate so the graph stays simple. (This keeps
+            // construction linear in the edge count; the previous
+            // `Vec::contains` scan per edge was quadratic.)
+            if !(cols == 2 && c == 1) {
+                edges.push((here, idx(r, (c + 1) % cols)));
             }
-            if here != down && !edges.contains(&(down.min(here), down.max(here))) {
-                edges.push((here.min(down), here.max(down)));
+            if !(rows == 2 && r == 1) {
+                edges.push((here, idx((r + 1) % rows, c)));
             }
         }
     }
-    edges.sort_unstable();
-    edges.dedup();
     Graph::from_edges(n, &edges)
 }
 
@@ -82,7 +85,9 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `clique < 3`.
 pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, Error> {
     if clique < 3 {
-        return Err(Error::InvalidTopology { reason: format!("barbell cliques need >= 3 nodes, got {clique}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("barbell cliques need >= 3 nodes, got {clique}"),
+        });
     }
     let n = 2 * clique + bridge;
     let mut edges = Vec::new();
@@ -117,10 +122,14 @@ pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, Error> {
 /// Returns [`Error::InvalidTopology`] if `clique < 3` or `tail == 0`.
 pub fn lollipop(clique: usize, tail: usize) -> Result<Graph, Error> {
     if clique < 3 {
-        return Err(Error::InvalidTopology { reason: format!("lollipop clique needs >= 3 nodes, got {clique}") });
+        return Err(Error::InvalidTopology {
+            reason: format!("lollipop clique needs >= 3 nodes, got {clique}"),
+        });
     }
     if tail == 0 {
-        return Err(Error::InvalidTopology { reason: "lollipop tail must have at least one node".into() });
+        return Err(Error::InvalidTopology {
+            reason: "lollipop tail must have at least one node".into(),
+        });
     }
     let n = clique + tail;
     let mut edges = Vec::new();

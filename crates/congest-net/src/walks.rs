@@ -87,15 +87,20 @@ pub fn spectral_gap(graph: &Graph, iterations: usize) -> f64 {
     let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut x: Vec<f64> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         })
         .collect();
     deflate(&mut x, &pi);
     normalize(&mut x, &pi);
     let mut eigenvalue = 0.0;
+    // Double-buffered power iteration: `y` is reused every round, so the
+    // whole loop performs no allocation after this point.
+    let mut y = vec![0.0; n];
     for _ in 0..iterations {
-        let mut y = apply_lazy_walk(graph, &x);
+        apply_lazy_walk_into(graph, &x, &mut y);
         deflate(&mut y, &pi);
         eigenvalue = pi_dot(&y, &x, &pi);
         let norm = pi_norm(&y, &pi);
@@ -106,7 +111,7 @@ pub fn spectral_gap(graph: &Graph, iterations: usize) -> f64 {
         for value in &mut y {
             *value /= norm;
         }
-        x = y;
+        std::mem::swap(&mut x, &mut y);
     }
     (1.0 - eigenvalue.abs()).clamp(1e-12, 1.0)
 }
@@ -130,16 +135,25 @@ pub fn total_variation_mixing_time(graph: &Graph, epsilon: f64, max_t: usize) ->
     let n = graph.node_count();
     let pi = graph.stationary_distribution();
     let mut worst = 0;
+    // One pair of distribution buffers reused across all n starts.
+    let mut dist = vec![0.0; n];
+    let mut next = vec![0.0; n];
     for start in 0..n {
-        let mut dist = vec![0.0; n];
+        dist.fill(0.0);
         dist[start] = 1.0;
         let mut t = 0;
         while t < max_t {
-            let tv: f64 = 0.5 * dist.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>();
+            let tv: f64 = 0.5
+                * dist
+                    .iter()
+                    .zip(&pi)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>();
             if tv <= epsilon {
                 break;
             }
-            dist = apply_lazy_walk_distribution(graph, &dist);
+            apply_lazy_walk_distribution_into(graph, &dist, &mut next);
+            std::mem::swap(&mut dist, &mut next);
             t += 1;
         }
         worst = worst.max(t);
@@ -147,23 +161,22 @@ pub fn total_variation_mixing_time(graph: &Graph, epsilon: f64, max_t: usize) ->
     worst
 }
 
-/// Applies the lazy walk operator to a function on vertices: `(P'f)(v)`.
-fn apply_lazy_walk(graph: &Graph, f: &[f64]) -> Vec<f64> {
-    let n = graph.node_count();
-    let mut out = vec![0.0; n];
-    for v in 0..n {
+/// Applies the lazy walk operator to a function on vertices, writing
+/// `(P'f)(v)` into `out` (reused by callers to avoid per-iteration
+/// allocation).
+fn apply_lazy_walk_into(graph: &Graph, f: &[f64], out: &mut [f64]) {
+    for v in 0..graph.node_count() {
         let neighbors = graph.neighbors(v);
         let avg: f64 = neighbors.iter().map(|&u| f[u]).sum::<f64>() / neighbors.len() as f64;
         out[v] = 0.5 * f[v] + 0.5 * avg;
     }
-    out
 }
 
-/// Pushes a probability distribution one step through the lazy walk.
-fn apply_lazy_walk_distribution(graph: &Graph, dist: &[f64]) -> Vec<f64> {
-    let n = graph.node_count();
-    let mut out = vec![0.0; n];
-    for v in 0..n {
+/// Pushes a probability distribution one step through the lazy walk, writing
+/// into `out` (reused by callers).
+fn apply_lazy_walk_distribution_into(graph: &Graph, dist: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for v in 0..graph.node_count() {
         let mass = dist[v];
         if mass == 0.0 {
             continue;
@@ -175,7 +188,6 @@ fn apply_lazy_walk_distribution(graph: &Graph, dist: &[f64]) -> Vec<f64> {
             out[u] += share;
         }
     }
-    out
 }
 
 fn pi_dot(a: &[f64], b: &[f64], pi: &[f64]) -> f64 {
@@ -188,9 +200,9 @@ fn pi_norm(a: &[f64], pi: &[f64]) -> f64 {
 
 fn deflate(x: &mut [f64], pi: &[f64]) {
     // Remove the component along the constant function (the top eigenvector
-    // in the π-weighted inner product).
-    let ones = vec![1.0; x.len()];
-    let coeff = pi_dot(x, &ones, pi) / pi_dot(&ones, &ones, pi);
+    // in the π-weighted inner product): ⟨x, 1⟩_π / ⟨1, 1⟩_π, where
+    // ⟨1, 1⟩_π = Σ π(v) = 1.
+    let coeff: f64 = x.iter().zip(pi).map(|(v, w)| v * w).sum();
     for value in x.iter_mut() {
         *value -= coeff;
     }
@@ -271,9 +283,13 @@ mod tests {
     #[test]
     fn barbell_mixes_slowly() {
         let barbell = topology::barbell(8, 1).unwrap();
-        let expander = topology::random_regular(17, 4, 3).unwrap_or_else(|_| topology::complete(17).unwrap());
+        let expander =
+            topology::random_regular(17, 4, 3).unwrap_or_else(|_| topology::complete(17).unwrap());
         let tau_barbell = total_variation_mixing_time(&barbell, 0.25, 4000);
         let tau_expander = total_variation_mixing_time(&expander, 0.25, 4000);
-        assert!(tau_barbell > tau_expander * 2, "barbell {tau_barbell} vs expander {tau_expander}");
+        assert!(
+            tau_barbell > tau_expander * 2,
+            "barbell {tau_barbell} vs expander {tau_expander}"
+        );
     }
 }

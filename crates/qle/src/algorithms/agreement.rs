@@ -71,7 +71,12 @@ impl<'a> InputCountOracle<'a> {
     fn new(owner: NodeId, n: usize, inputs: &'a [bool]) -> Self {
         let domain: Vec<NodeId> = (0..n).filter(|&w| w != owner).collect();
         let ones = domain.iter().filter(|&&w| inputs[w]).count() as u64;
-        InputCountOracle { owner, domain, inputs, ones }
+        InputCountOracle {
+            owner,
+            domain,
+            inputs,
+            ones,
+        }
     }
 }
 
@@ -100,7 +105,12 @@ impl CheckingOracle<AgMessage> for InputCountOracle<'_> {
     }
 
     fn sample_marked(&mut self, rng: &mut StdRng) -> Option<NodeId> {
-        let ones: Vec<NodeId> = self.domain.iter().copied().filter(|&w| self.inputs[w]).collect();
+        let ones: Vec<NodeId> = self
+            .domain
+            .iter()
+            .copied()
+            .filter(|&w| self.inputs[w])
+            .collect();
         if ones.is_empty() {
             None
         } else {
@@ -122,7 +132,12 @@ impl<'a> DetectOracle<'a> {
     fn new(owner: NodeId, n: usize, informed: &'a [bool]) -> Self {
         let domain: Vec<NodeId> = (0..n).filter(|&w| w != owner).collect();
         let informed_count = domain.iter().filter(|&&w| informed[w]).count() as u64;
-        DetectOracle { owner, domain, informed, informed_count }
+        DetectOracle {
+            owner,
+            domain,
+            informed,
+            informed_count,
+        }
     }
 }
 
@@ -151,7 +166,12 @@ impl CheckingOracle<AgMessage> for DetectOracle<'_> {
     }
 
     fn sample_marked(&mut self, rng: &mut StdRng) -> Option<NodeId> {
-        let informed: Vec<NodeId> = self.domain.iter().copied().filter(|&w| self.informed[w]).collect();
+        let informed: Vec<NodeId> = self
+            .domain
+            .iter()
+            .copied()
+            .filter(|&w| self.informed[w])
+            .collect();
         if informed.is_empty() {
             None
         } else {
@@ -175,7 +195,11 @@ pub struct QuantumAgreement {
 
 impl Default for QuantumAgreement {
     fn default() -> Self {
-        QuantumAgreement { epsilon: None, gamma: None, alpha: AlphaChoice::HighProbability }
+        QuantumAgreement {
+            epsilon: None,
+            gamma: None,
+            alpha: AlphaChoice::HighProbability,
+        }
     }
 }
 
@@ -190,13 +214,20 @@ impl QuantumAgreement {
     /// A configuration with explicit parameter choices.
     #[must_use]
     pub fn with_parameters(epsilon: Option<f64>, gamma: Option<f64>, alpha: AlphaChoice) -> Self {
-        QuantumAgreement { epsilon, gamma, alpha }
+        QuantumAgreement {
+            epsilon,
+            gamma,
+            alpha,
+        }
     }
 
     fn validate(&self, graph: &Graph, inputs: &[bool]) -> Result<(), Error> {
         let n = graph.node_count();
         if inputs.len() != n {
-            return Err(Error::InputLengthMismatch { inputs: inputs.len(), nodes: n });
+            return Err(Error::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
         }
         if n < 4 {
             return Err(Error::UnsupportedTopology {
@@ -230,7 +261,9 @@ impl QuantumAgreement {
     }
 
     fn resolve_epsilon(&self, n: usize) -> f64 {
-        self.epsilon.unwrap_or_else(|| (n as f64).powf(-0.2)).clamp(1.0 / n as f64, 0.05)
+        self.epsilon
+            .unwrap_or_else(|| (n as f64).powf(-0.2))
+            .clamp(1.0 / n as f64, 0.05)
     }
 
     fn resolve_gamma(&self) -> f64 {
@@ -260,10 +293,14 @@ impl Agreement for QuantumAgreement {
         }
         .clamp(1e-12, 0.49);
         let notify_count = ((n as f64).powf(1.0 / 3.0 - gamma).ceil() as usize).clamp(1, n - 1);
-        let detect_epsilon = (n as f64).powf(-2.0 / 3.0 - gamma).min(notify_count as f64 / n as f64);
+        let detect_epsilon = (n as f64)
+            .powf(-2.0 / 3.0 - gamma)
+            .min(notify_count as f64 / n as f64);
 
-        let mut net: Network<AgMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed).shared_coin(true));
+        let mut net: Network<AgMessage> = Network::new(
+            graph.clone(),
+            NetworkConfig::with_seed(seed).shared_coin(true),
+        );
 
         // Estimation phase.
         let candidates = sample_candidates(&mut net);
@@ -271,7 +308,8 @@ impl Agreement for QuantumAgreement {
         let mut max_estimation_rounds = 0u64;
         for c in &candidates {
             let mut oracle = InputCountOracle::new(c.node, n, inputs);
-            let outcome = distributed_approx_count(&mut net, c.node, &mut oracle, epsilon, alpha_estimate)?;
+            let outcome =
+                distributed_approx_count(&mut net, c.node, &mut oracle, epsilon, alpha_estimate)?;
             max_estimation_rounds = max_estimation_rounds.max(outcome.rounds);
             estimates.push((c.node, (outcome.estimate / n as f64).clamp(0.0, 1.0)));
         }
@@ -314,8 +352,13 @@ impl Agreement for QuantumAgreement {
             let mut max_detection_rounds = 0u64;
             for v in undecided_this_iteration {
                 let mut oracle = DetectOracle::new(v, n, &informed);
-                let outcome =
-                    distributed_grover_search(&mut net, v, &mut oracle, detect_epsilon, alpha_detect)?;
+                let outcome = distributed_grover_search(
+                    &mut net,
+                    v,
+                    &mut oracle,
+                    detect_epsilon,
+                    alpha_detect,
+                )?;
                 max_detection_rounds = max_detection_rounds.max(outcome.rounds);
                 if outcome.found.is_some() {
                     // The candidate has detected that agreement was reached
@@ -333,7 +376,10 @@ impl Agreement for QuantumAgreement {
             protocol: self.name().to_string(),
             nodes: n,
             outcome,
-            cost: CostSummary { metrics: net.metrics(), effective_rounds },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds,
+            },
         })
     }
 }
@@ -344,7 +390,9 @@ mod tests {
     use congest_net::topology;
 
     fn mixed_inputs(n: usize, fraction_ones: f64) -> Vec<bool> {
-        (0..n).map(|i| (i as f64) < fraction_ones * n as f64).collect()
+        (0..n)
+            .map(|i| (i as f64) < fraction_ones * n as f64)
+            .collect()
     }
 
     #[test]
@@ -387,7 +435,10 @@ mod tests {
                 majority += 1;
             }
         }
-        assert!(majority >= 4, "majority value chosen in only {majority}/{trials} runs");
+        assert!(
+            majority >= 4,
+            "majority value chosen in only {majority}/{trials} runs"
+        );
     }
 
     #[test]
@@ -403,12 +454,16 @@ mod tests {
             protocol.run(&cycle, &[true; 16], 0),
             Err(Error::UnsupportedTopology { .. })
         ));
-        assert!(QuantumAgreement::with_parameters(Some(0.7), None, AlphaChoice::HighProbability)
-            .run(&graph, &[true; 16], 0)
-            .is_err());
-        assert!(QuantumAgreement::with_parameters(None, Some(0.9), AlphaChoice::HighProbability)
-            .run(&graph, &[true; 16], 0)
-            .is_err());
+        assert!(
+            QuantumAgreement::with_parameters(Some(0.7), None, AlphaChoice::HighProbability)
+                .run(&graph, &[true; 16], 0)
+                .is_err()
+        );
+        assert!(
+            QuantumAgreement::with_parameters(None, Some(0.9), AlphaChoice::HighProbability)
+                .run(&graph, &[true; 16], 0)
+                .is_err()
+        );
     }
 
     #[test]
@@ -418,7 +473,10 @@ mod tests {
         let a = QuantumAgreement::new().run(&graph, &inputs, 5).unwrap();
         let b = QuantumAgreement::new().run(&graph, &inputs, 5).unwrap();
         assert_eq!(a.outcome, b.outcome);
-        assert_eq!(a.cost.metrics.total_messages(), b.cost.metrics.total_messages());
+        assert_eq!(
+            a.cost.metrics.total_messages(),
+            b.cost.metrics.total_messages()
+        );
     }
 
     #[test]
@@ -432,7 +490,11 @@ mod tests {
             let inputs = mixed_inputs(n, 0.5);
             let mut total = 0;
             for seed in 0..3 {
-                total += protocol.run(&graph, &inputs, seed).unwrap().cost.total_messages();
+                total += protocol
+                    .run(&graph, &inputs, seed)
+                    .unwrap()
+                    .cost
+                    .total_messages();
             }
             total as f64 / 3.0
         };

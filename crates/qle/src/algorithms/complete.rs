@@ -71,8 +71,17 @@ struct HigherRankOracle {
 impl HigherRankOracle {
     fn new(candidate: Candidate, n: usize, max_received: Vec<u64>) -> Self {
         let domain: Vec<NodeId> = (0..n).filter(|&w| w != candidate.node).collect();
-        let marked = domain.iter().copied().filter(|&w| max_received[w] > candidate.rank).collect();
-        HigherRankOracle { candidate, domain, max_received, marked }
+        let marked = domain
+            .iter()
+            .copied()
+            .filter(|&w| max_received[w] > candidate.rank)
+            .collect();
+        HigherRankOracle {
+            candidate,
+            domain,
+            max_received,
+            marked,
+        }
     }
 }
 
@@ -80,7 +89,11 @@ impl CheckingOracle<LeMessage> for HigherRankOracle {
     type Item = NodeId;
 
     fn check(&mut self, net: &mut Network<LeMessage>, w: &NodeId) -> Result<bool, Error> {
-        net.send(self.candidate.node, *w, LeMessage::Rank(self.candidate.rank))?;
+        net.send(
+            self.candidate.node,
+            *w,
+            LeMessage::Rank(self.candidate.rank),
+        )?;
         net.advance_round();
         let answer = self.max_received[*w] > self.candidate.rank;
         net.send(*w, self.candidate.node, LeMessage::Reply(answer))?;
@@ -121,7 +134,10 @@ pub struct QuantumLe {
 
 impl Default for QuantumLe {
     fn default() -> Self {
-        QuantumLe { k: KChoice::Optimal, alpha: AlphaChoice::HighProbability }
+        QuantumLe {
+            k: KChoice::Optimal,
+            alpha: AlphaChoice::HighProbability,
+        }
     }
 }
 
@@ -172,7 +188,8 @@ impl LeaderElection for QuantumLe {
         let edges = graph.edge_count();
         let k = self.k.resolve(n, 1.0 / 3.0);
         let alpha = self.alpha.resolve(n);
-        let mut net: Network<LeMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<LeMessage> =
+            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
 
         // Phase 1: choosing candidates (local randomness only).
         let candidates = sample_candidates(&mut net);
@@ -203,7 +220,11 @@ impl LeaderElection for QuantumLe {
             let mut oracle = HigherRankOracle::new(*c, n, max_received.clone());
             let outcome = distributed_grover_search(&mut net, c.node, &mut oracle, epsilon, alpha)?;
             max_quantum_rounds = max_quantum_rounds.max(outcome.rounds);
-            statuses[c.node] = if outcome.found.is_none() { NodeStatus::Elected } else { NodeStatus::NonElected };
+            statuses[c.node] = if outcome.found.is_none() {
+                NodeStatus::Elected
+            } else {
+                NodeStatus::NonElected
+            };
         }
 
         Ok(LeaderElectionRun {
@@ -285,7 +306,10 @@ mod tests {
         let a = QuantumLe::new().run(&graph, 99).unwrap();
         let b = QuantumLe::new().run(&graph, 99).unwrap();
         assert_eq!(a.outcome, b.outcome);
-        assert_eq!(a.cost.metrics.total_messages(), b.cost.metrics.total_messages());
+        assert_eq!(
+            a.cost.metrics.total_messages(),
+            b.cost.metrics.total_messages()
+        );
     }
 
     #[test]

@@ -76,8 +76,18 @@ impl<'a> OutgoingEdgeOracle<'a> {
     fn new(node: NodeId, graph: &Graph, cluster_of: &'a [u64]) -> Self {
         let neighbors = graph.neighbors(node).to_vec();
         let cluster = cluster_of[node];
-        let marked = neighbors.iter().copied().filter(|&w| cluster_of[w] != cluster).collect();
-        OutgoingEdgeOracle { node, cluster, neighbors, cluster_of, marked }
+        let marked = neighbors
+            .iter()
+            .copied()
+            .filter(|&w| cluster_of[w] != cluster)
+            .collect();
+        OutgoingEdgeOracle {
+            node,
+            cluster,
+            neighbors,
+            cluster_of,
+            marked,
+        }
     }
 }
 
@@ -124,7 +134,10 @@ struct Clustering {
 
 impl Clustering {
     fn singletons(n: usize) -> Self {
-        Clustering { cluster_of: (0..n as u64).collect(), tree_adj: vec![Vec::new(); n] }
+        Clustering {
+            cluster_of: (0..n as u64).collect(),
+            tree_adj: vec![Vec::new(); n],
+        }
     }
 
     fn cluster_ids(&self) -> Vec<u64> {
@@ -178,7 +191,9 @@ pub struct QuantumGeneralLe {
 
 impl Default for QuantumGeneralLe {
     fn default() -> Self {
-        QuantumGeneralLe { alpha: AlphaChoice::HighProbability }
+        QuantumGeneralLe {
+            alpha: AlphaChoice::HighProbability,
+        }
     }
 }
 
@@ -212,7 +227,8 @@ impl LeaderElection for QuantumGeneralLe {
             });
         }
         let alpha = self.alpha.resolve_inner(n);
-        let mut net: Network<GenMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<GenMessage> =
+            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
         let mut clustering = Clustering::singletons(n);
         // The halving argument needs ⌈log₂ n⌉ phases when every cluster finds
         // an outgoing edge; a small amount of slack absorbs per-node Grover
@@ -234,7 +250,7 @@ impl LeaderElection for QuantumGeneralLe {
             let cluster_of = clustering.cluster_of.clone();
             let mut proposals: Vec<Option<(NodeId, NodeId)>> = vec![None; n];
             let mut max_search_rounds = 0u64;
-            for v in 0..n {
+            for (v, proposal) in proposals.iter_mut().enumerate() {
                 let mut oracle = OutgoingEdgeOracle::new(v, graph, &cluster_of);
                 if oracle.domain_size() == 0 {
                     continue;
@@ -243,7 +259,7 @@ impl LeaderElection for QuantumGeneralLe {
                 let outcome = distributed_grover_search(&mut net, v, &mut oracle, epsilon, alpha)?;
                 max_search_rounds = max_search_rounds.max(outcome.rounds);
                 if let Some(w) = outcome.found {
-                    proposals[v] = Some((v, w));
+                    *proposal = Some((v, w));
                 }
             }
             effective_rounds += max_search_rounds;
@@ -260,13 +276,18 @@ impl LeaderElection for QuantumGeneralLe {
                 // Walk the tree bottom-up: each non-centre node forwards the
                 // best proposal seen in its subtree to its parent.
                 for &(node, parent) in order.iter().rev() {
-                    if best.is_none() {
-                        best = proposals[node];
-                    } else if proposals[node].is_some() && proposals[node] < best {
+                    if best.is_none() || (proposals[node].is_some() && proposals[node] < best) {
                         best = proposals[node];
                     }
                     if let (Some(parent), Some((from, to))) = (parent, best) {
-                        net.send(node, parent, GenMessage::Proposal { from: from as u64, to: to as u64 })?;
+                        net.send(
+                            node,
+                            parent,
+                            GenMessage::Proposal {
+                                from: from as u64,
+                                to: to as u64,
+                            },
+                        )?;
                     }
                 }
                 net.advance_round();
@@ -318,7 +339,8 @@ impl LeaderElection for QuantumGeneralLe {
             // cluster on the other side. The merged cluster takes the
             // smallest involved centre as its new centre, and the new id is
             // broadcast over the merged tree.
-            let mut new_root: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            let mut new_root: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
             for &(a, b) in &matched {
                 let root = a.min(b);
                 new_root.insert(a, root);
@@ -383,7 +405,10 @@ impl LeaderElection for QuantumGeneralLe {
             nodes: n,
             edges: graph.edge_count(),
             outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary { metrics: net.metrics(), effective_rounds },
+            cost: CostSummary {
+                metrics: net.metrics(),
+                effective_rounds,
+            },
         })
     }
 }
@@ -419,7 +444,11 @@ mod tests {
                     ok += 1;
                 }
             }
-            assert!(ok >= 4, "only {ok}/5 runs elected a unique leader on n={}", graph.node_count());
+            assert!(
+                ok >= 4,
+                "only {ok}/5 runs elected a unique leader on n={}",
+                graph.node_count()
+            );
         }
     }
 
@@ -458,7 +487,10 @@ mod tests {
         let a = QuantumGeneralLe::new().run(&graph, 77).unwrap();
         let b = QuantumGeneralLe::new().run(&graph, 77).unwrap();
         assert_eq!(a.outcome, b.outcome);
-        assert_eq!(a.cost.metrics.total_messages(), b.cost.metrics.total_messages());
+        assert_eq!(
+            a.cost.metrics.total_messages(),
+            b.cost.metrics.total_messages()
+        );
     }
 
     #[test]

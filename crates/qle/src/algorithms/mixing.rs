@@ -136,7 +136,14 @@ impl CheckingOracle<RwMessage> for WalkCheckOracle<'_> {
             let blocks = remaining.div_ceil(CHOICES_PER_MESSAGE).max(1);
             for b in 0..blocks {
                 let left = remaining.saturating_sub(b * CHOICES_PER_MESSAGE) as u32;
-                net.send(hop[0], hop[1], RwMessage::Choices { rank: self.candidate.rank, remaining: left })?;
+                net.send(
+                    hop[0],
+                    hop[1],
+                    RwMessage::Choices {
+                        rank: self.candidate.rank,
+                        remaining: left,
+                    },
+                )?;
                 net.advance_round();
             }
             consumed = progressed;
@@ -186,7 +193,12 @@ impl CheckingOracle<RwMessage> for WalkCheckOracle<'_> {
 
 /// Probability that an `L`-step lazy walk from `start` ends at a node marked
 /// by `is_marked`, by exact distribution propagation.
-fn walk_hit_probability(graph: &Graph, start: NodeId, length: usize, is_marked: impl Fn(NodeId) -> bool) -> f64 {
+fn walk_hit_probability(
+    graph: &Graph,
+    start: NodeId,
+    length: usize,
+    is_marked: impl Fn(NodeId) -> bool,
+) -> f64 {
     let n = graph.node_count();
     let mut dist = vec![0.0f64; n];
     dist[start] = 1.0;
@@ -224,7 +236,11 @@ pub struct QuantumRwLe {
 
 impl Default for QuantumRwLe {
     fn default() -> Self {
-        QuantumRwLe { k: KChoice::Optimal, alpha: AlphaChoice::HighProbability, tau: None }
+        QuantumRwLe {
+            k: KChoice::Optimal,
+            alpha: AlphaChoice::HighProbability,
+            tau: None,
+        }
     }
 }
 
@@ -242,7 +258,9 @@ impl QuantumRwLe {
     }
 
     fn resolve_tau(&self, graph: &Graph) -> usize {
-        self.tau.unwrap_or_else(|| spectral_mixing_time(graph, 0.25)).max(1)
+        self.tau
+            .unwrap_or_else(|| spectral_mixing_time(graph, 0.25))
+            .max(1)
     }
 
     fn resolve_k(&self, n: usize, tau: usize) -> usize {
@@ -275,7 +293,8 @@ impl LeaderElection for QuantumRwLe {
         let walk_length = tau;
         let k = self.resolve_k(n, tau);
         let alpha = self.alpha.resolve(n);
-        let mut net: Network<RwMessage> = Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<RwMessage> =
+            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
 
         // Phase 1: candidates.
         let candidates = sample_candidates(&mut net);
@@ -298,7 +317,14 @@ impl LeaderElection for QuantumRwLe {
                     let port = net.rng(here).gen_range(0..degree);
                     let next = net.graph().neighbors(here)[port];
                     let steps_left = (walk_length - step - 1) as u32;
-                    net.send(here, next, RwMessage::Token { rank: c.rank, steps_left })?;
+                    net.send(
+                        here,
+                        next,
+                        RwMessage::Token {
+                            rank: c.rank,
+                            steps_left,
+                        },
+                    )?;
                     net.advance_round();
                     here = next;
                 }
@@ -311,7 +337,8 @@ impl LeaderElection for QuantumRwLe {
         let epsilon = (k as f64 / n as f64).min(1.0);
         let mut max_quantum_rounds = 0u64;
         for c in &candidates {
-            let fraction = walk_hit_probability(graph, c.node, walk_length, |w| max_received[w] > c.rank);
+            let fraction =
+                walk_hit_probability(graph, c.node, walk_length, |w| max_received[w] > c.rank);
             let mut oracle = WalkCheckOracle {
                 candidate: *c,
                 graph,
@@ -321,7 +348,11 @@ impl LeaderElection for QuantumRwLe {
             };
             let outcome = distributed_grover_search(&mut net, c.node, &mut oracle, epsilon, alpha)?;
             max_quantum_rounds = max_quantum_rounds.max(outcome.rounds);
-            statuses[c.node] = if outcome.found.is_none() { NodeStatus::Elected } else { NodeStatus::NonElected };
+            statuses[c.node] = if outcome.found.is_none() {
+                NodeStatus::Elected
+            } else {
+                NodeStatus::NonElected
+            };
         }
 
         Ok(LeaderElectionRun {
@@ -345,7 +376,8 @@ mod tests {
     #[test]
     fn elects_a_unique_leader_on_expanders() {
         let graph = topology::random_regular(48, 4, 5).unwrap();
-        let protocol = QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::HighProbability, Some(12));
+        let protocol =
+            QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::HighProbability, Some(12));
         let trials = 12;
         let mut successes = 0;
         for seed in 0..trials {
@@ -380,14 +412,20 @@ mod tests {
         // the per-check message cost.
         let graph = topology::hypercube(5).unwrap();
         let measure = |tau: usize| {
-            let protocol =
-                QuantumRwLe::with_parameters(KChoice::Fixed(4), AlphaChoice::Fixed(0.25), Some(tau));
+            let protocol = QuantumRwLe::with_parameters(
+                KChoice::Fixed(4),
+                AlphaChoice::Fixed(0.25),
+                Some(tau),
+            );
             let run = protocol.run(&graph, 11).unwrap();
             run.cost.total_messages()
         };
         let short = measure(6);
         let long = measure(12);
-        assert!(long as f64 > short as f64 * 2.0, "short = {short}, long = {long}");
+        assert!(
+            long as f64 > short as f64 * 2.0,
+            "short = {short}, long = {long}"
+        );
     }
 
     #[test]
@@ -399,10 +437,14 @@ mod tests {
     #[test]
     fn deterministic_for_a_fixed_seed() {
         let graph = topology::hypercube(4).unwrap();
-        let protocol = QuantumRwLe::with_parameters(KChoice::Fixed(3), AlphaChoice::Fixed(0.2), Some(8));
+        let protocol =
+            QuantumRwLe::with_parameters(KChoice::Fixed(3), AlphaChoice::Fixed(0.2), Some(8));
         let a = protocol.run(&graph, 21).unwrap();
         let b = protocol.run(&graph, 21).unwrap();
         assert_eq!(a.outcome, b.outcome);
-        assert_eq!(a.cost.metrics.total_messages(), b.cost.metrics.total_messages());
+        assert_eq!(
+            a.cost.metrics.total_messages(),
+            b.cost.metrics.total_messages()
+        );
     }
 }

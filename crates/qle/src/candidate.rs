@@ -33,7 +33,10 @@ pub fn candidate_probability(n: usize) -> f64 {
 #[must_use]
 pub fn rank_universe(n: usize) -> u64 {
     let n = n as u64;
-    n.saturating_mul(n).saturating_mul(n).saturating_mul(n).max(2)
+    n.saturating_mul(n)
+        .saturating_mul(n)
+        .saturating_mul(n)
+        .max(2)
 }
 
 /// Samples a rank uniformly from `1..=n⁴`.
@@ -55,7 +58,10 @@ pub fn sample_candidates<M: Payload>(net: &mut Network<M>) -> Vec<Candidate> {
     for node in 0..n {
         let rng = net.rng(node);
         if rng.gen_bool(p) {
-            candidates.push(Candidate { node, rank: rng.gen_range(1..=universe) });
+            candidates.push(Candidate {
+                node,
+                rank: rng.gen_range(1..=universe),
+            });
         }
     }
     candidates
@@ -70,9 +76,13 @@ pub fn sample_candidates_seeded(n: usize, master_seed: u64) -> Vec<Candidate> {
     let universe = rank_universe(n);
     let mut candidates = Vec::new();
     for node in 0..n {
-        let mut rng = StdRng::seed_from_u64(master_seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(master_seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         if rng.gen_bool(p) {
-            candidates.push(Candidate { node, rank: rng.gen_range(1..=universe) });
+            candidates.push(Candidate {
+                node,
+                rank: rng.gen_range(1..=universe),
+            });
         }
     }
     candidates
@@ -135,7 +145,10 @@ mod tests {
         let ok = (0..trials)
             .filter(|&seed| satisfies_fact_c2(n, &sample_candidates_seeded(n, seed as u64)))
             .count();
-        assert!(ok >= trials - 4, "fact C.2 held in only {ok}/{trials} trials");
+        assert!(
+            ok >= trials - 4,
+            "fact C.2 held in only {ok}/{trials} trials"
+        );
     }
 
     #[test]
@@ -151,7 +164,10 @@ mod tests {
         }
         let mean = totals as f64 / trials as f64;
         let expected = 12.0 * (n as f64).ln();
-        assert!((mean - expected).abs() < expected * 0.3, "mean = {mean}, expected = {expected}");
+        assert!(
+            (mean - expected).abs() < expected * 0.3,
+            "mean = {mean}, expected = {expected}"
+        );
     }
 
     #[test]
@@ -161,7 +177,10 @@ mod tests {
             Candidate { node: 5, rank: 99 },
             Candidate { node: 9, rank: 42 },
         ];
-        assert_eq!(highest_ranked(&candidates), Some(Candidate { node: 5, rank: 99 }));
+        assert_eq!(
+            highest_ranked(&candidates),
+            Some(Candidate { node: 5, rank: 99 })
+        );
         assert_eq!(highest_ranked(&[]), None);
     }
 
@@ -169,13 +188,16 @@ mod tests {
     fn bounds_are_sane() {
         let (lo, hi) = expected_candidate_bounds(1024);
         assert_eq!(lo, 1);
-        assert!(hi >= 24 * 6 && hi <= 24 * 8);
+        assert!((24 * 6..=24 * 8).contains(&hi));
     }
 
     #[test]
     fn fact_c2_rejects_duplicates_and_empty() {
         assert!(!satisfies_fact_c2(100, &[]));
-        let dup = vec![Candidate { node: 0, rank: 7 }, Candidate { node: 1, rank: 7 }];
+        let dup = vec![
+            Candidate { node: 0, rank: 7 },
+            Candidate { node: 1, rank: 7 },
+        ];
         assert!(!satisfies_fact_c2(100, &dup));
     }
 }

@@ -11,9 +11,11 @@
 /// How a protocol chooses its trade-off parameter `k`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum KChoice {
     /// Use the message-optimal value from the corresponding corollary (e.g.
     /// `k = n^{1/3}` for `QuantumLE`, `k = n^{2/3}` for `QuantumQWLE`).
+    #[default]
     Optimal,
     /// Use `k = ⌈n^exponent⌉`.
     Exponent(f64),
@@ -35,17 +37,13 @@ impl KChoice {
     }
 }
 
-impl Default for KChoice {
-    fn default() -> Self {
-        KChoice::Optimal
-    }
-}
-
 /// How a protocol chooses its failure probability `α`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum AlphaChoice {
     /// The paper's with-high-probability setting: `α = 1/n²`.
+    #[default]
     HighProbability,
     /// A fixed constant, e.g. `0.25` for scaling experiments where the
     /// `log(1/α)` amplification factor would otherwise dominate the measured
@@ -76,12 +74,6 @@ impl AlphaChoice {
             AlphaChoice::HighProbability => (1.0 / (n.max(2) as f64).powi(3)).clamp(1e-12, 0.49),
             AlphaChoice::Fixed(a) => (a / 2.0).clamp(1e-12, 0.49),
         }
-    }
-}
-
-impl Default for AlphaChoice {
-    fn default() -> Self {
-        AlphaChoice::HighProbability
     }
 }
 

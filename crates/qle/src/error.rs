@@ -44,7 +44,9 @@ impl fmt::Display for Error {
             Error::UnsupportedTopology { protocol, reason } => {
                 write!(f, "{protocol} does not support this topology: {reason}")
             }
-            Error::InvalidConfig { name, reason } => write!(f, "invalid configuration {name}: {reason}"),
+            Error::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration {name}: {reason}")
+            }
             Error::InputLengthMismatch { inputs, nodes } => {
                 write!(f, "got {inputs} agreement inputs for {nodes} nodes")
             }
@@ -83,7 +85,10 @@ mod tests {
         let e = Error::from(congest_net::Error::Disconnected);
         assert!(e.to_string().contains("network error"));
         assert!(StdError::source(&e).is_some());
-        let e = Error::UnsupportedTopology { protocol: "QuantumLE", reason: "not complete".into() };
+        let e = Error::UnsupportedTopology {
+            protocol: "QuantumLE",
+            reason: "not complete".into(),
+        };
         assert!(e.to_string().contains("QuantumLE"));
         assert!(StdError::source(&e).is_none());
     }

@@ -77,7 +77,10 @@ mod tests {
     use congest_net::{topology, NetworkConfig};
 
     fn fresh_net(n: usize, seed: u64) -> Network<u64> {
-        Network::new(topology::complete(n).unwrap(), NetworkConfig::with_seed(seed))
+        Network::new(
+            topology::complete(n).unwrap(),
+            NetworkConfig::with_seed(seed),
+        )
     }
 
     #[test]
@@ -87,7 +90,11 @@ mod tests {
         for seed in 0..trials {
             let mut net = fresh_net(64, seed);
             let marked: Vec<usize> = (1..20).collect();
-            let mut oracle = ProbeOracle { owner: 0, marked, domain: (1..64).collect() };
+            let mut oracle = ProbeOracle {
+                owner: 0,
+                marked,
+                domain: (1..64).collect(),
+            };
             let out = distributed_approx_count(&mut net, 0, &mut oracle, 0.1, 1.0 / 64.0).unwrap();
             if (out.estimate - 19.0).abs() <= 0.1 * 63.0 {
                 ok += 1;
@@ -100,7 +107,11 @@ mod tests {
     fn cost_scales_as_inverse_c() {
         let run = |c: f64| {
             let mut net = fresh_net(16, 5);
-            let mut oracle = ProbeOracle { owner: 0, marked: vec![1, 2], domain: (1..16).collect() };
+            let mut oracle = ProbeOracle {
+                owner: 0,
+                marked: vec![1, 2],
+                domain: (1..16).collect(),
+            };
             distributed_approx_count(&mut net, 0, &mut oracle, c, 0.1).unwrap();
             net.metrics().quantum_messages
         };
@@ -113,7 +124,11 @@ mod tests {
     #[test]
     fn counting_zero_marked_estimates_near_zero() {
         let mut net = fresh_net(32, 2);
-        let mut oracle = ProbeOracle { owner: 0, marked: vec![], domain: (1..32).collect() };
+        let mut oracle = ProbeOracle {
+            owner: 0,
+            marked: vec![],
+            domain: (1..32).collect(),
+        };
         let out = distributed_approx_count(&mut net, 0, &mut oracle, 0.1, 0.05).unwrap();
         assert!(out.estimate <= 0.1 * 31.0, "estimate = {}", out.estimate);
     }
@@ -121,7 +136,11 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         let mut net = fresh_net(8, 3);
-        let mut oracle = ProbeOracle { owner: 0, marked: vec![1], domain: (1..8).collect() };
+        let mut oracle = ProbeOracle {
+            owner: 0,
+            marked: vec![1],
+            domain: (1..8).collect(),
+        };
         assert!(distributed_approx_count(&mut net, 0, &mut oracle, 0.0, 0.1).is_err());
         assert!(distributed_approx_count(&mut net, 0, &mut oracle, 0.1, 0.0).is_err());
     }

@@ -84,14 +84,21 @@ mod tests {
     use congest_net::{topology, NetworkConfig};
 
     fn fresh_net(n: usize, seed: u64) -> Network<u64> {
-        Network::new(topology::complete(n).unwrap(), NetworkConfig::with_seed(seed))
+        Network::new(
+            topology::complete(n).unwrap(),
+            NetworkConfig::with_seed(seed),
+        )
     }
 
     #[test]
     fn empty_preimage_never_finds_anything() {
         for seed in 0..10 {
             let mut net = fresh_net(16, seed);
-            let mut oracle = ProbeOracle { owner: 0, marked: vec![], domain: (1..16).collect() };
+            let mut oracle = ProbeOracle {
+                owner: 0,
+                marked: vec![],
+                domain: (1..16).collect(),
+            };
             let out = distributed_grover_search(&mut net, 0, &mut oracle, 0.25, 0.1).unwrap();
             assert!(out.found.is_none());
         }
@@ -104,7 +111,11 @@ mod tests {
         for seed in 0..trials {
             let mut net = fresh_net(32, seed);
             let marked: Vec<usize> = (1..9).collect(); // fraction 8/31 >= 0.2
-            let mut oracle = ProbeOracle { owner: 0, marked: marked.clone(), domain: (1..32).collect() };
+            let mut oracle = ProbeOracle {
+                owner: 0,
+                marked: marked.clone(),
+                domain: (1..32).collect(),
+            };
             let out = distributed_grover_search(&mut net, 0, &mut oracle, 0.2, 1.0 / 64.0).unwrap();
             if let Some(found) = out.found {
                 assert!(marked.contains(&found));
@@ -120,7 +131,11 @@ mod tests {
         let expected_checks = 2 * spec.total_oracle_calls();
         for seed in [1, 2, 3] {
             let mut net = fresh_net(16, seed);
-            let mut oracle = ProbeOracle { owner: 0, marked: vec![5], domain: (1..16).collect() };
+            let mut oracle = ProbeOracle {
+                owner: 0,
+                marked: vec![5],
+                domain: (1..16).collect(),
+            };
             let out = distributed_grover_search(&mut net, 0, &mut oracle, 0.25, 0.1).unwrap();
             assert_eq!(out.checking_executions, expected_checks);
             // ProbeOracle: 2 messages and 2 rounds per checking execution.
@@ -134,7 +149,11 @@ mod tests {
     fn messages_scale_as_inverse_sqrt_epsilon() {
         let run = |epsilon: f64| {
             let mut net = fresh_net(8, 3);
-            let mut oracle = ProbeOracle { owner: 0, marked: vec![1], domain: (1..8).collect() };
+            let mut oracle = ProbeOracle {
+                owner: 0,
+                marked: vec![1],
+                domain: (1..8).collect(),
+            };
             distributed_grover_search(&mut net, 0, &mut oracle, epsilon, 0.1).unwrap();
             net.metrics().quantum_messages
         };
@@ -149,7 +168,11 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         let mut net = fresh_net(8, 3);
-        let mut oracle = ProbeOracle { owner: 0, marked: vec![1], domain: (1..8).collect() };
+        let mut oracle = ProbeOracle {
+            owner: 0,
+            marked: vec![1],
+            domain: (1..8).collect(),
+        };
         assert!(distributed_grover_search(&mut net, 0, &mut oracle, 0.0, 0.1).is_err());
         assert!(distributed_grover_search(&mut net, 0, &mut oracle, 0.5, 1.5).is_err());
     }

@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn marked_fraction_is_ratio() {
-        let oracle = ProbeOracle { owner: 0, marked: vec![1, 2], domain: (0..8).collect() };
+        let oracle = ProbeOracle {
+            owner: 0,
+            marked: vec![1, 2],
+            domain: (0..8).collect(),
+        };
         assert!((oracle.marked_fraction() - 0.25).abs() < 1e-12);
     }
 
@@ -132,7 +136,11 @@ mod tests {
     fn probe_oracle_charges_two_messages_and_two_rounds() {
         let graph = topology::complete(8).unwrap();
         let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(1));
-        let mut oracle = ProbeOracle { owner: 0, marked: vec![3], domain: (1..8).collect() };
+        let mut oracle = ProbeOracle {
+            owner: 0,
+            marked: vec![3],
+            domain: (1..8).collect(),
+        };
         let mut rng = StdRng::seed_from_u64(9);
         assert!(oracle.check(&mut net, &3).unwrap());
         assert!(!oracle.check(&mut net, &4).unwrap());

@@ -81,7 +81,10 @@ where
     O: WalkOracle<M>,
 {
     let spec = WalkSearchSpec::new(oracle.spectral_gap(), epsilon, alpha).map_err(|e| {
-        Error::InvalidConfig { name: "walk_search", reason: e.to_string() }
+        Error::InvalidConfig {
+            name: "walk_search",
+            reason: e.to_string(),
+        }
     })?;
     let mut rng = StdRng::seed_from_u64(net.rng(owner).gen());
     let rounds_before = net.metrics().rounds;
@@ -163,7 +166,9 @@ mod tests {
             net.advance_round();
             net.send(probe, self.owner, 1)?;
             net.advance_round();
-            Ok(subset.iter().any(|&i| self.marked_neighbors.contains(&self.neighbors[i])))
+            Ok(subset
+                .iter()
+                .any(|&i| self.marked_neighbors.contains(&self.neighbors[i])))
         }
 
         fn sample_input(&mut self, rng: &mut StdRng) -> Vec<usize> {
@@ -185,7 +190,9 @@ mod tests {
             // Rejection-sample a subset containing a marked neighbour.
             for _ in 0..1000 {
                 let s = self.johnson.random_subset(rng);
-                if s.iter().any(|&i| self.marked_neighbors.contains(&self.neighbors[i])) {
+                if s.iter()
+                    .any(|&i| self.marked_neighbors.contains(&self.neighbors[i]))
+                {
                     return Some(s);
                 }
             }
@@ -212,7 +219,10 @@ mod tests {
             subset: &Vec<usize>,
             rng: &mut StdRng,
         ) -> Result<Vec<usize>, Error> {
-            let (next, leave, join) = self.johnson.random_neighbor(subset, rng).map_err(Error::from)?;
+            let (next, leave, join) = self
+                .johnson
+                .random_neighbor(subset, rng)
+                .map_err(Error::from)?;
             net.send(self.owner, self.neighbors[leave], 4)?;
             net.send(self.owner, self.neighbors[join], 3)?;
             net.advance_round();
@@ -228,7 +238,15 @@ mod tests {
         let net = Network::new(topology::star(n).unwrap(), NetworkConfig::with_seed(13));
         let neighbors: Vec<NodeId> = (1..n).collect();
         let johnson = JohnsonGraph::new(neighbors.len(), k).unwrap();
-        (net, SubsetOracle { owner: 0, johnson, neighbors, marked_neighbors: marked })
+        (
+            net,
+            SubsetOracle {
+                owner: 0,
+                johnson,
+                neighbors,
+                marked_neighbors: marked,
+            },
+        )
     }
 
     #[test]
@@ -240,7 +258,9 @@ mod tests {
             let epsilon = oracle.marked_fraction() * 0.8;
             let out = distributed_walk_search(&mut net, 0, &mut oracle, epsilon, 0.05).unwrap();
             if let Some(subset) = out.found {
-                assert!(subset.iter().any(|&i| (1..9).contains(&oracle.neighbors[i])));
+                assert!(subset
+                    .iter()
+                    .any(|&i| (1..9).contains(&oracle.neighbors[i])));
                 hits += 1;
             }
         }

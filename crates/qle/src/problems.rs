@@ -50,8 +50,16 @@ impl LeaderElectionOutcome {
     /// Section 2.2).
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        let elected = self.statuses.iter().filter(|s| **s == NodeStatus::Elected).count();
-        let undecided = self.statuses.iter().filter(|s| **s == NodeStatus::Undecided).count();
+        let elected = self
+            .statuses
+            .iter()
+            .filter(|s| **s == NodeStatus::Elected)
+            .count();
+        let undecided = self
+            .statuses
+            .iter()
+            .filter(|s| **s == NodeStatus::Undecided)
+            .count();
         elected == 1 && undecided == 0
     }
 
@@ -61,7 +69,11 @@ impl LeaderElectionOutcome {
     /// protocols, which all set every status, but useful for diagnostics).
     #[must_use]
     pub fn has_unique_leader(&self) -> bool {
-        self.statuses.iter().filter(|s| **s == NodeStatus::Elected).count() == 1
+        self.statuses
+            .iter()
+            .filter(|s| **s == NodeStatus::Elected)
+            .count()
+            == 1
     }
 }
 
@@ -91,7 +103,10 @@ impl AgreementOutcome {
     /// different lengths.
     pub fn new(inputs: Vec<bool>, decisions: Vec<AgreementDecision>) -> Result<Self, Error> {
         if inputs.len() != decisions.len() {
-            return Err(Error::InputLengthMismatch { inputs: inputs.len(), nodes: decisions.len() });
+            return Err(Error::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: decisions.len(),
+            });
         }
         Ok(AgreementOutcome { inputs, decisions })
     }
@@ -139,7 +154,10 @@ impl AgreementOutcome {
     /// Number of nodes that decided.
     #[must_use]
     pub fn decided_count(&self) -> usize {
-        self.decisions.iter().filter(|d| matches!(d, AgreementDecision::Decided(_))).count()
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d, AgreementDecision::Decided(_)))
+            .count()
     }
 }
 
@@ -162,11 +180,16 @@ mod tests {
         // No leader.
         assert!(!LeaderElectionOutcome::new(vec![NodeStatus::NonElected; 3]).is_valid());
         // Two leaders.
-        let two = LeaderElectionOutcome::new(vec![NodeStatus::Elected, NodeStatus::Elected, NodeStatus::NonElected]);
+        let two = LeaderElectionOutcome::new(vec![
+            NodeStatus::Elected,
+            NodeStatus::Elected,
+            NodeStatus::NonElected,
+        ]);
         assert!(!two.is_valid());
         assert!(!two.has_unique_leader());
         // Leftover undecided node.
-        let undecided = LeaderElectionOutcome::new(vec![NodeStatus::Elected, NodeStatus::Undecided]);
+        let undecided =
+            LeaderElectionOutcome::new(vec![NodeStatus::Elected, NodeStatus::Undecided]);
         assert!(!undecided.is_valid());
         assert!(undecided.has_unique_leader());
     }
@@ -189,12 +212,17 @@ mod tests {
     #[test]
     fn invalid_agreement_cases() {
         // Nobody decided.
-        let nobody = AgreementOutcome::new(vec![true, false], vec![AgreementDecision::Undecided; 2]).unwrap();
+        let nobody =
+            AgreementOutcome::new(vec![true, false], vec![AgreementDecision::Undecided; 2])
+                .unwrap();
         assert!(!nobody.is_valid());
         // Conflicting decisions.
         let conflict = AgreementOutcome::new(
             vec![true, false],
-            vec![AgreementDecision::Decided(true), AgreementDecision::Decided(false)],
+            vec![
+                AgreementDecision::Decided(true),
+                AgreementDecision::Decided(false),
+            ],
         )
         .unwrap();
         assert!(!conflict.is_valid());
@@ -202,7 +230,10 @@ mod tests {
         // Decided value is nobody's input (validity violation).
         let invalid_value = AgreementOutcome::new(
             vec![false, false],
-            vec![AgreementDecision::Decided(true), AgreementDecision::Undecided],
+            vec![
+                AgreementDecision::Decided(true),
+                AgreementDecision::Undecided,
+            ],
         )
         .unwrap();
         assert!(!invalid_value.is_valid());

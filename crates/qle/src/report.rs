@@ -81,7 +81,11 @@ mod tests {
     #[test]
     fn cost_summary_totals() {
         let cost = CostSummary {
-            metrics: Metrics { classical_messages: 5, quantum_messages: 7, ..Metrics::default() },
+            metrics: Metrics {
+                classical_messages: 5,
+                quantum_messages: 7,
+                ..Metrics::default()
+            },
             effective_rounds: 3,
         };
         assert_eq!(cost.total_messages(), 12);

@@ -59,15 +59,21 @@ struct BucketOracle<'a> {
 
 impl<'a> BucketOracle<'a> {
     fn new(leaves: &[NodeId], inputs: &'a [bool], bucket_size: usize) -> Self {
-        let buckets: Vec<Vec<NodeId>> =
-            leaves.chunks(bucket_size.max(1)).map(<[NodeId]>::to_vec).collect();
+        let buckets: Vec<Vec<NodeId>> = leaves
+            .chunks(bucket_size.max(1))
+            .map(<[NodeId]>::to_vec)
+            .collect();
         let marked_buckets = buckets
             .iter()
             .enumerate()
             .filter(|(_, bucket)| bucket.iter().any(|&leaf| inputs[leaf - 1]))
             .map(|(i, _)| i)
             .collect();
-        BucketOracle { buckets, inputs, marked_buckets }
+        BucketOracle {
+            buckets,
+            inputs,
+            marked_buckets,
+        }
     }
 }
 
@@ -132,7 +138,10 @@ pub fn quantum_star_search(
     seed: u64,
 ) -> Result<StarRunReport, Error> {
     if inputs.is_empty() {
-        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+        return Err(Error::InvalidConfig {
+            name: "inputs",
+            reason: "need at least one leaf".into(),
+        });
     }
     let (mut net, leaves) = star_network(inputs, seed)?;
     let mut oracle = BucketOracle::new(&leaves, inputs, bucket_size);
@@ -154,7 +163,10 @@ pub fn quantum_star_search(
 /// Returns an error if `inputs` is empty.
 pub fn classical_star_search(inputs: &[bool], seed: u64) -> Result<StarRunReport, Error> {
     if inputs.is_empty() {
-        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+        return Err(Error::InvalidConfig {
+            name: "inputs",
+            reason: "need at least one leaf".into(),
+        });
     }
     let (mut net, leaves) = star_network(inputs, seed)?;
     for &leaf in &leaves {
@@ -190,7 +202,10 @@ pub fn quantum_star_count(
     seed: u64,
 ) -> Result<StarRunReport, Error> {
     if inputs.is_empty() {
-        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+        return Err(Error::InvalidConfig {
+            name: "inputs",
+            reason: "need at least one leaf".into(),
+        });
     }
     let (mut net, leaves) = star_network(inputs, seed)?;
     let mut oracle = BucketOracle::new(&leaves, inputs, 1);
@@ -210,12 +225,22 @@ pub fn quantum_star_count(
 /// # Errors
 ///
 /// Returns an error if `inputs` is empty or `epsilon` is out of range.
-pub fn classical_star_count(inputs: &[bool], epsilon: f64, seed: u64) -> Result<StarRunReport, Error> {
+pub fn classical_star_count(
+    inputs: &[bool],
+    epsilon: f64,
+    seed: u64,
+) -> Result<StarRunReport, Error> {
     if inputs.is_empty() {
-        return Err(Error::InvalidConfig { name: "inputs", reason: "need at least one leaf".into() });
+        return Err(Error::InvalidConfig {
+            name: "inputs",
+            reason: "need at least one leaf".into(),
+        });
     }
     if !(epsilon > 0.0 && epsilon <= 1.0) {
-        return Err(Error::InvalidConfig { name: "epsilon", reason: format!("must be in (0, 1], got {epsilon}") });
+        return Err(Error::InvalidConfig {
+            name: "epsilon",
+            reason: format!("must be in (0, 1], got {epsilon}"),
+        });
     }
     let (mut net, leaves) = star_network(inputs, seed)?;
     let samples = (1.0 / (epsilon * epsilon)).ceil() as usize;
@@ -275,7 +300,11 @@ mod tests {
 
     #[test]
     fn quantum_search_messages_scale_as_sqrt_n() {
-        let measure = |n: usize| quantum_star_search(&inputs_with_ones(n, 1), 1, 0.1, 2).unwrap().messages as f64;
+        let measure = |n: usize| {
+            quantum_star_search(&inputs_with_ones(n, 1), 1, 0.1, 2)
+                .unwrap()
+                .messages as f64
+        };
         let ratio = measure(4096) / measure(256);
         // 16x more leaves should cost about 4x more messages.
         assert!(ratio > 2.5 && ratio < 6.5, "ratio = {ratio}");
@@ -293,7 +322,12 @@ mod tests {
         let inputs = inputs_with_ones(256, 1);
         let flat = quantum_star_search(&inputs, 1, 0.1, 5).unwrap();
         let bucketed = quantum_star_search(&inputs, 16, 0.1, 5).unwrap();
-        assert!(bucketed.rounds < flat.rounds, "bucketed {} vs flat {}", bucketed.rounds, flat.rounds);
+        assert!(
+            bucketed.rounds < flat.rounds,
+            "bucketed {} vs flat {}",
+            bucketed.rounds,
+            flat.rounds
+        );
         assert!(bucketed.messages > flat.messages);
     }
 

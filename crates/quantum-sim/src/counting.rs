@@ -42,9 +42,14 @@ pub fn phase_estimation_probability(phase: f64, p: u64, m: u64) -> f64 {
 /// Returns [`Error::InvalidParameter`] if `p == 0`.
 pub fn phase_estimation_distribution(phase: f64, p: u64) -> Result<Vec<f64>, Error> {
     if p == 0 {
-        return Err(Error::InvalidParameter { name: "p", reason: "must be positive".into() });
+        return Err(Error::InvalidParameter {
+            name: "p",
+            reason: "must be positive".into(),
+        });
     }
-    let mut dist: Vec<f64> = (0..p).map(|m| phase_estimation_probability(phase, p, m)).collect();
+    let mut dist: Vec<f64> = (0..p)
+        .map(|m| phase_estimation_probability(phase, p, m))
+        .collect();
     let total: f64 = dist.iter().sum();
     // The kernel sums to 1 exactly; renormalise to absorb floating-point dust.
     for value in &mut dist {
@@ -82,9 +87,17 @@ pub fn sample_phase_estimation(phase: f64, p: u64, rng: &mut StdRng) -> Result<u
 ///
 /// Returns [`Error::InvalidParameter`] if `p == 0`, `domain == 0`, or
 /// `marked > domain`.
-pub fn quantum_count_once(marked: u64, domain: u64, p: u64, rng: &mut StdRng) -> Result<f64, Error> {
+pub fn quantum_count_once(
+    marked: u64,
+    domain: u64,
+    p: u64,
+    rng: &mut StdRng,
+) -> Result<f64, Error> {
     if domain == 0 {
-        return Err(Error::InvalidParameter { name: "domain", reason: "must be positive".into() });
+        return Err(Error::InvalidParameter {
+            name: "domain",
+            reason: "must be positive".into(),
+        });
     }
     if marked > domain {
         return Err(Error::InvalidParameter {
@@ -93,13 +106,20 @@ pub fn quantum_count_once(marked: u64, domain: u64, p: u64, rng: &mut StdRng) ->
         });
     }
     if p == 0 {
-        return Err(Error::InvalidParameter { name: "p", reason: "must be positive".into() });
+        return Err(Error::InvalidParameter {
+            name: "p",
+            reason: "must be positive".into(),
+        });
     }
     let fraction = marked as f64 / domain as f64;
     let theta = rotation_angle(fraction);
     // Eigenphases of the Grover operator are ±2θ, i.e. fractions ±θ/π; the
     // uniform start state weights the two eigenvectors equally.
-    let eigenphase = if rng.gen_bool(0.5) { theta / std::f64::consts::PI } else { 1.0 - theta / std::f64::consts::PI };
+    let eigenphase = if rng.gen_bool(0.5) {
+        theta / std::f64::consts::PI
+    } else {
+        1.0 - theta / std::f64::consts::PI
+    };
     let m = sample_phase_estimation(eigenphase.rem_euclid(1.0), p, rng)?;
     let theta_estimate = std::f64::consts::PI * m as f64 / p as f64;
     Ok(domain as f64 * theta_estimate.sin().powi(2))
@@ -176,7 +196,10 @@ impl ApproxCountSpec {
     /// `marked > domain`.
     pub fn run(&self, marked: u64, domain: u64, rng: &mut StdRng) -> Result<f64, Error> {
         if domain == 0 {
-            return Err(Error::InvalidParameter { name: "domain", reason: "must be positive".into() });
+            return Err(Error::InvalidParameter {
+                name: "domain",
+                reason: "must be positive".into(),
+            });
         }
         if marked > domain {
             return Err(Error::InvalidParameter {
@@ -286,8 +309,12 @@ mod tests {
 
     #[test]
     fn approx_count_cost_scales_as_inverse_c() {
-        let cheap = ApproxCountSpec::new(0.2, 0.01).unwrap().total_oracle_calls();
-        let precise = ApproxCountSpec::new(0.01, 0.01).unwrap().total_oracle_calls();
+        let cheap = ApproxCountSpec::new(0.2, 0.01)
+            .unwrap()
+            .total_oracle_calls();
+        let precise = ApproxCountSpec::new(0.01, 0.01)
+            .unwrap()
+            .total_oracle_calls();
         let ratio = precise as f64 / cheap as f64;
         assert!(ratio > 15.0 && ratio < 25.0, "ratio = {ratio}");
     }

@@ -67,10 +67,16 @@ impl fmt::Display for Error {
                 write!(f, "dimension mismatch: {left} vs {right}")
             }
             Error::QubitOutOfRange { qubit, qubits } => {
-                write!(f, "qubit {qubit} out of range for a {qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for a {qubits}-qubit register"
+                )
             }
             Error::NotQubitRegister { dim } => {
-                write!(f, "dimension {dim} is not a power of two, not a qubit register")
+                write!(
+                    f,
+                    "dimension {dim} is not a power of two, not a qubit register"
+                )
             }
             Error::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
@@ -94,9 +100,15 @@ mod tests {
             Error::InvalidDimension { dim: 0 },
             Error::IndexOutOfRange { index: 9, dim: 4 },
             Error::DimensionMismatch { left: 2, right: 3 },
-            Error::QubitOutOfRange { qubit: 5, qubits: 3 },
+            Error::QubitOutOfRange {
+                qubit: 5,
+                qubits: 3,
+            },
             Error::NotQubitRegister { dim: 6 },
-            Error::InvalidParameter { name: "epsilon", reason: "must be positive".into() },
+            Error::InvalidParameter {
+                name: "epsilon",
+                reason: "must be positive".into(),
+            },
             Error::InvalidJohnsonGraph { n: 3, k: 9 },
         ];
         for e in errors {

@@ -20,26 +20,38 @@ impl Gate1 {
     #[must_use]
     pub fn hadamard() -> Self {
         let h = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
-        Gate1 { matrix: [[h, h], [h, -h]] }
+        Gate1 {
+            matrix: [[h, h], [h, -h]],
+        }
     }
 
     /// The Pauli-X (NOT) gate.
     #[must_use]
     pub fn pauli_x() -> Self {
-        Gate1 { matrix: [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]] }
+        Gate1 {
+            matrix: [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+        }
     }
 
     /// The Pauli-Z gate.
     #[must_use]
     pub fn pauli_z() -> Self {
-        Gate1 { matrix: [[Complex::ONE, Complex::ZERO], [Complex::ZERO, -Complex::ONE]] }
+        Gate1 {
+            matrix: [
+                [Complex::ONE, Complex::ZERO],
+                [Complex::ZERO, -Complex::ONE],
+            ],
+        }
     }
 
     /// The phase gate `diag(1, e^{iθ})`.
     #[must_use]
     pub fn phase(theta: f64) -> Self {
         Gate1 {
-            matrix: [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::from_polar(theta)]],
+            matrix: [
+                [Complex::ONE, Complex::ZERO],
+                [Complex::ZERO, Complex::from_polar(theta)],
+            ],
         }
     }
 }
@@ -52,7 +64,9 @@ impl Gate1 {
 /// Returns [`Error::NotQubitRegister`] if the state dimension is not a power
 /// of two, or [`Error::QubitOutOfRange`] if `q` is too large.
 pub fn apply_single(state: &mut StateVector, q: u32, gate: Gate1) -> Result<(), Error> {
-    let qubits = state.qubit_count().ok_or(Error::NotQubitRegister { dim: state.dim() })?;
+    let qubits = state
+        .qubit_count()
+        .ok_or(Error::NotQubitRegister { dim: state.dim() })?;
     if q >= qubits {
         return Err(Error::QubitOutOfRange { qubit: q, qubits });
     }
@@ -88,12 +102,20 @@ pub fn apply_controlled_phase(
     target: u32,
     theta: f64,
 ) -> Result<(), Error> {
-    let qubits = state.qubit_count().ok_or(Error::NotQubitRegister { dim: state.dim() })?;
+    let qubits = state
+        .qubit_count()
+        .ok_or(Error::NotQubitRegister { dim: state.dim() })?;
     if control >= qubits {
-        return Err(Error::QubitOutOfRange { qubit: control, qubits });
+        return Err(Error::QubitOutOfRange {
+            qubit: control,
+            qubits,
+        });
     }
     if target >= qubits {
-        return Err(Error::QubitOutOfRange { qubit: target, qubits });
+        return Err(Error::QubitOutOfRange {
+            qubit: target,
+            qubits,
+        });
     }
     if control == target {
         return Err(Error::InvalidParameter {
@@ -118,7 +140,9 @@ pub fn apply_controlled_phase(
 ///
 /// Returns [`Error::NotQubitRegister`] if the dimension is not a power of two.
 pub fn apply_hadamard_all(state: &mut StateVector) -> Result<(), Error> {
-    let qubits = state.qubit_count().ok_or(Error::NotQubitRegister { dim: state.dim() })?;
+    let qubits = state
+        .qubit_count()
+        .ok_or(Error::NotQubitRegister { dim: state.dim() })?;
     for q in 0..qubits {
         apply_single(state, q, Gate1::hadamard())?;
     }
@@ -175,9 +199,15 @@ mod tests {
     #[test]
     fn gate_errors() {
         let mut s = StateVector::uniform(6).unwrap();
-        assert!(matches!(apply_single(&mut s, 0, Gate1::pauli_x()), Err(Error::NotQubitRegister { .. })));
+        assert!(matches!(
+            apply_single(&mut s, 0, Gate1::pauli_x()),
+            Err(Error::NotQubitRegister { .. })
+        ));
         let mut q = StateVector::uniform(4).unwrap();
-        assert!(matches!(apply_single(&mut q, 7, Gate1::pauli_x()), Err(Error::QubitOutOfRange { .. })));
+        assert!(matches!(
+            apply_single(&mut q, 7, Gate1::pauli_x()),
+            Err(Error::QubitOutOfRange { .. })
+        ));
         assert!(matches!(
             apply_controlled_phase(&mut q, 1, 1, 0.3),
             Err(Error::InvalidParameter { .. })

@@ -283,7 +283,10 @@ mod tests {
             let total = schedule.total_iterations() as f64;
             let bound = 1.0 / eps.sqrt();
             assert!(total >= bound, "total {total} < {bound}");
-            assert!(total <= 8.0 * bound + 8.0, "total {total} too large vs {bound}");
+            assert!(
+                total <= 8.0 * bound + 8.0,
+                "total {total} too large vs {bound}"
+            );
         }
     }
 
@@ -316,16 +319,25 @@ mod tests {
         let spec = GroverSearchSpec::new(0.01, 1.0 / 64.0).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let trials = 200;
-        let hits = (0..trials).filter(|_| spec.sample_outcome(0.02, &mut rng)).count();
-        assert!(hits as f64 >= 0.95 * trials as f64, "hits = {hits}/{trials}");
+        let hits = (0..trials)
+            .filter(|_| spec.sample_outcome(0.02, &mut rng))
+            .count();
+        assert!(
+            hits as f64 >= 0.95 * trials as f64,
+            "hits = {hits}/{trials}"
+        );
     }
 
     #[test]
     fn oracle_call_budget_matches_theorem_4_1_shape() {
         // Doubling 1/ε should multiply oracle calls by about √2, up to the
         // discrete stage boundaries.
-        let a = GroverSearchSpec::new(1.0 / 1_000.0, 0.01).unwrap().total_oracle_calls() as f64;
-        let b = GroverSearchSpec::new(1.0 / 4_000.0, 0.01).unwrap().total_oracle_calls() as f64;
+        let a = GroverSearchSpec::new(1.0 / 1_000.0, 0.01)
+            .unwrap()
+            .total_oracle_calls() as f64;
+        let b = GroverSearchSpec::new(1.0 / 4_000.0, 0.01)
+            .unwrap()
+            .total_oracle_calls() as f64;
         let ratio = b / a;
         assert!(ratio > 1.5 && ratio < 2.8, "ratio = {ratio}");
     }

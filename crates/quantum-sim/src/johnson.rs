@@ -89,7 +89,11 @@ impl JohnsonGraph {
     ///
     /// Returns [`Error::InvalidParameter`] if `subset` is not a valid vertex
     /// of this graph, or if the graph has no neighbours (`k == n`).
-    pub fn random_neighbor(&self, subset: &[usize], rng: &mut StdRng) -> Result<(Vec<usize>, usize, usize), Error> {
+    pub fn random_neighbor(
+        &self,
+        subset: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<(Vec<usize>, usize, usize), Error> {
         self.validate_subset(subset)?;
         if self.k == self.n {
             return Err(Error::InvalidParameter {
@@ -142,7 +146,13 @@ impl JohnsonGraph {
     }
 }
 
-fn enumerate_subsets(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+fn enumerate_subsets(
+    start: usize,
+    n: usize,
+    k: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
     if current.len() == k {
         out.push(current.clone());
         return;
@@ -251,7 +261,9 @@ mod tests {
         let vertices = j.enumerate_vertices();
         let m = vertices.len();
         let deg = j.degree() as f64;
-        let mut x: Vec<f64> = (0..m).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+        let mut x: Vec<f64> = (0..m)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let mu = mean(&x);
         x.iter_mut().for_each(|v| *v -= mu);
@@ -273,6 +285,10 @@ mod tests {
             x = y;
         }
         let measured_gap = 1.0 - lambda.abs();
-        assert!((measured_gap - j.spectral_gap()).abs() < 0.02, "measured {measured_gap} vs analytic {}", j.spectral_gap());
+        assert!(
+            (measured_gap - j.spectral_gap()).abs() < 0.02,
+            "measured {measured_gap} vs analytic {}",
+            j.spectral_gap()
+        );
     }
 }

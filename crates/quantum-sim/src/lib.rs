@@ -63,4 +63,4 @@ pub mod walk;
 
 pub use complex::Complex;
 pub use error::Error;
-pub use statevector::StateVector;
+pub use statevector::{MeasurementSampler, StateVector};

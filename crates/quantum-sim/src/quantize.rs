@@ -29,13 +29,19 @@ impl ProcedureCost {
     /// The cost of running this procedure and then another, sequentially.
     #[must_use]
     pub fn then(self, other: ProcedureCost) -> ProcedureCost {
-        ProcedureCost { rounds: self.rounds + other.rounds, messages: self.messages + other.messages }
+        ProcedureCost {
+            rounds: self.rounds + other.rounds,
+            messages: self.messages + other.messages,
+        }
     }
 
     /// The cost of `times` sequential repetitions.
     #[must_use]
     pub fn repeat(self, times: u64) -> ProcedureCost {
-        ProcedureCost { rounds: self.rounds * times, messages: self.messages * times }
+        ProcedureCost {
+            rounds: self.rounds * times,
+            messages: self.messages * times,
+        }
     }
 
     /// The cost of the inverse (uncomputation) of the purified procedure —
@@ -76,6 +82,9 @@ mod tests {
 
     #[test]
     fn default_is_free() {
-        assert_eq!(ProcedureCost::default().then(ProcedureCost::new(1, 1)), ProcedureCost::new(1, 1));
+        assert_eq!(
+            ProcedureCost::default().then(ProcedureCost::new(1, 1)),
+            ProcedureCost::new(1, 1)
+        );
     }
 }

@@ -120,7 +120,11 @@ impl SuperposedRouting {
     /// of pending messages over the superposed configurations (Section 3.1).
     #[must_use]
     pub fn round_message_complexity(&self) -> usize {
-        self.branches.iter().map(|(_, c)| c.pending_messages()).max().unwrap_or(0)
+        self.branches
+            .iter()
+            .map(|(_, c)| c.pending_messages())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Applies the `Send` operator to every branch.
@@ -142,7 +146,11 @@ impl SuperposedRouting {
                 return config.clone();
             }
         }
-        self.branches.last().expect("non-empty by construction").1.clone()
+        self.branches
+            .last()
+            .expect("non-empty by construction")
+            .1
+            .clone()
     }
 
     /// Builds the Appendix A.2 example: a node `sender` prepares message
@@ -152,7 +160,11 @@ impl SuperposedRouting {
     /// # Errors
     ///
     /// Returns [`Error::InvalidParameter`] if `targets` is empty.
-    pub fn uniform_recipient(sender: usize, targets: &[usize], msg: PortMessage) -> Result<Self, Error> {
+    pub fn uniform_recipient(
+        sender: usize,
+        targets: &[usize],
+        msg: PortMessage,
+    ) -> Result<Self, Error> {
         if targets.is_empty() {
             return Err(Error::InvalidParameter {
                 name: "targets",
@@ -227,7 +239,10 @@ mod tests {
     #[test]
     fn superposition_validation() {
         assert!(SuperposedRouting::new(vec![]).is_err());
-        let unnormalised = vec![(Complex::real(1.0), Configuration::new()), (Complex::real(1.0), Configuration::new())];
+        let unnormalised = vec![
+            (Complex::real(1.0), Configuration::new()),
+            (Complex::real(1.0), Configuration::new()),
+        ];
         assert!(SuperposedRouting::new(unnormalised).is_err());
         assert!(SuperposedRouting::uniform_recipient(0, &[], 1).is_err());
     }

@@ -47,7 +47,9 @@ impl StateVector {
             return Err(Error::InvalidDimension { dim });
         }
         let amp = Complex::real(1.0 / (dim as f64).sqrt());
-        Ok(StateVector { amplitudes: vec![amp; dim] })
+        Ok(StateVector {
+            amplitudes: vec![amp; dim],
+        })
     }
 
     /// Builds a state from raw amplitudes, normalising them.
@@ -62,9 +64,14 @@ impl StateVector {
         }
         let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
         if norm < 1e-300 {
-            return Err(Error::InvalidDimension { dim: amplitudes.len() });
+            return Err(Error::InvalidDimension {
+                dim: amplitudes.len(),
+            });
         }
-        let amplitudes = amplitudes.into_iter().map(|a| a.scale(1.0 / norm)).collect();
+        let amplitudes = amplitudes
+            .into_iter()
+            .map(|a| a.scale(1.0 / norm))
+            .collect();
         Ok(StateVector { amplitudes })
     }
 
@@ -125,7 +132,10 @@ impl StateVector {
     /// Returns [`Error::DimensionMismatch`] if the dimensions differ.
     pub fn inner_product(&self, other: &StateVector) -> Result<Complex, Error> {
         if self.dim() != other.dim() {
-            return Err(Error::DimensionMismatch { left: self.dim(), right: other.dim() });
+            return Err(Error::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         let mut acc = Complex::ZERO;
         for (a, b) in self.amplitudes.iter().zip(&other.amplitudes) {
@@ -184,6 +194,12 @@ impl StateVector {
 
     /// Samples a measurement outcome in the computational basis (the state is
     /// left untouched; callers model collapse explicitly if they need it).
+    ///
+    /// This single-shot path is an O(dim) scan. Callers that sample the
+    /// *same* state repeatedly should build a [`MeasurementSampler`] once
+    /// (via [`sampler`](StateVector::sampler)) or call
+    /// [`sample_many`](StateVector::sample_many): those amortise the O(dim)
+    /// cumulative-distribution pass and answer each draw in O(log dim).
     #[must_use]
     pub fn measure(&self, rng: &mut StdRng) -> usize {
         let draw: f64 = rng.gen();
@@ -195,6 +211,63 @@ impl StateVector {
             }
         }
         self.dim() - 1
+    }
+
+    /// Builds a reusable measurement sampler for this state: the cumulative
+    /// distribution is computed once (O(dim)), after which every draw is an
+    /// O(log dim) binary search.
+    #[must_use]
+    pub fn sampler(&self) -> MeasurementSampler {
+        let mut cdf = Vec::with_capacity(self.dim());
+        let mut acc = 0.0;
+        for amp in &self.amplitudes {
+            acc += amp.norm_sqr();
+            cdf.push(acc);
+        }
+        // Guard against accumulated rounding leaving the final entry a hair
+        // below 1: the last outcome must absorb the full remaining tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = f64::INFINITY;
+        }
+        MeasurementSampler { cdf }
+    }
+
+    /// Draws `count` independent measurement outcomes using one cached
+    /// cumulative distribution: O(dim + count · log dim) total, against
+    /// O(count · dim) for repeated [`measure`](StateVector::measure) calls.
+    #[must_use]
+    pub fn sample_many(&self, count: usize, rng: &mut StdRng) -> Vec<usize> {
+        let sampler = self.sampler();
+        (0..count).map(|_| sampler.sample(rng)).collect()
+    }
+}
+
+/// A precomputed cumulative distribution over a [`StateVector`]'s basis
+/// states, answering measurement draws in O(log dim).
+///
+/// Build with [`StateVector::sampler`]. The sampler snapshots the
+/// distribution at construction time; it is unaffected by later gates
+/// applied to the state it came from.
+#[derive(Debug, Clone)]
+pub struct MeasurementSampler {
+    /// `cdf[x]` = P(outcome <= x); the last entry is `+inf` so rounding can
+    /// never push a draw past the end.
+    cdf: Vec<f64>,
+}
+
+impl MeasurementSampler {
+    /// Number of basis states.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples one outcome: the first basis state whose cumulative
+    /// probability exceeds a uniform draw.
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let draw: f64 = rng.gen();
+        self.cdf.partition_point(|&acc| acc <= draw)
     }
 }
 
@@ -273,5 +346,43 @@ mod tests {
         let hits = (0..4000).filter(|_| s.measure(&mut rng) == 1).count();
         let freq = hits as f64 / 4000.0;
         assert!((freq - 0.9).abs() < 0.03, "freq = {freq}");
+    }
+
+    #[test]
+    fn cached_sampler_follows_distribution() {
+        let s = StateVector::from_amplitudes(vec![Complex::real(1.0), Complex::real(3.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = s
+            .sample_many(4000, &mut rng)
+            .into_iter()
+            .filter(|&x| x == 1)
+            .count();
+        let freq = hits as f64 / 4000.0;
+        assert!((freq - 0.9).abs() < 0.03, "freq = {freq}");
+    }
+
+    #[test]
+    fn cached_sampler_agrees_with_single_shot_on_same_draws() {
+        // With identical RNG streams, the cached-CDF binary search and the
+        // linear scan must pick identical outcomes.
+        let amps: Vec<Complex> = (1..=16).map(|k| Complex::real(k as f64)).collect();
+        let s = StateVector::from_amplitudes(amps).unwrap();
+        let sampler = s.sampler();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            assert_eq!(s.measure(&mut rng_a), sampler.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn sampler_handles_point_mass() {
+        let s = StateVector::basis(8, 5).unwrap();
+        let sampler = s.sampler();
+        assert_eq!(sampler.dim(), 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(sampler.sample(&mut rng), 5);
+        }
     }
 }

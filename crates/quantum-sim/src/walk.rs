@@ -80,13 +80,19 @@ impl WalkSearchSpec {
                 reason: format!("must be in (0, 1), got {alpha}"),
             });
         }
-        Ok(WalkSearchSpec { delta, epsilon, alpha })
+        Ok(WalkSearchSpec {
+            delta,
+            epsilon,
+            alpha,
+        })
     }
 
     /// Number of independent attempts: `⌈log₄(1/α)⌉`.
     #[must_use]
     pub fn attempts(&self) -> u64 {
-        ((1.0 / self.alpha).ln() / (1.0 / (1.0 - SINGLE_ATTEMPT_SUCCESS)).ln()).ceil().max(1.0) as u64
+        ((1.0 / self.alpha).ln() / (1.0 / (1.0 - SINGLE_ATTEMPT_SUCCESS)).ln())
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Grover-style phases per attempt: `⌈1/√ε⌉`.
@@ -168,9 +174,15 @@ mod tests {
 
     #[test]
     fn budget_scales_with_epsilon_and_delta() {
-        let base = WalkSearchSpec::new(1.0 / 64.0, 1.0 / 100.0, 0.1).unwrap().budget();
-        let finer_eps = WalkSearchSpec::new(1.0 / 64.0, 1.0 / 400.0, 0.1).unwrap().budget();
-        let finer_delta = WalkSearchSpec::new(1.0 / 256.0, 1.0 / 100.0, 0.1).unwrap().budget();
+        let base = WalkSearchSpec::new(1.0 / 64.0, 1.0 / 100.0, 0.1)
+            .unwrap()
+            .budget();
+        let finer_eps = WalkSearchSpec::new(1.0 / 64.0, 1.0 / 400.0, 0.1)
+            .unwrap()
+            .budget();
+        let finer_delta = WalkSearchSpec::new(1.0 / 256.0, 1.0 / 100.0, 0.1)
+            .unwrap()
+            .budget();
         assert_eq!(finer_eps.checking_calls, 2 * base.checking_calls);
         assert_eq!(finer_delta.checking_calls, base.checking_calls);
         assert_eq!(finer_delta.update_calls, 2 * base.update_calls);
@@ -184,7 +196,9 @@ mod tests {
             assert!(!spec.sample_outcome(0.0, &mut rng));
         }
         let trials = 300;
-        let hits = (0..trials).filter(|_| spec.sample_outcome(0.1, &mut rng)).count();
+        let hits = (0..trials)
+            .filter(|_| spec.sample_outcome(0.1, &mut rng))
+            .count();
         assert!(hits as f64 > 0.97 * trials as f64, "hits = {hits}");
     }
 
@@ -193,7 +207,9 @@ mod tests {
         let spec = WalkSearchSpec::new(0.1, 0.5, 0.25).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let trials = 400;
-        let hits = (0..trials).filter(|_| spec.sample_outcome(0.05, &mut rng)).count();
+        let hits = (0..trials)
+            .filter(|_| spec.sample_outcome(0.05, &mut rng))
+            .count();
         assert!(hits > 0, "degraded search should not be impossible");
         assert!(hits < trials, "degraded search should not be certain");
     }

@@ -1,0 +1,331 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! small wall-clock benchmarking harness behind the familiar criterion
+//! surface: [`Criterion::benchmark_group`], group `sample_size` /
+//! `warm_up_time` / `measurement_time`, [`BenchmarkGroup::bench_with_input`]
+//! and [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark reports the median, minimum, and maximum per-iteration
+//! wall-clock time over `sample_size` samples. A substring filter can be
+//! passed on the command line exactly as with criterion proper:
+//! `cargo bench --bench network_core -- flood`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver: holds the CLI filter and collected results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<SampleSummary>,
+}
+
+/// One benchmark's summarised timing, also consumable by callers that want
+/// machine-readable output.
+#[derive(Debug, Clone)]
+pub struct SampleSummary {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from command-line arguments, honouring a
+    /// substring filter and ignoring harness flags passed by `cargo bench`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_with_input(BenchmarkId::from_parameter(""), &(), {
+            let mut f = f;
+            move |b, ()| f(b)
+        });
+        group.finish();
+        self
+    }
+
+    /// All results recorded so far (used by `criterion_main!` for the final
+    /// summary, and by binaries that export machine-readable output).
+    #[must_use]
+    pub fn results(&self) -> &[SampleSummary] {
+        &self.results
+    }
+
+    /// Prints a one-line-per-benchmark summary.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            println!("no benchmarks matched the filter");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let summary = run_benchmark(
+            &full_id,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            |b| {
+                f(b, input);
+            },
+        );
+        self.criterion.results.push(summary);
+        self
+    }
+
+    /// Benchmarks a function with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id.into(), &(), move |b, ()| f(b))
+    }
+
+    /// Ends the group (reports are emitted as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`; the harness picks `iters` so each
+    /// sample is long enough to measure reliably.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut routine: impl FnMut(&mut Bencher),
+) -> SampleSummary {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // estimating the per-iteration cost as we go.
+    let mut one = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    let mut warm_runs = 0u32;
+    while warm_start.elapsed() < warm_up || warm_runs < 1 {
+        routine(&mut one);
+        per_iter = one.elapsed.max(Duration::from_nanos(1));
+        warm_runs += 1;
+    }
+    // Pick iterations per sample to fill measurement_time / sample_size.
+    let per_sample_budget = measurement / sample_size as u32;
+    let iters =
+        (per_sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    samples.sort_unstable();
+    let summary = SampleSummary {
+        id: id.to_string(),
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: samples[samples.len() - 1],
+        iters_per_sample: iters,
+    };
+    println!(
+        "{:<50} time: [{:>12?} {:>12?} {:>12?}]  ({} iters/sample)",
+        summary.id, summary.min, summary.median, summary.max, iters
+    );
+    summary
+}
+
+/// Declares a benchmark group function, as in criterion proper.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion proper.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(6));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].id.contains("shim/sum/100"));
+        assert!(c.results()[0].median.as_nanos() > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| b.iter(|| 1 + 1));
+        group.finish();
+        assert!(c.results().is_empty());
+    }
+}

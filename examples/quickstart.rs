@@ -14,8 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Leader election on the complete graph K_{n}\n");
     for protocol in [
-        Box::new(QuantumLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25)))
-            as Box<dyn LeaderElection>,
+        Box::new(QuantumLe::with_parameters(
+            KChoice::Optimal,
+            AlphaChoice::Fixed(0.25),
+        )) as Box<dyn LeaderElection>,
         Box::new(KppCompleteLe::new()) as Box<dyn LeaderElection>,
     ] {
         let run = protocol.run(&graph, 2026)?;
@@ -23,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  unique leader elected : {}", run.succeeded());
         println!("  leader node           : {:?}", run.outcome.leaders());
         println!("  total messages        : {}", run.cost.total_messages());
-        println!("    classical messages  : {}", run.cost.metrics.classical_messages);
-        println!("    quantum messages    : {}", run.cost.metrics.quantum_messages);
+        println!(
+            "    classical messages  : {}",
+            run.cost.metrics.classical_messages
+        );
+        println!(
+            "    quantum messages    : {}",
+            run.cost.metrics.quantum_messages
+        );
         println!("  effective rounds      : {}\n", run.cost.effective_rounds);
     }
     println!("The quantum protocol trades rounds for messages: its message count grows");

@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example sensor_network`
 
 use classical_baselines::{GhsLe, KppMixingLe};
-use congest_net::walks::spectral_mixing_time;
 use congest_net::topology;
+use congest_net::walks::spectral_mixing_time;
 use qle::algorithms::{QuantumGeneralLe, QuantumRwLe};
 use qle::{AlphaChoice, KChoice, LeaderElection};
 
@@ -23,12 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Sensor network: {sensors} sensors, degree 6, estimated mixing time τ = {tau}\n");
 
     let protocols: Vec<Box<dyn LeaderElection>> = vec![
-        Box::new(QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25), Some(tau))),
+        Box::new(QuantumRwLe::with_parameters(
+            KChoice::Optimal,
+            AlphaChoice::Fixed(0.25),
+            Some(tau),
+        )),
         Box::new(KppMixingLe::with_tau(tau)),
         Box::new(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.25))),
         Box::new(GhsLe::new()),
     ];
-    println!("{:<34} {:>10} {:>10} {:>8}", "protocol", "messages", "rounds", "valid");
+    println!(
+        "{:<34} {:>10} {:>10} {:>8}",
+        "protocol", "messages", "rounds", "valid"
+    );
     for protocol in protocols {
         let run = protocol.run(&graph, 99)?;
         println!(

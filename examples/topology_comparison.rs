@@ -10,8 +10,17 @@ use congest_net::topology;
 use qle::algorithms::{QuantumGeneralLe, QuantumLe, QuantumQwLe};
 use qle::{AlphaChoice, KChoice, LeaderElection};
 
-fn report(label: &str, graph: &congest_net::Graph, quantum: &dyn LeaderElection, classical: &dyn LeaderElection) {
-    println!("{label}: n = {}, m = {}", graph.node_count(), graph.edge_count());
+fn report(
+    label: &str,
+    graph: &congest_net::Graph,
+    quantum: &dyn LeaderElection,
+    classical: &dyn LeaderElection,
+) {
+    println!(
+        "{label}: n = {}, m = {}",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for protocol in [quantum, classical] {
         match protocol.run(graph, 11) {
             Ok(run) => println!(
@@ -43,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Clique-of-cliques (diameter 2)",
         &diameter_two,
         &QuantumQwLe::benchmark_profile(diameter_two.node_count()),
-        &CprDiameterTwoLe { skip_full_topology_check: true },
+        &CprDiameterTwoLe {
+            skip_full_topology_check: true,
+        },
     );
 
     let general = topology::erdos_renyi_connected(128, 8.0 / 128.0, 5)?;

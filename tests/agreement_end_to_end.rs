@@ -7,7 +7,11 @@ use qle::{Agreement, AgreementDecision, AlphaChoice};
 
 fn protocols() -> Vec<Box<dyn Agreement>> {
     vec![
-        Box::new(QuantumAgreement::with_parameters(None, None, AlphaChoice::Fixed(0.25))),
+        Box::new(QuantumAgreement::with_parameters(
+            None,
+            None,
+            AlphaChoice::Fixed(0.25),
+        )),
         Box::new(AmpSharedCoinAgreement::new()),
         Box::new(PrivateCoinAgreement::new()),
     ]
@@ -34,7 +38,12 @@ fn unanimous_inputs_force_the_unanimous_value() {
         for protocol in protocols() {
             let run = protocol.run(&graph, &inputs, 3).unwrap();
             assert!(run.succeeded(), "{} failed", protocol.name());
-            assert_eq!(run.outcome.agreed_value(), Some(value), "{}", protocol.name());
+            assert_eq!(
+                run.outcome.agreed_value(),
+                Some(value),
+                "{}",
+                protocol.name()
+            );
         }
     }
 }
@@ -61,6 +70,10 @@ fn decided_nodes_agree_and_validity_holds() {
 fn input_length_mismatches_are_rejected() {
     let graph = topology::complete(16).unwrap();
     for protocol in protocols() {
-        assert!(protocol.run(&graph, &[true; 4], 0).is_err(), "{}", protocol.name());
+        assert!(
+            protocol.run(&graph, &[true; 4], 0).is_err(),
+            "{}",
+            protocol.name()
+        );
     }
 }

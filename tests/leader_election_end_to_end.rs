@@ -11,7 +11,10 @@ fn complete_graph_protocols_elect_unique_leaders() {
     let graph = topology::complete(96).unwrap();
     let protocols: Vec<Box<dyn LeaderElection>> = vec![
         Box::new(QuantumLe::new()),
-        Box::new(QuantumLe::with_parameters(KChoice::Exponent(0.45), AlphaChoice::Fixed(0.2))),
+        Box::new(QuantumLe::with_parameters(
+            KChoice::Exponent(0.45),
+            AlphaChoice::Fixed(0.2),
+        )),
         Box::new(KppCompleteLe::new()),
         Box::new(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3))),
         Box::new(GhsLe::new()),
@@ -29,7 +32,11 @@ fn complete_graph_protocols_elect_unique_leaders() {
 fn expander_protocols_elect_unique_leaders() {
     let graph = topology::random_regular(72, 4, 3).unwrap();
     let protocols: Vec<Box<dyn LeaderElection>> = vec![
-        Box::new(QuantumRwLe::with_parameters(KChoice::Optimal, AlphaChoice::HighProbability, Some(14))),
+        Box::new(QuantumRwLe::with_parameters(
+            KChoice::Optimal,
+            AlphaChoice::HighProbability,
+            Some(14),
+        )),
         Box::new(KppMixingLe::with_tau(14)),
         Box::new(QuantumGeneralLe::new()),
         Box::new(GhsLe::new()),
@@ -69,7 +76,11 @@ fn quantum_protocols_charge_quantum_messages_and_classical_baselines_do_not() {
 fn runs_are_reproducible_across_protocols() {
     let graph = topology::hypercube(5).unwrap();
     let protocols: Vec<Box<dyn LeaderElection>> = vec![
-        Box::new(QuantumRwLe::with_parameters(KChoice::Fixed(4), AlphaChoice::Fixed(0.2), Some(8))),
+        Box::new(QuantumRwLe::with_parameters(
+            KChoice::Fixed(4),
+            AlphaChoice::Fixed(0.2),
+            Some(8),
+        )),
         Box::new(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3))),
         Box::new(GhsLe::new()),
         Box::new(KppMixingLe::with_tau(8)),
@@ -77,7 +88,12 @@ fn runs_are_reproducible_across_protocols() {
     for protocol in protocols {
         let a = protocol.run(&graph, 31).unwrap();
         let b = protocol.run(&graph, 31).unwrap();
-        assert_eq!(a.outcome, b.outcome, "{} not deterministic", protocol.name());
+        assert_eq!(
+            a.outcome,
+            b.outcome,
+            "{} not deterministic",
+            protocol.name()
+        );
         assert_eq!(
             a.cost.metrics.total_messages(),
             b.cost.metrics.total_messages(),
@@ -95,6 +111,8 @@ fn unsupported_topologies_are_rejected_cleanly() {
     assert!(QuantumQwLe::new().run(&path, 0).is_err());
     assert!(CprDiameterTwoLe::new().run(&path, 0).is_err());
     // The general protocols accept it.
-    assert!(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3)).run(&path, 0).is_ok());
+    assert!(QuantumGeneralLe::with_alpha(AlphaChoice::Fixed(0.3))
+        .run(&path, 0)
+        .is_ok());
     assert!(GhsLe::new().run(&path, 0).is_ok());
 }

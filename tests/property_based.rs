@@ -85,6 +85,32 @@ proptest! {
         let candidates = sample_candidates_seeded(512, seed);
         prop_assert!(satisfies_fact_c2(512, &candidates));
     }
+
+    /// `port_to` on the CSR graph agrees with a naive linear scan of the
+    /// adjacency, and the O(1) reverse-port table agrees with `port_to`, on
+    /// random graphs.
+    #[test]
+    fn csr_port_lookup_matches_naive_scan(n in 4usize..40, seed in 0u64..500) {
+        let g = topology::erdos_renyi_connected(n, 0.25, seed).unwrap();
+        for v in 0..g.node_count() {
+            // Naive scan over v's neighbour list.
+            let scan_port = |target: usize| -> Option<usize> {
+                g.neighbors(v).iter().position(|&u| u == target)
+            };
+            for u in 0..g.node_count() {
+                prop_assert_eq!(g.port_to(v, u), scan_port(u));
+            }
+            for p in 0..g.degree(v) {
+                let e = g.edge_id(v, p);
+                let u = g.edge_target(e);
+                prop_assert_eq!(g.port_to(u, v), Some(g.reverse_port(e)));
+                prop_assert_eq!(g.reverse_edge(g.reverse_edge(e)), e);
+            }
+        }
+        // Out-of-range nodes never resolve to a port.
+        prop_assert_eq!(g.port_to(g.node_count(), 0), None);
+        prop_assert_eq!(g.port_to(0, g.node_count()), None);
+    }
 }
 
 proptest! {

@@ -43,7 +43,10 @@ fn quantum_le_scales_with_a_smaller_exponent_than_the_classical_baseline() {
         quantum_exponent < classical_exponent,
         "quantum exponent {quantum_exponent:.2} should be below classical {classical_exponent:.2}"
     );
-    assert!(quantum_exponent < 0.75, "quantum exponent {quantum_exponent:.2} too large");
+    assert!(
+        quantum_exponent < 0.75,
+        "quantum exponent {quantum_exponent:.2} too large"
+    );
 }
 
 #[test]
@@ -54,17 +57,31 @@ fn qwle_scales_sublinearly_while_the_classical_diameter_two_baseline_is_linear()
         let graph = topology::clique_of_cliques(side).unwrap();
         let n = graph.node_count();
         let quantum = QuantumQwLe::benchmark_profile(n);
-        let classical = CprDiameterTwoLe { skip_full_topology_check: true };
-        quantum_points.push((n as f64, quantum.run(&graph, 3).unwrap().cost.total_messages() as f64));
-        classical_points.push((n as f64, classical.run(&graph, 3).unwrap().cost.total_messages() as f64));
+        let classical = CprDiameterTwoLe {
+            skip_full_topology_check: true,
+        };
+        quantum_points.push((
+            n as f64,
+            quantum.run(&graph, 3).unwrap().cost.total_messages() as f64,
+        ));
+        classical_points.push((
+            n as f64,
+            classical.run(&graph, 3).unwrap().cost.total_messages() as f64,
+        ));
     }
     let classical_exponent = fit_exponent(&classical_points);
-    assert!(classical_exponent > 0.75, "classical exponent {classical_exponent:.2} should be near 1");
+    assert!(
+        classical_exponent > 0.75,
+        "classical exponent {classical_exponent:.2} should be near 1"
+    );
     // The quantum protocol's count is dominated by polylog amplification at
     // these sizes; the meaningful check is that it does not grow faster than
     // the classical one by more than the extra log factors.
     let quantum_exponent = fit_exponent(&quantum_points);
-    assert!(quantum_exponent < classical_exponent + 0.8, "quantum exponent {quantum_exponent:.2} vs classical {classical_exponent:.2}");
+    assert!(
+        quantum_exponent < classical_exponent + 0.8,
+        "quantum exponent {quantum_exponent:.2} vs classical {classical_exponent:.2}"
+    );
 }
 
 #[test]
