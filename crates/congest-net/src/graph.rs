@@ -206,6 +206,51 @@ impl Graph {
         self.offsets[v] + p
     }
 
+    /// The first directed edge slot of node `v`, i.e. the CSR offset
+    /// `offsets[v]`; `v = n` is allowed and yields `2m`. Together with
+    /// [`edge_id`](Graph::edge_id) this makes `first_edge_id(v)..first_edge_id(v + 1)`
+    /// the edge-id range owned by `v` — the contiguity that lets the sharded
+    /// round engine hand each shard a disjoint slice of the per-edge stamp
+    /// table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v > n`.
+    #[must_use]
+    pub fn first_edge_id(&self, v: NodeId) -> EdgeId {
+        self.offsets[v]
+    }
+
+    /// Partitions the nodes into `shards` contiguous ranges balanced by
+    /// **directed-edge count** (per-round simulation work is proportional to
+    /// sends plus deliveries, i.e. to degree sums, not node counts).
+    ///
+    /// Returns `k + 1` fenceposts `b_0 = 0 < b_1 < … < b_k = n`; shard `s`
+    /// owns nodes `b_s..b_{s+1}` and (by CSR layout) the contiguous directed
+    /// edge ids `first_edge_id(b_s)..first_edge_id(b_{s+1})`. The effective
+    /// shard count `k` is `shards` clamped to `1..=n`, so every shard is
+    /// non-empty. Deterministic: depends only on the graph.
+    #[must_use]
+    pub fn shard_boundaries(&self, shards: usize) -> Vec<usize> {
+        let n = self.node_count();
+        let k = shards.clamp(1, n);
+        let total = self.directed_edge_count();
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0);
+        for s in 1..k {
+            let target = total * s / k;
+            // Smallest cut with at least `target` directed edges below it,
+            // clamped so that every shard keeps at least one node.
+            let cut = self
+                .offsets
+                .partition_point(|&o| o < target)
+                .clamp(bounds[s - 1] + 1, n - (k - s));
+            bounds.push(cut);
+        }
+        bounds.push(n);
+        bounds
+    }
+
     /// The node a directed edge slot points at: for `e = edge_id(v, p)` this
     /// is the neighbour of `v` behind port `p`. O(1).
     ///
@@ -509,6 +554,38 @@ mod tests {
                 assert_eq!(g.reverse_edge(g.reverse_edge(e)), e);
             }
         }
+    }
+
+    #[test]
+    fn shard_boundaries_partition_nodes_and_edges() {
+        let star = Graph::from_edges(9, &(1..9).map(|v| (0, v)).collect::<Vec<_>>()).unwrap();
+        let cycle: Vec<_> = (0..12).map(|i| (i, (i + 1) % 12)).collect();
+        let ring = Graph::from_edges(12, &cycle).unwrap();
+        for g in [star, ring] {
+            let n = g.node_count();
+            for k in [1usize, 2, 3, 4, 7, 64] {
+                let bounds = g.shard_boundaries(k);
+                assert_eq!(bounds.len() - 1, k.clamp(1, n));
+                assert_eq!(*bounds.first().unwrap(), 0);
+                assert_eq!(*bounds.last().unwrap(), n);
+                assert!(bounds.windows(2).all(|w| w[0] < w[1]), "empty shard");
+                // Edge ranges tile the CSR domain.
+                let edges: usize = bounds
+                    .windows(2)
+                    .map(|w| g.first_edge_id(w[1]) - g.first_edge_id(w[0]))
+                    .sum();
+                assert_eq!(edges, g.directed_edge_count());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_balance_edges_on_regular_graphs() {
+        // On a cycle every node has degree 2, so a balanced split by edges is
+        // a balanced split by nodes.
+        let cycle: Vec<_> = (0..16).map(|i| (i, (i + 1) % 16)).collect();
+        let g = Graph::from_edges(16, &cycle).unwrap();
+        assert_eq!(g.shard_boundaries(4), vec![0, 4, 8, 12, 16]);
     }
 
     #[test]

@@ -73,6 +73,45 @@
 //! steady state is a regression (the `network_core` bench and the
 //! determinism suite in the workspace root guard this).
 //!
+//! ## 4. Sharded round execution with a deterministic barrier merge
+//!
+//! [`SyncRuntime`](runtime::SyncRuntime) can execute a round with `k`
+//! worker shards on the `rayon` shim's persistent thread pool
+//! ([`NetworkConfig::shards`], or the `CONGEST_SHARDS` environment variable;
+//! `k = 1` — the default — is exactly the sequential path above). Nodes are
+//! partitioned into `k` contiguous ranges balanced by directed-edge count
+//! ([`Graph::shard_boundaries`]), and each shard receives an exclusive
+//! [`ShardView`]: its nodes' inboxes and private RNG streams, its own outbox
+//! queue and send counters, and — because CSR edge ids are grouped by source
+//! node — a contiguous, disjoint slice of the round-stamp table covering
+//! precisely its nodes' outgoing directed edges. A shard only ever sends
+//! from its own nodes, so **CONGEST edge-busy enforcement never touches
+//! another shard's stamps**, and the `rev_port` table resolves every arrival
+//! port at send time, so delivery needs no receiver-side coordination
+//! either; a round body is entirely synchronisation-free.
+//!
+//! **Invariant (deterministic barrier merge):** at the round barrier,
+//! [`Network::advance_round`] drains the sequential pending buffer first and
+//! then every shard's outbox queue *in shard order*. Shards fill their
+//! queues in node order over contiguous, ascending node ranges, so the
+//! concatenation equals the global node-order send sequence of the
+//! sequential engine — inbox contents, [`Metrics`], per-round history
+//! (per-shard counters are absorbed in shard order), and every per-node RNG
+//! stream are **byte-identical for every shard count**. The determinism
+//! suite pins this at shard counts {1, 2, 4, 8} and CI re-runs the whole
+//! test suite with `CONGEST_SHARDS=4`. Anything that makes behaviour depend
+//! on shard count — sends merged out of node order, counters folded out of
+//! shard order, an RNG stream shared across nodes — is a regression. (The
+//! invariant is scoped to error-free executions: a send error — always a
+//! protocol bug — aborts the round before the barrier under any shard
+//! count, with the lowest shard's error reported deterministically, but
+//! which *other* nodes ran before the error surfaced differs.)
+//!
+//! Sharded rounds allocate O(k) task envelopes for pool dispatch (the
+//! zero-allocation guarantee of §3 is a property of the sequential path);
+//! the per-message hot paths stay allocation-free, and speedup requires
+//! real cores and enough per-round work to amortise the barrier.
+//!
 //! # Example
 //!
 //! ```
@@ -108,5 +147,5 @@ pub use error::Error;
 pub use graph::{EdgeId, Graph, NodeId, Port};
 pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};
-pub use network::{Delivery, Network, NetworkConfig};
+pub use network::{Delivery, Network, NetworkConfig, ShardView};
 pub use runtime::{NodeProgram, Outbox, RoundContext, SyncRuntime};

@@ -25,7 +25,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use crate::error::Error;
 use crate::graph::{EdgeId, Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
-use crate::metrics::{Metrics, MetricsRecorder, RoundReport};
+use crate::metrics::{Metrics, MetricsRecorder, RoundReport, ShardCounters};
 
 /// Configuration of a [`Network`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,17 @@ pub struct NetworkConfig {
     /// Whether to retain a per-round [`RoundReport`] history (costs memory on
     /// very long runs; metrics totals are always kept).
     pub track_round_history: bool,
+    /// Number of worker shards the [`SyncRuntime`](crate::runtime::SyncRuntime)
+    /// uses to execute a round. `0` (the default) means *auto*: the
+    /// `CONGEST_SHARDS` environment variable if set, otherwise `1`
+    /// (sequential). Any value is clamped to `1..=n` at network creation.
+    ///
+    /// Metrics, round history, and RNG streams are **byte-identical for
+    /// every shard count** — the deterministic-merge invariant pinned by the
+    /// workspace determinism suite — so this knob only trades wall-clock
+    /// time. Protocols that drive the [`Network`] directly are always
+    /// executed by their calling thread regardless of this setting.
+    pub shard_count: usize,
 }
 
 impl NetworkConfig {
@@ -57,7 +68,16 @@ impl NetworkConfig {
             shared_coin: false,
             enforce_congest: true,
             track_round_history: false,
+            shard_count: 0,
         }
+    }
+
+    /// Sets the number of worker shards for runtime-driven round execution
+    /// (see [`NetworkConfig::shard_count`]). `0` restores auto resolution.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shard_count = shards;
+        self
     }
 
     /// Enables the global shared coin.
@@ -133,6 +153,17 @@ pub struct Network<M: Payload> {
     round_stamp: u64,
     node_rngs: Vec<StdRng>,
     shared_rng: Option<StdRng>,
+    /// Shard fenceposts (`k + 1` entries, from [`Graph::shard_boundaries`])
+    /// for the resolved shard count; `k == 1` for sequential execution.
+    boundaries: Vec<usize>,
+    /// Per-shard outbox queues filled by [`ShardView::send_through_port`]
+    /// during sharded rounds; merged into inboxes **in shard order** at
+    /// [`advance_round`](Network::advance_round), after the sequential
+    /// `pending` buffer. Buffers are drained, never dropped.
+    shard_pending: Vec<Vec<(NodeId, Port, NodeId, M)>>,
+    /// Per-shard send counters, absorbed into the recorder in shard order at
+    /// the round barrier.
+    shard_counters: Vec<ShardCounters>,
 }
 
 impl<M: Payload> Network<M> {
@@ -148,6 +179,17 @@ impl<M: Payload> Network<M> {
         let shared_rng = config
             .shared_coin
             .then(|| StdRng::seed_from_u64(seeder.next_u64()));
+        let requested = if config.shard_count == 0 {
+            std::env::var("CONGEST_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&k| k > 0)
+                .unwrap_or(1)
+        } else {
+            config.shard_count
+        };
+        let boundaries = graph.shard_boundaries(requested);
+        let shards = boundaries.len() - 1;
         Network {
             inboxes: vec![Vec::new(); n],
             dirty_inboxes: Vec::new(),
@@ -160,6 +202,9 @@ impl<M: Payload> Network<M> {
             pending: Vec::new(),
             node_rngs,
             shared_rng,
+            boundaries,
+            shard_pending: (0..shards).map(|_| Vec::new()).collect(),
+            shard_counters: vec![ShardCounters::default(); shards],
         }
     }
 
@@ -327,9 +372,18 @@ impl<M: Payload> Network<M> {
 
     /// Delivers all pending messages and advances the round clock by one.
     ///
+    /// Delivery order is: the sequential `pending` buffer first (sends made
+    /// through the `Network` handle itself), then each shard's outbox queue
+    /// **in shard order**. Worker shards fill their queues in node order
+    /// over contiguous node ranges, so the concatenation reproduces the
+    /// exact global node-order delivery of the sequential engine — this is
+    /// the deterministic barrier merge that makes metrics and protocol
+    /// behaviour byte-identical for every shard count.
+    ///
     /// Steady-state this performs **no heap allocation**: inboxes are
-    /// cleared in place, the pending buffer is drained in place, and edge
-    /// usage is invalidated by bumping the round stamp.
+    /// cleared in place, the pending buffers (sequential and per-shard) are
+    /// drained in place, and edge usage is invalidated by bumping the round
+    /// stamp.
     pub fn advance_round(&mut self) {
         for v in self.dirty_inboxes.drain(..) {
             self.inboxes[v].clear();
@@ -339,6 +393,19 @@ impl<M: Payload> Network<M> {
                 self.dirty_inboxes.push(to);
             }
             self.inboxes[to].push((from, port, msg));
+        }
+        for s in 0..self.shard_pending.len() {
+            for (from, port, to, msg) in self.shard_pending[s].drain(..) {
+                if self.inboxes[to].is_empty() {
+                    self.dirty_inboxes.push(to);
+                }
+                self.inboxes[to].push((from, port, msg));
+            }
+        }
+        for shard in &mut self.shard_counters {
+            if !shard.is_empty() || shard.bits > 0 {
+                self.recorder.absorb_shard(shard);
+            }
         }
         self.round_stamp += 1;
         self.recorder.finish_round(self.config.track_round_history);
@@ -350,7 +417,7 @@ impl<M: Payload> Network<M> {
     /// round individually.
     pub fn skip_rounds(&mut self, rounds: u64) {
         debug_assert!(
-            self.pending.is_empty(),
+            self.pending.is_empty() && self.shard_pending.iter().all(Vec::is_empty),
             "skip_rounds with undelivered messages"
         );
         self.round_stamp += rounds;
@@ -415,6 +482,209 @@ impl<M: Payload> Network<M> {
     /// caller wants to measure phases of a protocol separately.
     pub fn reset_metrics(&mut self) {
         self.recorder = MetricsRecorder::default();
+        for shard in &mut self.shard_counters {
+            *shard = ShardCounters::default();
+        }
+    }
+
+    /// The resolved shard count `k` (`1` = sequential execution).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The shard fenceposts (`k + 1` entries; shard `s` owns nodes
+    /// `boundaries[s]..boundaries[s + 1]`).
+    #[must_use]
+    pub fn shard_boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Splits the network's per-node and per-edge state into `k` disjoint
+    /// [`ShardView`]s, one per shard, for one round of parallel execution.
+    ///
+    /// Each view covers a contiguous node range and — because CSR edge ids
+    /// are grouped by source node — a contiguous, disjoint slice of the
+    /// round-stamped edge table, so CONGEST edge-busy enforcement needs no
+    /// cross-shard synchronisation: a shard only ever sends from its own
+    /// nodes, whose outgoing directed edges it exclusively owns. Views queue
+    /// sends into per-shard outboxes that the next
+    /// [`advance_round`](Network::advance_round) merges deterministically.
+    ///
+    /// The caller must not touch the network until every view is dropped
+    /// (the borrow checker enforces this), and must call `advance_round` to
+    /// publish the queued sends and counters.
+    pub fn shard_views(&mut self) -> Vec<ShardView<'_, M>> {
+        let quantum = self.recorder.quantum_depth > 0;
+        let graph = &self.graph;
+        let boundaries = &self.boundaries;
+        let shards = boundaries.len() - 1;
+        let mut inboxes = self.inboxes.as_mut_slice();
+        let mut stamps = self.edge_stamp.as_mut_slice();
+        let mut rngs = self.node_rngs.as_mut_slice();
+        let mut pending = self.shard_pending.iter_mut();
+        let mut counters = self.shard_counters.iter_mut();
+        let mut views = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (node_lo, node_hi) = (boundaries[s], boundaries[s + 1]);
+            let (edge_lo, edge_hi) = (graph.first_edge_id(node_lo), graph.first_edge_id(node_hi));
+            let (shard_inboxes, rest) = inboxes.split_at_mut(node_hi - node_lo);
+            inboxes = rest;
+            let (shard_stamps, rest) = stamps.split_at_mut(edge_hi - edge_lo);
+            stamps = rest;
+            let (shard_rngs, rest) = rngs.split_at_mut(node_hi - node_lo);
+            rngs = rest;
+            views.push(ShardView {
+                graph,
+                node_lo,
+                edge_lo,
+                round_stamp: self.round_stamp,
+                enforce_congest: self.config.enforce_congest,
+                budget_bits: self.budget_bits,
+                quantum,
+                inboxes: shard_inboxes,
+                edge_stamp: shard_stamps,
+                rngs: shard_rngs,
+                pending: pending.next().expect("shard pending missing"),
+                counters: counters.next().expect("shard counters missing"),
+            });
+        }
+        views
+    }
+}
+
+/// One shard's exclusive, thread-safe window onto the network for a single
+/// round of sharded execution: the shard's inboxes, private RNG streams, the
+/// stamp slice for its nodes' outgoing directed edges, and its own outbox
+/// queue and send counters. Produced by [`Network::shard_views`].
+#[derive(Debug)]
+pub struct ShardView<'a, M: Payload> {
+    graph: &'a Graph,
+    /// First node owned by this shard.
+    node_lo: NodeId,
+    /// First directed edge id owned by this shard (`first_edge_id(node_lo)`).
+    edge_lo: EdgeId,
+    round_stamp: u64,
+    enforce_congest: bool,
+    budget_bits: usize,
+    /// Whether sends this round are charged to the quantum meter (captured
+    /// from the recorder at view creation).
+    quantum: bool,
+    inboxes: &'a mut [Vec<Delivery<M>>],
+    edge_stamp: &'a mut [u64],
+    rngs: &'a mut [StdRng],
+    pending: &'a mut Vec<(NodeId, Port, NodeId, M)>,
+    counters: &'a mut ShardCounters,
+}
+
+impl<M: Payload> ShardView<'_, M> {
+    /// The first node of this shard's contiguous range.
+    #[must_use]
+    pub fn first_node(&self) -> NodeId {
+        self.node_lo
+    }
+
+    /// Number of nodes in this shard.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// The communication graph (shared, read-only).
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Whether node `v`'s inbox is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside this shard's node range.
+    #[must_use]
+    pub fn inbox_is_empty(&self, v: NodeId) -> bool {
+        self.inboxes[v - self.node_lo].is_empty()
+    }
+
+    /// Exchanges node `v`'s inbox with `scratch`, exactly like
+    /// [`Network::swap_inbox`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside this shard's node range.
+    pub fn swap_inbox(&mut self, v: NodeId, scratch: &mut Vec<Delivery<M>>) {
+        scratch.clear();
+        std::mem::swap(&mut self.inboxes[v - self.node_lo], scratch);
+    }
+
+    /// Mutable access to node `v`'s private random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside this shard's node range.
+    pub fn rng(&mut self, v: NodeId) -> &mut StdRng {
+        &mut self.rngs[v - self.node_lo]
+    }
+
+    /// Sends `msg` from `from` through its local port `port`, with the same
+    /// semantics (and errors) as [`Network::send_through_port`]: O(1)
+    /// CONGEST enforcement against this shard's private stamp slice, O(1)
+    /// arrival-port resolution, and queuing into this shard's outbox for the
+    /// deterministic merge at the round barrier.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::PortOutOfRange`] if `port >= deg(from)`,
+    /// * [`Error::MessageTooLarge`] if the payload exceeds the CONGEST budget,
+    /// * [`Error::EdgeBusy`] if the directed edge was already used this round
+    ///   (only when CONGEST enforcement is on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is outside this shard's node range — sending from a
+    /// foreign node would bypass that node's edge stamps and land in the
+    /// wrong shard's outbox queue, silently breaking both CONGEST
+    /// enforcement and the deterministic merge, so the check is
+    /// unconditional (like the other `ShardView` accessors).
+    pub fn send_through_port(&mut self, from: NodeId, port: Port, msg: M) -> Result<(), Error> {
+        assert!(
+            from >= self.node_lo && from - self.node_lo < self.inboxes.len(),
+            "node {from} outside shard starting at {}",
+            self.node_lo
+        );
+        if port >= self.graph.degree(from) {
+            return Err(Error::PortOutOfRange {
+                node: from,
+                port,
+                degree: self.graph.degree(from),
+            });
+        }
+        let edge = self.graph.edge_id(from, port);
+        let bits = msg.size_bits();
+        if self.enforce_congest {
+            if bits > self.budget_bits {
+                return Err(Error::MessageTooLarge {
+                    bits,
+                    budget: self.budget_bits,
+                });
+            }
+            let stamp = &mut self.edge_stamp[edge - self.edge_lo];
+            if *stamp == self.round_stamp {
+                return Err(Error::EdgeBusy {
+                    from,
+                    to: self.graph.edge_target(edge),
+                });
+            }
+            *stamp = self.round_stamp;
+        }
+        self.counters.record_send(bits, self.quantum);
+        self.pending.push((
+            from,
+            self.graph.reverse_port(edge),
+            self.graph.edge_target(edge),
+            msg,
+        ));
+        Ok(())
     }
 }
 

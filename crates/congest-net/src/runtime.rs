@@ -28,7 +28,7 @@ use crate::error::Error;
 use crate::graph::{Graph, NodeId, Port};
 use crate::message::Payload;
 use crate::metrics::Metrics;
-use crate::network::{Delivery, Network, NetworkConfig};
+use crate::network::{Delivery, Network, NetworkConfig, ShardView};
 
 /// The per-round view a node program gets of its environment.
 #[derive(Debug)]
@@ -62,14 +62,20 @@ impl<M> Outbox<M> {
         self.msgs.push((port, msg));
     }
 
-    /// Queues `msg` to every port in `0..degree`.
+    /// Queues `msg` to every port in `0..degree`. The original message is
+    /// moved into the last port, so a broadcast costs `degree - 1` clones,
+    /// not `degree`.
     pub fn send_all(&mut self, degree: usize, msg: M)
     where
         M: Clone,
     {
-        for port in 0..degree {
+        if degree == 0 {
+            return;
+        }
+        for port in 0..degree - 1 {
             self.msgs.push((port, msg.clone()));
         }
+        self.msgs.push((degree - 1, msg));
     }
 
     /// Number of queued messages.
@@ -86,7 +92,11 @@ impl<M> Outbox<M> {
 }
 
 /// A per-node state machine driven by the [`SyncRuntime`].
-pub trait NodeProgram {
+///
+/// `Send` is required so the sharded round engine can execute contiguous
+/// chunks of programs on worker threads; programs are per-node protocol
+/// state (plain data), so this costs implementors nothing.
+pub trait NodeProgram: Send {
     /// The message type exchanged by this protocol.
     type Msg: Payload;
 
@@ -127,6 +137,104 @@ pub struct SyncRuntime<P: NodeProgram> {
     /// Reusable drain buffer for flushing the outbox while the network is
     /// borrowed mutably.
     flush_scratch: Vec<(Port, P::Msg)>,
+    /// Per-shard scratch for the sharded execution path (empty when the
+    /// network resolved to a single shard).
+    shard_scratch: Vec<ShardScratch<P::Msg>>,
+    /// Per-shard error slots for the sharded path; the lowest-shard error is
+    /// the one reported, which keeps error selection deterministic.
+    shard_errors: Vec<Option<Error>>,
+}
+
+/// One worker shard's reusable buffers: the sharded analogue of the
+/// runtime's sequential `inbox_scratch` / `incoming` / `outbox` trio.
+#[derive(Debug)]
+struct ShardScratch<M> {
+    inbox_scratch: Vec<Delivery<M>>,
+    incoming: Vec<(Port, M)>,
+    outbox: Outbox<M>,
+}
+
+impl<M> Default for ShardScratch<M> {
+    fn default() -> Self {
+        ShardScratch {
+            inbox_scratch: Vec::new(),
+            incoming: Vec::new(),
+            outbox: Outbox::new(),
+        }
+    }
+}
+
+/// Executes one shard's slice of a round (or of the start-up round): the
+/// per-node inbox translation, program callback, and outbox flush of the
+/// sequential engine, against the shard's exclusive [`ShardView`].
+///
+/// Nodes are processed in node order within the shard and sends are queued
+/// into the shard's outbox in that order, which is what makes the barrier
+/// merge (shard queues concatenated in shard order) reproduce the sequential
+/// engine's global node-order delivery exactly.
+///
+/// This is deliberately a *copy* of the per-node body in the sequential
+/// [`SyncRuntime::step`] / [`SyncRuntime::start`] loops rather than a shared
+/// abstraction: the sequential loop is the engine's hottest code and its
+/// codegen is fragile (routing it through a view indirection measurably
+/// regressed sparse rounds), so the two copies are kept textually parallel
+/// instead. If you change the skip rule, delivery translation, or flush
+/// order here, mirror it there — the determinism suite compares `k = 1`
+/// against `k > 1` behaviour precisely to catch a missed mirror.
+fn run_shard_round<P: NodeProgram>(
+    programs: &mut [P],
+    view: &mut ShardView<'_, P::Msg>,
+    scratch: &mut ShardScratch<P::Msg>,
+    round: u64,
+    shared_coin: Option<f64>,
+    start: bool,
+) -> Result<(), Error> {
+    let node_lo = view.first_node();
+    for (offset, program) in programs.iter_mut().enumerate() {
+        let v = node_lo + offset;
+        let degree = view.graph().degree(v);
+        if start {
+            let mut ctx = RoundContext {
+                node: v,
+                degree,
+                round,
+                rng: view.rng(v),
+                shared_coin,
+            };
+            program.on_start(&mut ctx, &mut scratch.outbox);
+        } else {
+            let inbox_empty = view.inbox_is_empty(v);
+            // Same skip rule as the sequential engine: a halted node sends
+            // nothing and, with an empty inbox, observes nothing.
+            if inbox_empty && program.halted() {
+                continue;
+            }
+            if inbox_empty {
+                scratch.incoming.clear();
+            } else {
+                view.swap_inbox(v, &mut scratch.inbox_scratch);
+                scratch.incoming.clear();
+                scratch.incoming.extend(
+                    scratch
+                        .inbox_scratch
+                        .drain(..)
+                        .map(|(_, port, msg)| (port, msg)),
+                );
+            }
+            let mut ctx = RoundContext {
+                node: v,
+                degree,
+                round,
+                rng: view.rng(v),
+                shared_coin,
+            };
+            program.on_round(&mut ctx, &scratch.incoming, &mut scratch.outbox);
+        }
+        for (port, msg) in scratch.outbox.msgs.drain(..) {
+            view.send_through_port(v, port, msg)?;
+        }
+    }
+    Ok(())
 }
 
 impl<P: NodeProgram> SyncRuntime<P> {
@@ -142,6 +250,15 @@ impl<P: NodeProgram> SyncRuntime<P> {
             .map(|v| init(v, graph.degree(v)))
             .collect();
         let net = Network::new(graph, config);
+        let shards = net.shard_count();
+        let (shard_scratch, shard_errors) = if shards > 1 {
+            (
+                (0..shards).map(|_| ShardScratch::default()).collect(),
+                (0..shards).map(|_| None).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         SyncRuntime {
             net,
             programs,
@@ -150,7 +267,15 @@ impl<P: NodeProgram> SyncRuntime<P> {
             incoming: Vec::new(),
             outbox: Outbox::new(),
             flush_scratch: Vec::new(),
+            shard_scratch,
+            shard_errors,
         }
+    }
+
+    /// The number of worker shards executing each round (1 = sequential).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.net.shard_count()
     }
 
     /// The underlying network (for metric inspection).
@@ -193,6 +318,11 @@ impl<P: NodeProgram> SyncRuntime<P> {
     /// Propagates network errors from the queued sends.
     pub fn start(&mut self) -> Result<(), Error> {
         debug_assert_eq!(self.round, 0, "start() called twice");
+        if self.net.shard_count() > 1 {
+            self.run_round_sharded(true)?;
+            self.round = 1;
+            return Ok(());
+        }
         let shared = self.shared_value();
         for v in 0..self.programs.len() {
             let degree = self.net.graph().degree(v);
@@ -222,7 +352,14 @@ impl<P: NodeProgram> SyncRuntime<P> {
     ///
     /// Propagates network errors from the queued sends.
     pub fn step(&mut self) -> Result<(), Error> {
+        if self.net.shard_count() > 1 {
+            self.run_round_sharded(false)?;
+            self.round += 1;
+            return Ok(());
+        }
         let shared = self.shared_value();
+        // Per-node body mirrored in `run_shard_round` (kept as two textually
+        // parallel copies for hot-loop codegen; see the note there).
         for v in 0..self.programs.len() {
             let inbox_empty = self.net.inbox(v).is_empty();
             // A halted node sends nothing and, with an empty inbox, observes
@@ -282,6 +419,72 @@ impl<P: NodeProgram> SyncRuntime<P> {
 
     fn shared_value(&mut self) -> Option<f64> {
         self.net.shared_coin_uniform().ok()
+    }
+
+    /// Executes one round (or the start-up round) across `k > 1` worker
+    /// shards on the persistent `rayon` pool, then merges at the barrier.
+    ///
+    /// The network is split into disjoint [`ShardView`]s and the program
+    /// vector into matching contiguous chunks; each worker runs its shard's
+    /// nodes in node order against purely shard-local state (inboxes, RNG
+    /// streams, edge stamps, outbox queue, counters), so there is no
+    /// cross-shard synchronisation inside a round. `advance_round` then
+    /// performs the deterministic shard-order merge.
+    ///
+    /// On error the round is **not** advanced — matching the sequential
+    /// path, which aborts at the erroring node before its `advance_round` —
+    /// and if several shards error, the lowest shard's error is reported
+    /// (deterministic). Exact post-error state still differs from
+    /// sequential in which *other* nodes ran before the error surfaced;
+    /// errors indicate protocol bugs, and the byte-identical-across-shard-
+    /// counts invariant is scoped to error-free executions.
+    ///
+    /// Unlike the sequential path this allocates O(k) task envelopes per
+    /// round — the price of dispatch; the per-message hot paths stay
+    /// allocation-free.
+    ///
+    /// `inline(never)` keeps the sharded machinery out of `step`'s inlined
+    /// body: with one codegen unit, letting it bleed into the sequential
+    /// loop measurably regresses the `k = 1` hot path (one call per round
+    /// is irrelevant at shard granularity).
+    #[inline(never)]
+    fn run_round_sharded(&mut self, start: bool) -> Result<(), Error> {
+        let shared = self.shared_value();
+        let round = self.round;
+        let mut views = self.net.shard_views();
+        debug_assert_eq!(views.len(), self.shard_scratch.len());
+        {
+            let mut rest: &mut [P] = &mut self.programs;
+            let mut tasks: Vec<_> = views
+                .drain(..)
+                .zip(self.shard_scratch.iter_mut())
+                .zip(self.shard_errors.iter_mut())
+                .map(|((view, scratch), error)| {
+                    let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(view.node_count());
+                    rest = tail;
+                    let mut view = view;
+                    move || {
+                        *error =
+                            run_shard_round(chunk, &mut view, scratch, round, shared, start).err();
+                    }
+                })
+                .collect();
+            rayon::pool::global().scope_execute_batch(&mut tasks);
+        }
+        // Drain every slot (not just the first) so nothing stale can ever
+        // be re-reported; the lowest shard's error wins deterministically.
+        let mut first_err = None;
+        for slot in &mut self.shard_errors {
+            let taken = slot.take();
+            if first_err.is_none() {
+                first_err = taken;
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        self.net.advance_round();
+        Ok(())
     }
 
     /// Sends everything queued in the shared outbox on behalf of `v`.
@@ -375,6 +578,121 @@ mod tests {
         assert!(coins[0].is_some());
         assert_eq!(coins[0], coins[1]);
         assert_eq!(coins[1], coins[2]);
+    }
+
+    #[test]
+    fn sharded_flood_is_byte_identical_to_sequential() {
+        let graph = topology::hypercube(6).unwrap();
+        let run = |shards: usize| {
+            let mut runtime = SyncRuntime::new(
+                graph.clone(),
+                NetworkConfig::with_seed(3)
+                    .shards(shards)
+                    .track_history(true),
+                |v, _| Flood::new(v == 0),
+            );
+            let rounds = runtime.run_until_halt(1000).unwrap();
+            let history = runtime.network().round_history().to_vec();
+            (rounds, runtime.metrics(), history)
+        };
+        let sequential = run(1);
+        for shards in [2usize, 3, 4, 8] {
+            assert_eq!(run(shards), sequential, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_execution_routes_private_rng_streams_correctly() {
+        use rand::Rng;
+
+        // Every node draws from its private stream each round and remembers
+        // the draws; per-node streams must be identical for any shard count,
+        // which fails loudly if a shard hands node v a misaligned RNG slice.
+        #[derive(Debug)]
+        struct Roller {
+            draws: Vec<u64>,
+        }
+        impl NodeProgram for Roller {
+            type Msg = bool;
+            fn on_start(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<bool>) {
+                self.draws.push(ctx.rng.gen());
+                outbox.send_all(ctx.degree, true);
+            }
+            fn on_round(
+                &mut self,
+                ctx: &mut RoundContext<'_>,
+                _incoming: &[(Port, bool)],
+                outbox: &mut Outbox<bool>,
+            ) {
+                self.draws.push(ctx.rng.gen());
+                outbox.send_all(ctx.degree, true);
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let graph = topology::cycle(17).unwrap();
+        let run = |shards: usize| {
+            let mut runtime = SyncRuntime::new(
+                graph.clone(),
+                NetworkConfig::with_seed(11).shards(shards),
+                |_, _| Roller { draws: Vec::new() },
+            );
+            runtime.run_until_halt(6).unwrap();
+            let (programs, metrics) = runtime.into_parts();
+            let draws: Vec<Vec<u64>> = programs.into_iter().map(|p| p.draws).collect();
+            (draws, metrics)
+        };
+        let sequential = run(1);
+        for shards in [2usize, 4, 5] {
+            assert_eq!(run(shards), sequential, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_runtime_reports_edge_busy() {
+        // A protocol bug (double send on one port) must surface the same
+        // error family under sharded execution as under sequential.
+        #[derive(Debug)]
+        struct DoubleSender;
+        impl NodeProgram for DoubleSender {
+            type Msg = bool;
+            fn on_start(&mut self, _ctx: &mut RoundContext<'_>, outbox: &mut Outbox<bool>) {
+                outbox.send(0, true);
+                outbox.send(0, true);
+            }
+            fn on_round(
+                &mut self,
+                _ctx: &mut RoundContext<'_>,
+                _incoming: &[(Port, bool)],
+                _outbox: &mut Outbox<bool>,
+            ) {
+            }
+            fn halted(&self) -> bool {
+                true
+            }
+        }
+        for shards in [1usize, 4] {
+            let graph = topology::cycle(8).unwrap();
+            let mut runtime =
+                SyncRuntime::new(graph, NetworkConfig::with_seed(1).shards(shards), |_, _| {
+                    DoubleSender
+                });
+            assert!(matches!(runtime.start(), Err(Error::EdgeBusy { .. })));
+            // Error parity with the sequential engine: the round must not
+            // have advanced.
+            assert_eq!(runtime.metrics().rounds, 0, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_count_resolves_and_clamps() {
+        let graph = topology::complete(4).unwrap();
+        let runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(1).shards(64), |_, _| {
+            Flood::new(false)
+        });
+        // Clamped to n = 4 nodes.
+        assert_eq!(runtime.shard_count(), 4);
     }
 
     #[test]

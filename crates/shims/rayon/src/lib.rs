@@ -3,29 +3,40 @@
 //!
 //! The build environment has no access to crates.io, so this crate provides
 //! `par_iter` / `into_par_iter` with `map` / `for_each` / `collect` over
-//! slices, `Vec`s, and integer ranges, executed on scoped OS threads
-//! (one chunk per available core). Results are always merged **in input
-//! order**, so parallel sweeps are deterministic: a seed-indexed map produces
+//! slices, `Vec`s, and integer ranges, plus [`join`] — all executed on a
+//! **persistent worker pool** ([`pool`]) spawned once per process, so
+//! high-frequency callers (the sharded round engine in `congest-net`
+//! dispatches a batch every simulated round) pay a queue push instead of an
+//! OS thread spawn. Results are always merged **in input order**, so
+//! parallel sweeps are deterministic: a seed-indexed map produces
 //! byte-identical output to its sequential counterpart.
 //!
 //! This is not work-stealing rayon — chunks are static — but for the
 //! embarrassingly-parallel, per-seed protocol sweeps in `bench` the static
-//! split is within noise of optimal, and the zero-dependency implementation
-//! keeps the workspace buildable offline.
+//! split is within noise of optimal, and the near-zero-dependency
+//! implementation keeps the workspace buildable offline. The only `unsafe`
+//! in the shim is the scoped lifetime erasure inside [`pool`], with the
+//! soundness argument documented there.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::ops::Range;
+
+pub mod pool;
+
+pub use pool::{join, ThreadPool};
 
 /// Re-exports matching `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
 }
 
-/// Number of worker threads used for parallel execution.
+/// Number of worker threads used for parallel execution (the persistent
+/// pool's size: `RAYON_NUM_THREADS` if set, otherwise the available
+/// parallelism).
 #[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    pool::global().thread_count()
 }
 
 /// An eager parallel iterator over an owned list of items.
@@ -151,8 +162,9 @@ where
         if workers <= 1 || n <= 1 {
             return items.into_iter().map(f).collect();
         }
-        // Static split into `workers` contiguous chunks; each chunk keeps its
-        // index so the merge restores input order exactly.
+        // Static split into `workers` contiguous chunks; each chunk maps into
+        // its own result slot, so reassembling the slots in slot order
+        // restores input order exactly regardless of execution order.
         let chunk_size = n.div_ceil(workers);
         let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
         while !items.is_empty() {
@@ -161,21 +173,16 @@ where
         }
         chunks.reverse(); // split_off peeled chunks from the back
         let f = &f;
-        let mut results: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
+        let mut slots: Vec<Vec<R>> = (0..chunks.len()).map(|_| Vec::new()).collect();
+        {
+            let mut tasks: Vec<_> = chunks
                 .into_iter()
-                .enumerate()
-                .map(|(idx, chunk)| {
-                    scope.spawn(move || (idx, chunk.into_iter().map(f).collect::<Vec<R>>()))
-                })
+                .zip(slots.iter_mut())
+                .map(|(mut chunk, slot)| move || *slot = chunk.drain(..).map(f).collect::<Vec<R>>())
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon shim worker panicked"))
-                .collect()
-        });
-        results.sort_by_key(|(idx, _)| *idx);
-        results.into_iter().flat_map(|(_, chunk)| chunk).collect()
+            pool::global().scope_execute_batch(&mut tasks);
+        }
+        slots.into_iter().flatten().collect()
     }
 }
 

@@ -1,6 +1,7 @@
-//! Determinism regression tests for the CSR / zero-allocation round engine.
+//! Determinism regression tests for the CSR / zero-allocation round engine
+//! and its sharded multi-threaded variant.
 //!
-//! Two layers of protection:
+//! Three layers of protection:
 //!
 //! 1. **Run-to-run determinism:** a fixed seed must produce byte-identical
 //!    [`Metrics`] across repeated runs of the same protocol — the engine has
@@ -10,6 +11,10 @@
 //!    future change to the round engine, the PRNG, or the protocols that
 //!    shifts them is a behavioural change and must be made deliberately
 //!    (update the constants in the same commit and say why).
+//! 3. **Shard invariance:** the sharded round engine must reproduce the
+//!    sequential golden values byte-for-byte at every shard count — the
+//!    deterministic barrier merge (shard outboxes concatenated in node
+//!    order, counters absorbed in shard order) is what this pins.
 
 use classical_baselines::GhsLe;
 use congest_net::programs::Flood;
@@ -17,13 +22,24 @@ use congest_net::{topology, Metrics, NetworkConfig, SyncRuntime};
 use qle::algorithms::QuantumLe;
 use qle::{AlphaChoice, KChoice, LeaderElection};
 
-fn flood_metrics(seed: u64) -> (u64, Metrics) {
+/// Shard counts every golden configuration is checked at; 1 is the
+/// sequential engine, the rest exercise the barrier merge (8 > the golden
+/// graphs' natural balance points, so uneven shards are covered too).
+const SHARD_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+fn flood_metrics_sharded(seed: u64, shards: usize) -> (u64, Metrics) {
     let graph = topology::hypercube(6).unwrap();
-    let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(seed), |v, _| {
-        Flood::new(v == 0)
-    });
+    let mut runtime = SyncRuntime::new(
+        graph,
+        NetworkConfig::with_seed(seed).shards(shards),
+        |v, _| Flood::new(v == 0),
+    );
     let rounds = runtime.run_until_halt(10_000).unwrap();
     (rounds, runtime.metrics())
+}
+
+fn flood_metrics(seed: u64) -> (u64, Metrics) {
+    flood_metrics_sharded(seed, 1)
 }
 
 #[test]
@@ -83,6 +99,71 @@ fn ghs_is_deterministic_and_matches_golden() {
     assert_eq!(a.cost.total_messages(), 2583);
     assert_eq!(a.cost.metrics.rounds, 78);
     assert_eq!(a.cost.metrics.total_bits, 102_072);
+}
+
+#[test]
+fn flood_golden_is_invariant_across_shard_counts() {
+    // The same golden values as `flood_is_deterministic_and_matches_golden`,
+    // reproduced byte-for-byte by every shard count in the matrix.
+    for shards in SHARD_MATRIX {
+        let (rounds, metrics) = flood_metrics_sharded(9, shards);
+        assert_eq!(rounds, 7, "rounds diverged at {shards} shards");
+        assert_eq!(
+            metrics.classical_messages, 384,
+            "messages diverged at {shards} shards"
+        );
+        assert_eq!(metrics.rounds, 7);
+        assert_eq!(metrics.total_bits, 384);
+        assert_eq!(
+            metrics.peak_messages_per_round, 120,
+            "peak diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn golden_runs_survive_forced_sharding_env() {
+    // CI runs the whole suite with CONGEST_SHARDS=4; this test makes the
+    // invariant explicit in-process: with the environment override forcing
+    // sharded execution for every auto-configured network, the QuantumLE and
+    // GHS golden runs (which drive the Network directly) and the Flood golden
+    // run (which goes through the sharded SyncRuntime) must be unchanged.
+    //
+    // Note on safety of the override: every test in this binary asserts
+    // metrics that are shard-count-invariant by construction, so a
+    // concurrently running test observing the variable still passes.
+    // Environment hygiene: the prior value is saved and *restored* (not
+    // removed — in the CI shards matrix this binary runs with
+    // CONGEST_SHARDS=4 already set, and dropping it would silently void the
+    // forced-sharding coverage for every test that starts after this one),
+    // the fallible runs execute under catch_unwind so a regression panic
+    // cannot leak the override, and concurrent tests are safe on both
+    // counts: Rust's std synchronises env access between threads, and any
+    // test observing the temporary value still passes because every
+    // assertion in this binary is shard-count-invariant by construction.
+    let saved = std::env::var("CONGEST_SHARDS").ok();
+    std::env::set_var("CONGEST_SHARDS", "8");
+    let results = std::panic::catch_unwind(|| {
+        let flood = flood_metrics_sharded(9, 0); // 0 = auto: resolves to the env override
+        let quantum = QuantumLe::with_parameters(KChoice::Optimal, AlphaChoice::Fixed(0.25))
+            .run(&topology::complete(64).unwrap(), 42)
+            .unwrap();
+        let ghs = GhsLe::new()
+            .run(&topology::erdos_renyi_connected(48, 0.15, 7).unwrap(), 5)
+            .unwrap();
+        (flood, quantum, ghs)
+    });
+    match saved {
+        Some(value) => std::env::set_var("CONGEST_SHARDS", value),
+        None => std::env::remove_var("CONGEST_SHARDS"),
+    }
+    let (flood, quantum, ghs) = results.unwrap_or_else(|p| std::panic::resume_unwind(p));
+    assert_eq!(flood.0, 7);
+    assert_eq!(flood.1.classical_messages, 384);
+    assert_eq!(quantum.cost.total_messages(), 3948);
+    assert_eq!(quantum.cost.metrics.rounds, 3761);
+    assert_eq!(ghs.cost.total_messages(), 2583);
+    assert_eq!(ghs.cost.metrics.rounds, 78);
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the workspace's core invariants.
 
-use congest_net::{topology, Graph, Network, NetworkConfig};
+use congest_net::programs::Flood;
+use congest_net::{topology, Graph, Network, NetworkConfig, SyncRuntime};
 use proptest::prelude::*;
 use qle::algorithms::{QuantumGeneralLe, QuantumLe};
 use qle::candidate::{sample_candidates_seeded, satisfies_fact_c2};
@@ -110,6 +111,41 @@ proptest! {
         // Out-of-range nodes never resolve to a port.
         prop_assert_eq!(g.port_to(g.node_count(), 0), None);
         prop_assert_eq!(g.port_to(0, g.node_count()), None);
+    }
+
+    /// The sharded round engine reproduces the sequential engine
+    /// byte-for-byte — metrics, round count, and per-round history — on
+    /// random graphs, random seeds, and random shard counts.
+    #[test]
+    fn sharded_flood_matches_sequential_on_random_graphs(
+        n in 8usize..64,
+        seed in 0u64..500,
+        shards in 2usize..9,
+    ) {
+        let graph = topology::erdos_renyi_connected(n, 0.2, seed).unwrap();
+        let run = |k: usize| {
+            let mut runtime = SyncRuntime::new(
+                graph.clone(),
+                NetworkConfig::with_seed(seed).shards(k).track_history(true),
+                |v, _| Flood::new(v == 0),
+            );
+            let rounds = runtime.run_until_halt(10_000).unwrap();
+            let history = runtime.network().round_history().to_vec();
+            (rounds, runtime.metrics(), history)
+        };
+        prop_assert_eq!(run(shards), run(1));
+    }
+
+    /// Shard boundaries always tile the node and edge ranges, for random
+    /// graphs and any requested shard count.
+    #[test]
+    fn shard_boundaries_tile_random_graphs(n in 2usize..64, seed in 0u64..200, shards in 1usize..80) {
+        let g = topology::erdos_renyi_connected(n, 0.15, seed).unwrap();
+        let bounds = g.shard_boundaries(shards);
+        prop_assert_eq!(bounds[0], 0);
+        prop_assert_eq!(*bounds.last().unwrap(), n);
+        prop_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(bounds.len() - 1, shards.clamp(1, n));
     }
 }
 
