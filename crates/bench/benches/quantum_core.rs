@@ -1,0 +1,100 @@
+//! State-vector kernel microbenchmark: the SoA amplitude kernels against the
+//! frozen pre-refactor scalar implementation, on identical workloads.
+//!
+//! The four kernels mirror `quantum_bench::measure_all`: phase oracle (with
+//! a branch-hostile scrambled marked set), Grover diffusion, complex inner
+//! product, and cached-CDF sampling. The acceptance target for the SoA
+//! refactor is an aggregate ≥ 1.3× over `legacy` on the CI container
+//! (enforced by `experiments --bench-quantum`, which writes
+//! `BENCH_quantum.json`; this bench is for interactive profiling).
+//!
+//! Run with `cargo bench --bench quantum_core`.
+
+use bench_harness::legacy_quantum::LegacyStateVector;
+use bench_harness::quantum_bench::{base_amplitudes, bench_oracle, SAMPLE_DRAWS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quantum_sim::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIMS: [usize; 3] = [1 << 12, 1 << 16, 1 << 20];
+
+fn bench_oracle_diffusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover_step");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &dim in &DIMS {
+        let amps = base_amplitudes(dim);
+        let mut soa = StateVector::from_amplitudes(amps.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("soa", dim), &dim, |b, _| {
+            b.iter(|| {
+                soa.apply_phase_oracle(bench_oracle);
+                soa.apply_diffusion();
+            });
+        });
+        let mut legacy = LegacyStateVector::from_amplitudes(amps);
+        group.bench_with_input(BenchmarkId::new("legacy", dim), &dim, |b, _| {
+            b.iter(|| {
+                legacy.apply_phase_oracle(bench_oracle);
+                legacy.apply_diffusion();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_product");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &dim in &DIMS {
+        let amps = base_amplitudes(dim);
+        let other: Vec<_> = amps.iter().rev().copied().collect();
+        let soa = StateVector::from_amplitudes(amps.clone()).unwrap();
+        let soa_other = StateVector::from_amplitudes(other.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("soa", dim), &dim, |b, _| {
+            b.iter(|| soa.inner_product(&soa_other).unwrap());
+        });
+        let legacy = LegacyStateVector::from_amplitudes(amps);
+        let legacy_other = LegacyStateVector::from_amplitudes(other);
+        group.bench_with_input(BenchmarkId::new("legacy", dim), &dim, |b, _| {
+            b.iter(|| legacy.inner_product(&legacy_other));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &dim in &DIMS {
+        let amps = base_amplitudes(dim);
+        let soa = StateVector::from_amplitudes(amps.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("soa", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(42);
+                soa.sample_many(SAMPLE_DRAWS, &mut rng)
+            });
+        });
+        let legacy = LegacyStateVector::from_amplitudes(amps);
+        group.bench_with_input(BenchmarkId::new("legacy", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(42);
+                legacy.sample_many(SAMPLE_DRAWS, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oracle_diffusion,
+    bench_inner_product,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -8,9 +8,14 @@
 //! cargo run --release -p bench-harness --bin experiments -- e1 e7         # a selection
 //! cargo run --release -p bench-harness --bin experiments -- --bench-network
 //!     # round-engine microbenchmark (CSR vs legacy); writes BENCH_network.json
+//! cargo run --release -p bench-harness --bin experiments -- --bench-quantum
+//!     # state-vector kernel microbenchmark (SoA vs legacy scalar); writes
+//!     # BENCH_quantum.json
 //! ```
 
+use bench_harness::gate;
 use bench_harness::network_bench;
+use bench_harness::quantum_bench;
 use bench_harness::{
     e10_candidate_sampling, e1_complete_le, e2_tradeoff, e3_mixing_le, e4_diameter_two_le,
     e5_general_le, e6_agreement, e7_star_search, e8_star_counting, e9_walk_ablation,
@@ -54,29 +59,12 @@ fn run_network_bench() {
          {workers} pool worker(s), sharded engine uses {} shards)\n",
         network_bench::BENCH_SHARDS
     );
-    let threshold: Option<f64> = std::env::var("BENCH_NETWORK_MIN_SPEEDUP").ok().map(|v| {
-        v.parse()
-            .expect("BENCH_NETWORK_MIN_SPEEDUP must be a number")
-    });
-    let attempts = if threshold.is_some() { 3 } else { 1 };
-    let mut best: Option<(Vec<network_bench::BenchRecord>, f64)> = None;
-    for attempt in 1..=attempts {
+    let threshold = gate::speedup_threshold("BENCH_NETWORK_MIN_SPEEDUP");
+    let (records, aggregate) = gate::measure_best_of(threshold, || {
         let records = network_bench::measure_all(n, runs);
         let aggregate = flood_aggregate(&records).unwrap_or(0.0);
-        if best.as_ref().is_none_or(|(_, b)| aggregate > *b) {
-            best = Some((records, aggregate));
-        }
-        let met = threshold.is_none_or(|t| best.as_ref().is_some_and(|(_, b)| *b >= t));
-        if met {
-            break;
-        }
-        if attempt < attempts {
-            println!(
-                "attempt {attempt}: aggregate {aggregate:.2}x below the gate — re-measuring\n"
-            );
-        }
-    }
-    let (records, aggregate) = best.expect("at least one measurement attempt");
+        (records, aggregate)
+    });
     println!(
         "{:<10} {:<8} {:<16} {:>10} {:>12} {:>14} {:>14}",
         "workload", "engine", "topology", "rounds", "messages", "ns/run", "ns/round"
@@ -155,10 +143,72 @@ fn run_network_bench() {
     }
 }
 
+/// Runs the state-vector kernel benchmark (SoA vs the frozen scalar
+/// implementation) and writes `BENCH_quantum.json`, printing a
+/// human-readable summary.
+///
+/// If `BENCH_QUANTUM_MIN_SPEEDUP` is set (e.g. to `1.3` in CI), the process
+/// exits non-zero when the aggregate SoA-vs-legacy speedup falls below that
+/// threshold, so the autovectorization headline is guarded, not just
+/// recorded. Like the network gate, a below-threshold reading is re-measured
+/// (up to three attempts, best kept): interference on a shared host only
+/// ever *inflates* run times, so a single noisy attempt must not fail the
+/// gate, while a true regression fails every attempt.
+fn run_quantum_bench() {
+    // 7 timed runs per record: the min-of-runs estimator tightens with more
+    // samples and keeps the CI gate stable on noisy hosts.
+    let runs = 7;
+    println!(
+        "quantum_core state-vector kernel benchmark (dims 2^10..2^20, {runs} timed runs each, \
+         {} draws per sampling rep)\n",
+        quantum_bench::SAMPLE_DRAWS
+    );
+    let threshold = gate::speedup_threshold("BENCH_QUANTUM_MIN_SPEEDUP");
+    let (records, aggregate) = gate::measure_best_of(threshold, || {
+        let records = quantum_bench::measure_all(runs);
+        let aggregate = quantum_bench::aggregate_speedup(&records).unwrap_or(0.0);
+        (records, aggregate)
+    });
+    println!(
+        "{:<14} {:<8} {:>9} {:>7} {:>14} {:>12}",
+        "kernel", "engine", "dim", "reps", "ns/run", "ns/rep"
+    );
+    for r in &records {
+        println!(
+            "{:<14} {:<8} {:>9} {:>7} {:>14} {:>12}",
+            r.kernel,
+            r.engine,
+            r.dim,
+            r.reps,
+            r.ns_per_run,
+            r.ns_per_rep()
+        );
+    }
+    println!();
+    for (kernel, speedup) in quantum_bench::kernel_speedups(&records) {
+        println!("{kernel}: {speedup:.2}x speedup (soa vs legacy, all dims)");
+    }
+    println!("aggregate (all kernels, all dims): {aggregate:.2}x speedup (soa vs legacy)");
+    let json = quantum_bench::to_json(&records);
+    std::fs::write("BENCH_quantum.json", &json).expect("write BENCH_quantum.json");
+    println!("\nwrote BENCH_quantum.json");
+    if let Some(threshold) = threshold {
+        assert!(
+            aggregate >= threshold,
+            "aggregate state-vector speedup regressed: {aggregate:.2}x < required {threshold:.2}x (soa vs legacy)"
+        );
+        println!("aggregate speedup {aggregate:.2}x meets the required {threshold:.2}x threshold");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     if args.iter().any(|a| a == "--bench-network") {
         run_network_bench();
+        return;
+    }
+    if args.iter().any(|a| a == "--bench-quantum") {
+        run_quantum_bench();
         return;
     }
     let requested: Vec<String> = args;

@@ -1,0 +1,156 @@
+//! A frozen copy of the **pre-SoA** scalar state-vector kernels, kept solely
+//! as the baseline side of the `quantum_core` microbenchmark.
+//!
+//! This reproduces, faithfully and deliberately, the amplitude loops as they
+//! existed before the structure-of-arrays refactor of
+//! `quantum_sim::statevector`:
+//!
+//! * amplitudes stored as one `Vec<Complex>` (array-of-structs),
+//! * sequential `fold`-style reductions whose loop-carried complex addition
+//!   keeps the pass latency-bound,
+//! * a conditionally-negating phase oracle (`if f(x) { *amp = -*amp; }`)
+//!   whose data-dependent store stalls on unpredictable oracles.
+//!
+//! Do **not** use this for anything but measurement: it exists so the
+//! benchmark can report "scalar kernels vs SoA kernels" numbers on identical
+//! workloads from a single binary, and so future sessions can re-verify the
+//! speedup claim in `BENCH_quantum.json` without digging through git
+//! history.
+
+use quantum_sim::Complex;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The seed's dense state vector: one array-of-structs amplitude buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacyStateVector {
+    amplitudes: Vec<Complex>,
+}
+
+impl LegacyStateVector {
+    /// The uniform superposition over `dim` basis states. Panics on
+    /// `dim == 0` (the bench never builds degenerate states).
+    #[must_use]
+    pub fn uniform(dim: usize) -> Self {
+        assert!(dim > 0, "legacy bench state must be non-empty");
+        let amp = Complex::real(1.0 / (dim as f64).sqrt());
+        LegacyStateVector {
+            amplitudes: vec![amp; dim],
+        }
+    }
+
+    /// Builds a state from raw amplitudes, normalising them exactly as the
+    /// pre-refactor constructor did (sequential norm accumulation).
+    #[must_use]
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm >= 1e-300, "legacy bench state must have non-zero norm");
+        let amplitudes = amplitudes
+            .into_iter()
+            .map(|a| a.scale(1.0 / norm))
+            .collect();
+        LegacyStateVector { amplitudes }
+    }
+
+    /// Dimension of the Hilbert space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// The amplitude of basis state `index`.
+    #[must_use]
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amplitudes[index]
+    }
+
+    /// The squared norm of the state (sequential scalar reduction).
+    #[must_use]
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// The inner product `⟨self|other⟩` (sequential scalar reduction).
+    #[must_use]
+    pub fn inner_product(&self, other: &LegacyStateVector) -> Complex {
+        assert_eq!(self.dim(), other.dim());
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amplitudes.iter().zip(&other.amplitudes) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Applies the phase oracle with the frozen conditional-negation loop.
+    pub fn apply_phase_oracle(&mut self, f: impl Fn(usize) -> bool) {
+        for (x, amp) in self.amplitudes.iter_mut().enumerate() {
+            if f(x) {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies the Grover diffusion operator with the frozen sequential-fold
+    /// mean.
+    pub fn apply_diffusion(&mut self) {
+        let dim = self.dim() as f64;
+        let mean = self
+            .amplitudes
+            .iter()
+            .fold(Complex::ZERO, |acc, a| acc + *a)
+            .scale(1.0 / dim);
+        for amp in &mut self.amplitudes {
+            *amp = mean.scale(2.0) - *amp;
+        }
+    }
+
+    /// Total probability mass on the indices where `f(x)` is true (frozen
+    /// filter-map-sum form).
+    #[must_use]
+    pub fn success_probability(&self, f: impl Fn(usize) -> bool) -> f64 {
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| f(*x))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Builds the cumulative distribution exactly as the frozen sampler did.
+    #[must_use]
+    pub fn sampler(&self) -> LegacySampler {
+        let mut cdf = Vec::with_capacity(self.dim());
+        let mut acc = 0.0;
+        for amp in &self.amplitudes {
+            acc += amp.norm_sqr();
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = f64::INFINITY;
+        }
+        LegacySampler { cdf }
+    }
+
+    /// Draws `count` outcomes through one cached cumulative distribution.
+    #[must_use]
+    pub fn sample_many(&self, count: usize, rng: &mut StdRng) -> Vec<usize> {
+        let sampler = self.sampler();
+        (0..count).map(|_| sampler.sample(rng)).collect()
+    }
+}
+
+/// The frozen cached-CDF sampler.
+#[derive(Debug, Clone)]
+pub struct LegacySampler {
+    cdf: Vec<f64>,
+}
+
+impl LegacySampler {
+    /// Samples one outcome by binary search over the cumulative
+    /// distribution.
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let draw: f64 = rng.gen();
+        self.cdf.partition_point(|&acc| acc <= draw)
+    }
+}

@@ -1,0 +1,423 @@
+//! State-vector kernel throughput measurement: the SoA kernels of
+//! `quantum_sim::statevector` vs the frozen scalar
+//! [`legacy_quantum`](crate::legacy_quantum) implementation.
+//!
+//! Used two ways:
+//!
+//! * the `quantum_core` criterion bench wraps the same workloads in its
+//!   timing harness,
+//! * `experiments --bench-quantum` calls [`measure_all`] and writes the
+//!   results to `BENCH_quantum.json`, so the performance trajectory of the
+//!   quantum validation layer is tracked in-repo exactly like the round
+//!   engine's (`BENCH_network.json`).
+//!
+//! Four kernels are timed per dimension, `dim ∈ {2^10, …, 2^20}`:
+//!
+//! * `oracle` — two phase-oracle passes (an involution, so the state is
+//!   restored exactly and every timed run sees identical input) with a
+//!   scrambled, branch-hostile marked set;
+//! * `diffusion` — two Grover diffusion passes (near-involutive; the
+//!   determinism checksum is rounded to absorb the ~1 ulp drift);
+//! * `inner-product` — one complex inner product against a second state;
+//! * `sampling` — one cumulative-distribution build plus 1024 cached draws
+//!   from a fixed-seed generator.
+//!
+//! Per-run work is normalised across dimensions by repeating each kernel
+//! `max(1, 2^21 / dim)` times, so every record times a comparable number of
+//! amplitude operations and the min-of-runs estimator stays meaningful at
+//! small `dim`.
+
+use std::time::Instant;
+
+use quantum_sim::{Complex, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::legacy_quantum::LegacyStateVector;
+
+/// The benchmarked Hilbert-space dimensions.
+pub const BENCH_DIMS: [usize; 6] = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
+
+/// Measurement draws per `sampling` repetition.
+pub const SAMPLE_DRAWS: usize = 1024;
+
+/// Amplitude operations each record targets per timed run (repetitions are
+/// `AMP_OPS_PER_RUN / dim`, floored at 1).
+pub const AMP_OPS_PER_RUN: usize = 1 << 21;
+
+fn scramble(x: u64) -> u64 {
+    // SplitMix64 finaliser: decorrelates the bench data from the index.
+    let z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The benchmark phase oracle: marks a scrambled ~3/8 of the domain, so the
+/// frozen conditional-negation loop pays real branch mispredictions while
+/// the SoA sign-multiply pass does not care.
+#[must_use]
+pub fn bench_oracle(x: usize) -> bool {
+    scramble(x as u64) & 7 < 3
+}
+
+/// Deterministic, non-uniform benchmark amplitudes (identical input for both
+/// engines; each constructor normalises).
+#[must_use]
+pub fn base_amplitudes(dim: usize) -> Vec<Complex> {
+    (0..dim)
+        .map(|k| {
+            let z = scramble(k as u64 ^ 0x5851_F42D_4C95_7F2D);
+            Complex::new(
+                (z & 0xFFFF) as f64 / 65_536.0 + 0.05,
+                ((z >> 16) & 0xFFFF) as f64 / 98_304.0,
+            )
+        })
+        .collect()
+}
+
+/// A single timed measurement for the JSON dump.
+#[derive(Debug, Clone)]
+pub struct QuantumBenchRecord {
+    /// Kernel name: `oracle`, `diffusion`, `inner-product`, or `sampling`.
+    pub kernel: String,
+    /// Engine variant, `soa` or `legacy`.
+    pub engine: String,
+    /// Hilbert-space dimension.
+    pub dim: usize,
+    /// Kernel repetitions per timed run.
+    pub reps: u32,
+    /// Timed runs.
+    pub runs: u32,
+    /// Minimum wall-clock nanoseconds over the timed runs (the noise-robust
+    /// estimator for a deterministic workload — see
+    /// `network_bench::BenchRecord::ns_per_run`).
+    pub ns_per_run: u128,
+}
+
+impl QuantumBenchRecord {
+    /// Nanoseconds per kernel repetition.
+    #[must_use]
+    pub fn ns_per_rep(&self) -> u128 {
+        self.ns_per_run / u128::from(self.reps.max(1))
+    }
+}
+
+/// One warm-up run, then `runs` timed runs; every run must produce the same
+/// checksum (the workloads are deterministic by construction) and the
+/// minimum time is kept.
+fn time_runs(runs: u32, mut f: impl FnMut() -> u64) -> u128 {
+    let checksum = f();
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let out = std::hint::black_box(f());
+            assert_eq!(out, checksum, "non-deterministic benchmark run");
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one timed run")
+}
+
+/// Checksum helper tolerating the ~ulp drift a near-involutive double pass
+/// accumulates across timed runs.
+fn rounded(x: f64) -> u64 {
+    (x * 1e9).round() as i64 as u64
+}
+
+/// Measures the four kernels on both engines across [`BENCH_DIMS`], with
+/// `runs` timed repetitions each.
+#[must_use]
+pub fn measure_all(runs: u32) -> Vec<QuantumBenchRecord> {
+    let mut records = Vec::new();
+    for &dim in &BENCH_DIMS {
+        let reps = (AMP_OPS_PER_RUN / dim).max(1) as u32;
+        let amps = base_amplitudes(dim);
+        let other_amps: Vec<Complex> = amps.iter().rev().copied().collect();
+        let mut push = |kernel: &str, engine: &str, ns: u128| {
+            records.push(QuantumBenchRecord {
+                kernel: kernel.into(),
+                engine: engine.into(),
+                dim,
+                reps,
+                runs,
+                ns_per_run: ns,
+            });
+        };
+
+        // oracle: 2·reps phase-oracle passes (exact involution per pair).
+        let mut soa = StateVector::from_amplitudes(amps.clone()).expect("soa state");
+        push(
+            "oracle",
+            "soa",
+            time_runs(runs, || {
+                for _ in 0..reps {
+                    soa.apply_phase_oracle(bench_oracle);
+                    soa.apply_phase_oracle(bench_oracle);
+                }
+                soa.amplitude(dim / 2).re.to_bits()
+            }),
+        );
+        let mut legacy = LegacyStateVector::from_amplitudes(amps.clone());
+        push(
+            "oracle",
+            "legacy",
+            time_runs(runs, || {
+                for _ in 0..reps {
+                    legacy.apply_phase_oracle(bench_oracle);
+                    legacy.apply_phase_oracle(bench_oracle);
+                }
+                legacy.amplitude(dim / 2).re.to_bits()
+            }),
+        );
+
+        // diffusion: 2·reps diffusion passes (near-involutive per pair).
+        let mut soa = StateVector::from_amplitudes(amps.clone()).expect("soa state");
+        push(
+            "diffusion",
+            "soa",
+            time_runs(runs, || {
+                for _ in 0..reps {
+                    soa.apply_diffusion();
+                    soa.apply_diffusion();
+                }
+                rounded(soa.amplitude(dim / 2).re)
+            }),
+        );
+        let mut legacy = LegacyStateVector::from_amplitudes(amps.clone());
+        push(
+            "diffusion",
+            "legacy",
+            time_runs(runs, || {
+                for _ in 0..reps {
+                    legacy.apply_diffusion();
+                    legacy.apply_diffusion();
+                }
+                rounded(legacy.amplitude(dim / 2).re)
+            }),
+        );
+
+        // inner-product: reps complex dot products (read-only).
+        let soa = StateVector::from_amplitudes(amps.clone()).expect("soa state");
+        let soa_other = StateVector::from_amplitudes(other_amps.clone()).expect("soa state");
+        push(
+            "inner-product",
+            "soa",
+            time_runs(runs, || {
+                let mut acc = 0.0;
+                for _ in 0..reps {
+                    let ip = soa
+                        .inner_product(std::hint::black_box(&soa_other))
+                        .expect("matching dims");
+                    // Consume both components: a re-only checksum lets the
+                    // optimiser dead-code-eliminate half the kernel.
+                    acc += ip.re + ip.im;
+                }
+                rounded(acc)
+            }),
+        );
+        let legacy = LegacyStateVector::from_amplitudes(amps.clone());
+        let legacy_other = LegacyStateVector::from_amplitudes(other_amps.clone());
+        push(
+            "inner-product",
+            "legacy",
+            time_runs(runs, || {
+                let mut acc = 0.0;
+                for _ in 0..reps {
+                    let ip = legacy.inner_product(std::hint::black_box(&legacy_other));
+                    acc += ip.re + ip.im;
+                }
+                rounded(acc)
+            }),
+        );
+
+        // sampling: reps × (CDF build + SAMPLE_DRAWS cached draws).
+        let soa = StateVector::from_amplitudes(amps.clone()).expect("soa state");
+        push(
+            "sampling",
+            "soa",
+            time_runs(runs, || {
+                let mut acc = 0u64;
+                for _ in 0..reps {
+                    let mut rng = StdRng::seed_from_u64(42);
+                    acc = acc.wrapping_add(
+                        soa.sample_many(SAMPLE_DRAWS, &mut rng)
+                            .into_iter()
+                            .map(|x| x as u64)
+                            .sum(),
+                    );
+                }
+                acc
+            }),
+        );
+        let legacy = LegacyStateVector::from_amplitudes(amps);
+        push(
+            "sampling",
+            "legacy",
+            time_runs(runs, || {
+                let mut acc = 0u64;
+                for _ in 0..reps {
+                    let mut rng = StdRng::seed_from_u64(42);
+                    acc = acc.wrapping_add(
+                        legacy
+                            .sample_many(SAMPLE_DRAWS, &mut rng)
+                            .into_iter()
+                            .map(|x| x as u64)
+                            .sum(),
+                    );
+                }
+                acc
+            }),
+        );
+    }
+    records
+}
+
+/// Aggregate SoA-vs-legacy speedup over a record set: total legacy time over
+/// total SoA time (both engines run identical per-record workloads, so the
+/// ratio is the suite-level wall-clock speedup).
+#[must_use]
+pub fn aggregate_speedup(records: &[QuantumBenchRecord]) -> Option<f64> {
+    let total = |engine: &str| -> u128 {
+        records
+            .iter()
+            .filter(|r| r.engine == engine)
+            .map(|r| r.ns_per_run)
+            .sum()
+    };
+    let (soa, legacy) = (total("soa"), total("legacy"));
+    (soa > 0).then(|| legacy as f64 / soa as f64)
+}
+
+/// Per-kernel SoA-vs-legacy speedup, in first-appearance kernel order.
+#[must_use]
+pub fn kernel_speedups(records: &[QuantumBenchRecord]) -> Vec<(String, f64)> {
+    let mut kernels: Vec<&str> = Vec::new();
+    for r in records {
+        if !kernels.contains(&r.kernel.as_str()) {
+            kernels.push(&r.kernel);
+        }
+    }
+    kernels
+        .into_iter()
+        .filter_map(|kernel| {
+            let total = |engine: &str| -> u128 {
+                records
+                    .iter()
+                    .filter(|r| r.kernel == kernel && r.engine == engine)
+                    .map(|r| r.ns_per_run)
+                    .sum()
+            };
+            let (soa, legacy) = (total("soa"), total("legacy"));
+            (soa > 0).then(|| (kernel.to_string(), legacy as f64 / soa as f64))
+        })
+        .collect()
+}
+
+/// Renders the records as a JSON document (handwritten: the workspace has no
+/// serde; every field is numeric or a plain label, so escaping is not
+/// needed).
+#[must_use]
+pub fn to_json(records: &[QuantumBenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"quantum_core\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"engine\": \"{}\", \"dim\": {}, \"reps\": {}, \
+             \"runs\": {}, \"ns_per_run\": {}, \"ns_per_rep\": {}}}{}\n",
+            r.kernel,
+            r.engine,
+            r.dim,
+            r.reps,
+            r.runs,
+            r.ns_per_run,
+            r.ns_per_rep(),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The frozen scalar kernels and the SoA kernels must agree amplitude-
+    /// for-amplitude on the bench workloads — otherwise the speedup compares
+    /// different computations.
+    #[test]
+    fn engines_agree_on_kernel_outputs() {
+        let dim = 1 << 10;
+        let amps = base_amplitudes(dim);
+        let mut soa = StateVector::from_amplitudes(amps.clone()).unwrap();
+        let mut legacy = LegacyStateVector::from_amplitudes(amps.clone());
+        soa.apply_phase_oracle(bench_oracle);
+        legacy.apply_phase_oracle(bench_oracle);
+        soa.apply_diffusion();
+        legacy.apply_diffusion();
+        for x in 0..dim {
+            assert!(
+                soa.amplitude(x).approx_eq(legacy.amplitude(x), 1e-12),
+                "amplitude {x} diverged"
+            );
+        }
+        let other: Vec<_> = amps.iter().rev().copied().collect();
+        let soa_ip = StateVector::from_amplitudes(amps.clone())
+            .unwrap()
+            .inner_product(&StateVector::from_amplitudes(other.clone()).unwrap())
+            .unwrap();
+        let legacy_ip = LegacyStateVector::from_amplitudes(amps)
+            .inner_product(&LegacyStateVector::from_amplitudes(other));
+        assert!(soa_ip.approx_eq(legacy_ip, 1e-12));
+    }
+
+    #[test]
+    fn engines_agree_on_sample_streams() {
+        let dim = 1 << 12;
+        let amps = base_amplitudes(dim);
+        let soa = StateVector::from_amplitudes(amps.clone()).unwrap();
+        let legacy = LegacyStateVector::from_amplitudes(amps);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            soa.sample_many(SAMPLE_DRAWS, &mut rng_a),
+            legacy.sample_many(SAMPLE_DRAWS, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn bench_oracle_marks_an_unbiased_fraction() {
+        let marked = (0..4096).filter(|&x| bench_oracle(x)).count();
+        // 3/8 of 4096 = 1536; the scramble keeps it close.
+        assert!((1400..1700).contains(&marked), "marked = {marked}");
+    }
+
+    #[test]
+    fn json_and_speedups_are_well_formed() {
+        let records = vec![
+            QuantumBenchRecord {
+                kernel: "oracle".into(),
+                engine: "soa".into(),
+                dim: 1024,
+                reps: 2048,
+                runs: 5,
+                ns_per_run: 1_000,
+            },
+            QuantumBenchRecord {
+                kernel: "oracle".into(),
+                engine: "legacy".into(),
+                dim: 1024,
+                reps: 2048,
+                runs: 5,
+                ns_per_run: 3_000,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(json.contains("\"benchmark\": \"quantum_core\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!((aggregate_speedup(&records).unwrap() - 3.0).abs() < 1e-12);
+        let per_kernel = kernel_speedups(&records);
+        assert_eq!(per_kernel.len(), 1);
+        assert!((per_kernel[0].1 - 3.0).abs() < 1e-12);
+    }
+}

@@ -14,8 +14,10 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::complex::Complex;
 use crate::error::Error;
 use crate::grover::rotation_angle;
+use crate::statevector::{MeasurementSampler, StateVector};
 
 /// The probability that `P`-point phase estimation of a phase `phase ∈ [0, 1)`
 /// outputs the grid value `m ∈ {0, …, P−1}`.
@@ -56,6 +58,49 @@ pub fn phase_estimation_distribution(phase: f64, p: u64) -> Result<Vec<f64>, Err
         *value /= total;
     }
     Ok(dist)
+}
+
+/// The exact post-circuit state of `P`-point phase estimation of `phase`,
+/// as a dense [`StateVector`] over the `P` outcome registers.
+///
+/// The amplitude of outcome `m` is the geometric sum
+/// `(1/P) · Σ_j e^{2πi·j·(phase − m/P)}`, evaluated in closed form. This is
+/// the gate-level cross-validation path for
+/// [`phase_estimation_distribution`]: building the state through the
+/// AoS-compat [`StateVector::from_amplitudes`] boundary and reading Born
+/// probabilities must reproduce the analytic kernel at every grid size.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] if `p == 0` or does not fit `usize`.
+pub fn qpe_state(phase: f64, p: u64) -> Result<StateVector, Error> {
+    if p == 0 {
+        return Err(Error::InvalidParameter {
+            name: "p",
+            reason: "must be positive".into(),
+        });
+    }
+    let dim = usize::try_from(p).map_err(|_| Error::InvalidParameter {
+        name: "p",
+        reason: format!("{p} exceeds the addressable state size"),
+    })?;
+    let p_f = p as f64;
+    let amplitudes: Vec<Complex> = (0..p)
+        .map(|m| {
+            let delta = phase - m as f64 / p_f;
+            let wrapped = delta - delta.round();
+            if wrapped.abs() < 1e-15 {
+                return Complex::ONE;
+            }
+            // Geometric sum (1 − e^{2πiPδ}) / (P·(1 − e^{2πiδ})).
+            let tau = 2.0 * std::f64::consts::PI * wrapped;
+            let numerator = Complex::ONE - Complex::from_polar(p_f * tau);
+            let denominator = (Complex::ONE - Complex::from_polar(tau)).scale(p_f);
+            numerator / denominator
+        })
+        .collect();
+    debug_assert_eq!(amplitudes.len(), dim);
+    StateVector::from_amplitudes(amplitudes)
 }
 
 /// Samples one measurement outcome of `P`-point phase estimation of `phase`.
@@ -190,6 +235,15 @@ impl ApproxCountSpec {
     /// Theorem 4.2 always holds, and the median of the repetitions is
     /// returned.
     ///
+    /// The Grover operator has only two eigenphases (`±2θ`), so the two
+    /// outcome distributions are built **once** and wrapped in cached-CDF
+    /// [`MeasurementSampler`]s: each repetition is then an O(log P) draw
+    /// instead of the O(P) rebuild-and-scan of repeated
+    /// [`quantum_count_once`] calls. The RNG stream (one coin per
+    /// repetition for the eigenvector sign, one uniform draw per
+    /// measurement) and every outcome are bit-identical to the
+    /// `quantum_count_once` path — a regression test pins this.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidParameter`] if `domain == 0` or
@@ -209,9 +263,25 @@ impl ApproxCountSpec {
         }
         let p = self.grover_calls_per_run();
         let doubled = 2 * domain;
+        let theta = rotation_angle(marked as f64 / doubled as f64);
+        let sampler_for = |eigenphase: f64| -> Result<MeasurementSampler, Error> {
+            let dist = phase_estimation_distribution(eigenphase.rem_euclid(1.0), p)?;
+            MeasurementSampler::from_probabilities(&dist)
+        };
+        let sampler_plus = sampler_for(theta / std::f64::consts::PI)?;
+        let sampler_minus = sampler_for(1.0 - theta / std::f64::consts::PI)?;
         let mut estimates: Vec<f64> = (0..self.repetitions())
-            .map(|_| quantum_count_once(marked, doubled, p, rng))
-            .collect::<Result<_, _>>()?;
+            .map(|_| {
+                let sampler = if rng.gen_bool(0.5) {
+                    &sampler_plus
+                } else {
+                    &sampler_minus
+                };
+                let m = sampler.sample(rng);
+                let theta_estimate = std::f64::consts::PI * m as f64 / p as f64;
+                doubled as f64 * theta_estimate.sin().powi(2)
+            })
+            .collect();
         estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
         let median = estimates[estimates.len() / 2];
         Ok(median.min(domain as f64))
@@ -241,6 +311,47 @@ mod tests {
         let phase = 5.0 / 32.0;
         let dist = phase_estimation_distribution(phase, p).unwrap();
         assert!((dist[5] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qpe_statevector_reproduces_analytic_distribution() {
+        for &(phase, p) in &[(0.3, 64u64), (0.731, 32), (5.0 / 32.0, 32), (0.999, 17)] {
+            let state = qpe_state(phase, p).unwrap();
+            let dist = phase_estimation_distribution(phase, p).unwrap();
+            assert_eq!(state.dim() as u64, p);
+            for (m, &prob) in dist.iter().enumerate() {
+                assert!(
+                    (state.probability(m) - prob).abs() < 1e-9,
+                    "phase={phase} p={p} m={m}: {} vs {prob}",
+                    state.probability(m)
+                );
+            }
+        }
+        assert!(qpe_state(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn cached_sampler_run_matches_quantum_count_once_stream() {
+        // The cached-CDF fast path in `ApproxCountSpec::run` must consume the
+        // RNG identically to — and pick the same outcomes as — a loop of
+        // `quantum_count_once` calls, so seeded experiment streams are
+        // unchanged by the optimisation.
+        let spec = ApproxCountSpec::new(0.07, 1.0 / 64.0).unwrap();
+        for seed in 0..20 {
+            let (t, n) = (37u64, 500u64);
+            let mut rng_fast = StdRng::seed_from_u64(seed);
+            let fast = spec.run(t, n, &mut rng_fast).unwrap();
+            let mut rng_ref = StdRng::seed_from_u64(seed);
+            let p = spec.grover_calls_per_run();
+            let mut estimates: Vec<f64> = (0..spec.repetitions())
+                .map(|_| quantum_count_once(t, 2 * n, p, &mut rng_ref).unwrap())
+                .collect();
+            estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let reference = estimates[estimates.len() / 2].min(n as f64);
+            assert_eq!(fast.to_bits(), reference.to_bits(), "seed {seed}");
+            // And the generators are left in the same position.
+            assert_eq!(rng_fast.gen::<u64>(), rng_ref.gen::<u64>());
+        }
     }
 
     #[test]

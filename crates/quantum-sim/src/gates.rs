@@ -72,17 +72,27 @@ pub fn apply_single(state: &mut StateVector, q: u32, gate: Gate1) -> Result<(), 
     }
     let stride = 1usize << q;
     let dim = state.dim();
-    let amps = state.amplitudes_mut();
+    let (re, im) = state.parts_mut();
     let m = gate.matrix;
+    // Walk the register in 2·stride blocks; within each block the |0⟩ and
+    // |1⟩ halves of the target qubit are contiguous, so the butterfly is a
+    // straight-line pass over four disjoint slices (autovectorizable — no
+    // index arithmetic or bounds checks inside the hot loop).
     let mut base = 0;
     while base < dim {
-        for offset in 0..stride {
-            let i0 = base + offset;
-            let i1 = i0 + stride;
-            let a0 = amps[i0];
-            let a1 = amps[i1];
-            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        let (re0, re1) = re[base..base + 2 * stride].split_at_mut(stride);
+        let (im0, im1) = im[base..base + 2 * stride].split_at_mut(stride);
+        for ((r0, i0), (r1, i1)) in re0
+            .iter_mut()
+            .zip(im0.iter_mut())
+            .zip(re1.iter_mut().zip(im1.iter_mut()))
+        {
+            let (a0_re, a0_im) = (*r0, *i0);
+            let (a1_re, a1_im) = (*r1, *i1);
+            *r0 = m[0][0].re * a0_re - m[0][0].im * a0_im + m[0][1].re * a1_re - m[0][1].im * a1_im;
+            *i0 = m[0][0].re * a0_im + m[0][0].im * a0_re + m[0][1].re * a1_im + m[0][1].im * a1_re;
+            *r1 = m[1][0].re * a0_re - m[1][0].im * a0_im + m[1][1].re * a1_re - m[1][1].im * a1_im;
+            *i1 = m[1][0].re * a0_im + m[1][0].im * a0_re + m[1][1].re * a1_im + m[1][1].im * a1_re;
         }
         base += 2 * stride;
     }
@@ -125,9 +135,12 @@ pub fn apply_controlled_phase(
     }
     let phase = Complex::from_polar(theta);
     let mask = (1usize << control) | (1usize << target);
-    for (index, amp) in state.amplitudes_mut().iter_mut().enumerate() {
+    let (re, im) = state.parts_mut();
+    for (index, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
         if index & mask == mask {
-            *amp *= phase;
+            let (a_re, a_im) = (*r, *i);
+            *r = a_re * phase.re - a_im * phase.im;
+            *i = a_re * phase.im + a_im * phase.re;
         }
     }
     Ok(())

@@ -12,6 +12,12 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::error::Error;
+use crate::statevector::StateVector;
+
+/// Largest vertex count for which [`JohnsonGraph::stationary_state`] will
+/// materialise a dense state (64 Mi amplitudes ≈ 1 GiB of parts): the dense
+/// simulator is a validation tool, not a production path.
+const MAX_DENSE_VERTICES: u128 = 1 << 26;
 
 /// The Johnson graph `J(n, k)`: vertices are the `k`-element subsets of
 /// `{0, …, n−1}`, and two subsets are adjacent when they differ by exactly
@@ -70,6 +76,32 @@ impl JohnsonGraph {
             return 1.0;
         }
         (self.n as f64 / (self.k as f64 * (self.n - self.k) as f64)).min(1.0)
+    }
+
+    /// The stationary distribution of the Johnson walk as a dense
+    /// [`StateVector`]: the walk is regular, so the state is the uniform
+    /// superposition over the `C(n, k)` vertices (indexed in the
+    /// [`enumerate_vertices`](JohnsonGraph::enumerate_vertices) order). This
+    /// is the bridge between the walk layer and the state-vector validation
+    /// layer — e.g. drawing stationary vertex samples through a cached
+    /// [`sampler`](StateVector::sampler).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the graph has more vertices
+    /// than a dense validation state may hold.
+    pub fn stationary_state(&self) -> Result<StateVector, Error> {
+        let count = self.vertex_count();
+        if count > MAX_DENSE_VERTICES {
+            return Err(Error::InvalidParameter {
+                name: "n",
+                reason: format!(
+                    "J({}, {}) has {count} vertices; dense validation states are capped at {MAX_DENSE_VERTICES}",
+                    self.n, self.k
+                ),
+            });
+        }
+        StateVector::uniform(count as usize)
     }
 
     /// Samples a uniformly random vertex (a sorted `k`-subset).
@@ -208,6 +240,30 @@ mod tests {
         let gap = j.spectral_gap();
         assert!(gap > 0.5 / 100.0 && gap < 2.0 / 100.0, "gap = {gap}");
         assert_eq!(JohnsonGraph::new(5, 5).unwrap().spectral_gap(), 1.0);
+    }
+
+    #[test]
+    fn stationary_state_is_uniform_over_vertices() {
+        let j = JohnsonGraph::new(6, 3).unwrap();
+        let state = j.stationary_state().unwrap();
+        assert_eq!(state.dim() as u128, j.vertex_count());
+        let expected = 1.0 / j.vertex_count() as f64;
+        for x in 0..state.dim() {
+            assert!((state.probability(x) - expected).abs() < 1e-12);
+        }
+        // Stationary samples through the cached sampler cover every vertex.
+        let mut rng = StdRng::seed_from_u64(5);
+        let sampler = state.sampler();
+        let mut seen = vec![false; state.dim()];
+        for _ in 0..2000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Astronomic graphs refuse to materialise a dense state.
+        assert!(JohnsonGraph::new(200, 100)
+            .unwrap()
+            .stationary_state()
+            .is_err());
     }
 
     #[test]

@@ -29,6 +29,54 @@
 //! network-executed `Checking` procedures; this crate deliberately knows
 //! nothing about networks.
 //!
+//! # Performance architecture
+//!
+//! The dense simulator is the crate's hot path: amplitude-dynamics
+//! validation (Grover iterations, amplitude counting, quantum-walk mixing)
+//! is only informative when it can be pushed to large `dim`. Three design
+//! decisions carry this, and each comes with an invariant the rest of the
+//! workspace relies on:
+//!
+//! ## 1. Structure-of-arrays amplitudes
+//!
+//! [`StateVector`] stores the real and imaginary parts as two parallel
+//! `Vec<f64>`s rather than a `Vec<Complex>`. Every kernel
+//! (`apply_phase_oracle`, `apply_diffusion`, `apply_reflection_about`,
+//! `inner_product`, `norm_sqr`, `success_probability`, the gate butterflies
+//! in [`gates`]) is a branch-light pass over those slices; reductions use
+//! 8 independent accumulator lanes so the loop-carried addition dependency
+//! never serialises the pass.
+//!
+//! **Invariant:** `re.len() == im.len()` always, and no public API exposes
+//! a `&[Complex]` view of the storage. AoS values cross the boundary only
+//! through [`StateVector::amplitude`] / [`StateVector::from_amplitudes`] /
+//! [`StateVector::to_amplitudes`]; new kernels must be written against the
+//! split parts (`re()` / `im()`), not against materialised `Complex`
+//! values.
+//!
+//! ## 2. Stable-rustc autovectorization, guarded by a measured floor
+//!
+//! No `std::simd`, no intrinsics, no `unsafe`: the kernels are shaped
+//! (chunked slices, multi-lane accumulators, sign-multiply instead of
+//! conditional negation) so that stable `rustc` autovectorizes them. The
+//! claim is enforced *behaviourally*, not by asm inspection: the frozen
+//! scalar implementation lives in `bench/src/legacy_quantum.rs`, and
+//! `experiments --bench-quantum` writes `BENCH_quantum.json` with the
+//! SoA-vs-legacy speedup per kernel; CI fails if the aggregate drops below
+//! `BENCH_QUANTUM_MIN_SPEEDUP`. A change that quietly de-vectorises a
+//! kernel fails the gate, exactly like a round-engine regression in
+//! `congest-net`.
+//!
+//! ## 3. Bit-stable measurement CDFs
+//!
+//! [`StateVector::sampler`] (and [`MeasurementSampler::from_probabilities`])
+//! accumulate probabilities **strictly in basis order** — never chunked,
+//! never reassociated — so sampler streams are bit-identical to the
+//! single-shot [`StateVector::measure`] scan and stable across
+//! representation changes. Golden tests in the workspace root pin
+//! `measure` / `sample_many` outcome streams; reordering that accumulation
+//! is a behavioural change and must update the pins deliberately.
+//!
 //! # Example
 //!
 //! ```

@@ -20,6 +20,7 @@ use rand::Rng;
 
 use crate::complex::Complex;
 use crate::error::Error;
+use crate::statevector::MeasurementSampler;
 
 /// A message travelling between two ports (an opaque `O(log n)`-bit word).
 pub type PortMessage = u64;
@@ -101,7 +102,10 @@ impl SuperposedRouting {
             });
         }
         let total: f64 = branches.iter().map(|(a, _)| a.norm_sqr()).sum();
-        if (total - 1.0).abs() > 1e-6 {
+        // A NaN amplitude (NaN total) must be rejected too, not slip past a
+        // `> 1e-6` comparison — `sampler()` relies on construction implying
+        // finite, non-negative weights.
+        if !total.is_finite() || (total - 1.0).abs() > 1e-6 {
             return Err(Error::InvalidParameter {
                 name: "branches",
                 reason: format!("amplitudes are not normalised (sum of squares = {total})"),
@@ -134,8 +138,29 @@ impl SuperposedRouting {
         }
     }
 
+    /// Builds a cached-CDF sampler over the branch Born weights: one O(#branches)
+    /// pass, after which each collapse draw indexes a branch in
+    /// O(log #branches). On identical RNG streams the sampled indices match
+    /// [`measure`](SuperposedRouting::measure) exactly (same accumulation
+    /// order, same draw-per-sample consumption).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the constructor validated that the branch list is
+    /// non-empty and the amplitudes are normalised.
+    #[must_use]
+    pub fn sampler(&self) -> MeasurementSampler {
+        let probabilities: Vec<f64> = self.branches.iter().map(|(a, _)| a.norm_sqr()).collect();
+        MeasurementSampler::from_probabilities(&probabilities)
+            .expect("branch weights validated at construction")
+    }
+
     /// Measures the configuration register, collapsing to (and returning) a
     /// single branch with the Born probabilities.
+    ///
+    /// This is an O(#branches) scan per draw; callers collapsing the same
+    /// superposition repeatedly should go through
+    /// [`sampler`](SuperposedRouting::sampler).
     #[must_use]
     pub fn measure(&self, rng: &mut StdRng) -> Configuration {
         let draw: f64 = rng.gen();
@@ -237,6 +262,32 @@ mod tests {
     }
 
     #[test]
+    fn cached_sampler_agrees_with_measure_on_same_draws() {
+        // Unequal weights: branch k ∝ √(k+1).
+        let weights: Vec<f64> = (1..=6).map(f64::from).collect();
+        let norm: f64 = weights.iter().sum::<f64>();
+        let branches: Vec<(Complex, Configuration)> = weights
+            .iter()
+            .enumerate()
+            .map(|(k, w)| {
+                let mut config = Configuration::new();
+                config.prepare(0, k + 1, k as u64);
+                (Complex::real((w / norm).sqrt()), config)
+            })
+            .collect();
+        let sup = SuperposedRouting::new(branches).unwrap();
+        let sampler = sup.sampler();
+        assert_eq!(sampler.dim(), sup.branches().len());
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        for _ in 0..400 {
+            let scanned = sup.measure(&mut rng_a);
+            let indexed = &sup.branches()[sampler.sample(&mut rng_b)].1;
+            assert_eq!(&scanned, indexed);
+        }
+    }
+
+    #[test]
     fn superposition_validation() {
         assert!(SuperposedRouting::new(vec![]).is_err());
         let unnormalised = vec![
@@ -245,6 +296,10 @@ mod tests {
         ];
         assert!(SuperposedRouting::new(unnormalised).is_err());
         assert!(SuperposedRouting::uniform_recipient(0, &[], 1).is_err());
+        // A NaN amplitude must be rejected at construction (it would
+        // otherwise defeat the normalisation check and poison `sampler()`).
+        let poisoned = vec![(Complex::real(f64::NAN), Configuration::new())];
+        assert!(SuperposedRouting::new(poisoned).is_err());
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl WalkSearchSpec {
         }
     }
 
+    /// The analytic overall success probability of
+    /// [`sample_outcome`](WalkSearchSpec::sample_outcome) for a true marked
+    /// fraction `epsilon_f`: `1 − (1 − p)^attempts` with the per-attempt
+    /// success `p` of the MNRS analysis (degraded proportionally below the
+    /// promise). Exposed so callers can reason about the law without
+    /// sampling.
+    #[must_use]
+    pub fn overall_success_probability(&self, epsilon_f: f64) -> f64 {
+        if epsilon_f <= 0.0 {
+            return 0.0;
+        }
+        let per_attempt = if epsilon_f >= self.epsilon {
+            SINGLE_ATTEMPT_SUCCESS
+        } else {
+            SINGLE_ATTEMPT_SUCCESS * (epsilon_f / self.epsilon).sqrt()
+        }
+        .clamp(0.0, 1.0);
+        1.0 - (1.0 - per_attempt).powi(self.attempts() as i32)
+    }
+
     /// Samples whether the search returns a marked vertex, given the true
     /// marked fraction `epsilon_f` under the stationary distribution.
     ///
@@ -212,6 +232,27 @@ mod tests {
             .count();
         assert!(hits > 0, "degraded search should not be impossible");
         assert!(hits < trials, "degraded search should not be certain");
+    }
+
+    #[test]
+    fn sample_outcome_tracks_overall_success_probability() {
+        let spec = WalkSearchSpec::new(0.1, 0.2, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for &eps_f in &[0.0, 0.05, 0.2, 0.6] {
+            let analytic = spec.overall_success_probability(eps_f);
+            let trials = 3000;
+            let hits = (0..trials)
+                .filter(|_| spec.sample_outcome(eps_f, &mut rng))
+                .count();
+            let empirical = hits as f64 / f64::from(trials);
+            assert!(
+                (empirical - analytic).abs() < 0.04,
+                "eps_f={eps_f}: empirical {empirical} vs analytic {analytic}"
+            );
+        }
+        // Monotone in the marked fraction, and 0 below the floor.
+        assert_eq!(spec.overall_success_probability(0.0), 0.0);
+        assert!(spec.overall_success_probability(0.01) < spec.overall_success_probability(0.1));
     }
 
     #[test]

@@ -8,6 +8,24 @@ use qle::candidate::{sample_candidates_seeded, satisfies_fact_c2};
 use qle::{AlphaChoice, KChoice, LeaderElection};
 use quantum_sim::grover::{statevector_success_probability, success_probability};
 use quantum_sim::johnson::JohnsonGraph;
+use quantum_sim::{Complex, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random normalised AoS amplitude vector — the naive-reference input for
+/// the SoA kernel properties.
+fn random_amplitudes(dim: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let amps: Vec<Complex> = (0..dim)
+            .map(|_| Complex::new(rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 1e-6 {
+            return amps.into_iter().map(|a| a.scale(1.0 / norm)).collect();
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -44,6 +62,82 @@ proptest! {
         let exact = statevector_success_probability(dim, &marked, iters).unwrap();
         let analytic = success_probability(marked.len() as f64 / dim as f64, iters);
         prop_assert!((exact - analytic).abs() < 1e-8);
+    }
+
+    /// The SoA phase-oracle and diffusion kernels match a naive scalar
+    /// reference to 1e-12 on random states (dims straddle the 8-lane chunk
+    /// boundary).
+    #[test]
+    fn soa_oracle_and_diffusion_match_naive_reference(
+        dim in 1usize..130,
+        seed in 0u64..1000,
+        modulus in 1usize..7,
+    ) {
+        let amps = random_amplitudes(dim, seed);
+        let mut state = StateVector::from_amplitudes(amps.clone()).unwrap();
+        let marked = |x: usize| x.is_multiple_of(modulus);
+        state.apply_phase_oracle(marked);
+        let mut reference = amps;
+        for (x, a) in reference.iter_mut().enumerate() {
+            if marked(x) {
+                *a = -*a;
+            }
+        }
+        for (x, want) in reference.iter().enumerate() {
+            prop_assert!(state.amplitude(x).approx_eq(*want, 1e-12));
+        }
+        state.apply_diffusion();
+        let mean = reference
+            .iter()
+            .fold(Complex::ZERO, |acc, a| acc + *a)
+            .scale(1.0 / dim as f64);
+        for (x, a) in reference.iter().enumerate() {
+            let want = mean.scale(2.0) - *a;
+            prop_assert!(state.amplitude(x).approx_eq(want, 1e-12));
+        }
+    }
+
+    /// The SoA reflection, inner-product, and fused success/norm kernels
+    /// match naive scalar references to 1e-12 on random state pairs.
+    #[test]
+    fn soa_reflection_and_inner_product_match_naive_reference(
+        dim in 1usize..130,
+        seed in 0u64..1000,
+        modulus in 1usize..7,
+    ) {
+        let amps = random_amplitudes(dim, seed);
+        let axis_amps = random_amplitudes(dim, seed ^ 0xA5A5_A5A5);
+        let state = StateVector::from_amplitudes(amps.clone()).unwrap();
+        let axis = StateVector::from_amplitudes(axis_amps.clone()).unwrap();
+
+        // Inner product ⟨axis|state⟩ against the sequential scalar sum.
+        let overlap = axis.inner_product(&state).unwrap();
+        let mut naive_overlap = Complex::ZERO;
+        for (a, s) in axis_amps.iter().zip(&amps) {
+            naive_overlap += a.conj() * *s;
+        }
+        prop_assert!(overlap.approx_eq(naive_overlap, 1e-12));
+
+        // Reflection 2|a⟩⟨a| − I against the naive update.
+        let mut reflected = state.clone();
+        reflected.apply_reflection_about(&axis).unwrap();
+        for (x, (a, s)) in axis_amps.iter().zip(&amps).enumerate() {
+            let want = (*a * naive_overlap).scale(2.0) - *s;
+            prop_assert!(reflected.amplitude(x).approx_eq(want, 1e-12));
+        }
+
+        // Fused success/norm against naive filtered sums.
+        let marked = |x: usize| x.is_multiple_of(modulus);
+        let (success, norm) = state.success_and_norm(marked);
+        let naive_success: f64 = amps
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| marked(*x))
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let naive_norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        prop_assert!((success - naive_success).abs() < 1e-12);
+        prop_assert!((norm - naive_norm).abs() < 1e-12);
     }
 
     /// Johnson graph neighbours are always valid vertices at Hamming
