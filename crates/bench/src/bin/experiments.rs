@@ -1,7 +1,8 @@
-//! Prints every experiment table (E1–E10) of the reproduction, and dumps the
-//! round-engine performance benchmark on request.
+//! The workspace's experiment binary: prints the experiment tables (E1–E10),
+//! runs the performance benchmarks on request, and drives the scenario
+//! engine (declarative workloads, fault injection, deterministic replay).
 //!
-//! Usage:
+//! Usage (see also `--help`):
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin experiments                  # all experiments
@@ -11,6 +12,11 @@
 //! cargo run --release -p bench-harness --bin experiments -- --bench-quantum
 //!     # state-vector kernel microbenchmark (SoA vs legacy scalar); writes
 //!     # BENCH_quantum.json
+//! cargo run --release -p bench-harness --bin experiments -- --scenarios examples/scenarios
+//!     # run a scenario matrix; writes results.txt + traces.txt to --out
+//! cargo run --release -p bench-harness --bin experiments -- --scenarios examples/scenarios \
+//!     --replay scenario-out
+//!     # re-run the matrix and assert byte-identical metrics + traces
 //! ```
 
 use bench_harness::gate;
@@ -201,17 +207,80 @@ fn run_quantum_bench() {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    if args.iter().any(|a| a == "--bench-network") {
-        run_network_bench();
-        return;
+/// Runs the scenario engine: `--scenarios <spec|dir> [--out <dir>]
+/// [--replay <dir>]`. Normal mode writes the results table and the trace
+/// file into the output directory; replay mode re-runs the matrix and
+/// exits non-zero unless metrics and traces are byte-identical to the
+/// recorded baseline.
+fn run_scenarios(rest: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut out_dir = "scenario-out".to_string();
+    let mut replay_dir: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = it.next().ok_or("--out needs a directory")?.clone();
+            }
+            "--replay" => {
+                replay_dir = Some(it.next().ok_or("--replay needs a directory")?.clone());
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return Err(format!("unexpected scenario argument \"{other}\"")),
+        }
     }
-    if args.iter().any(|a| a == "--bench-quantum") {
-        run_quantum_bench();
-        return;
+    let path = path.ok_or("--scenarios needs a spec file or directory")?;
+    let specs = sim_harness::load_specs(path)?;
+    let cells = sim_harness::expand(&specs);
+    println!(
+        "scenario matrix: {} scenario(s), {} cell(s), {} pool worker(s)\n",
+        specs.len(),
+        cells.len(),
+        rayon::current_num_threads()
+    );
+    let start = std::time::Instant::now();
+    let results = sim_harness::run_cells(&cells)?;
+    let table = sim_harness::results_table(&results);
+    println!("{table}");
+    println!("[matrix completed in {:.1?}]", start.elapsed());
+    if let Some(replay_dir) = replay_dir {
+        let baseline_path = std::path::Path::new(&replay_dir).join("traces.txt");
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let baseline = sim_harness::trace::parse(&baseline_text)?;
+        let mismatches = sim_harness::trace::compare(&results, &baseline);
+        if !mismatches.is_empty() {
+            for m in &mismatches {
+                eprintln!("replay mismatch: {m}");
+            }
+            return Err(format!(
+                "replay FAILED: {} mismatch(es) against {}",
+                mismatches.len(),
+                baseline_path.display()
+            ));
+        }
+        println!(
+            "replay OK: {} cell(s) byte-identical to {}",
+            results.len(),
+            baseline_path.display()
+        );
+    } else {
+        let out = std::path::Path::new(&out_dir);
+        std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
+        std::fs::write(out.join("results.txt"), &table)
+            .map_err(|e| format!("write results.txt: {e}"))?;
+        std::fs::write(
+            out.join("traces.txt"),
+            sim_harness::trace::serialize(&results),
+        )
+        .map_err(|e| format!("write traces.txt: {e}"))?;
+        println!("wrote {}/results.txt and {}/traces.txt", out_dir, out_dir);
     }
-    let requested: Vec<String> = args;
+    Ok(())
+}
+
+/// Runs the selected experiment tables (all of them for an empty selection).
+fn run_experiments(requested: &[String]) {
     let run_all = requested.is_empty();
     type Experiment = fn() -> ExperimentTable;
     let experiments: Vec<(&str, Experiment)> = vec![
@@ -236,6 +305,62 @@ fn main() {
             let table = experiment();
             println!("{table}");
             println!("  [{name} completed in {:.1?}]\n", start.elapsed());
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "experiments — tables, benchmarks, and scenarios for the PODC 2025 reproduction
+
+USAGE:
+    experiments [e1 ... e10]                 print experiment tables (all by default)
+    experiments --bench-network              round-engine microbenchmark -> BENCH_network.json
+                                             (gated by BENCH_NETWORK_MIN_SPEEDUP if set)
+    experiments --bench-quantum              state-vector kernel microbenchmark -> BENCH_quantum.json
+                                             (gated by BENCH_QUANTUM_MIN_SPEEDUP if set)
+    experiments --scenarios <spec|dir>       run a scenario matrix (*.scn specs)
+        [--out <dir>]                        output directory for results.txt + traces.txt
+                                             (default: scenario-out)
+        [--replay <dir>]                     re-run and assert byte-identical metrics + traces
+                                             against <dir>/traces.txt instead of writing output
+    experiments --help                       this text
+
+Scenario cells honour CONGEST_SHARDS; traces recorded at one shard count replay
+byte-identically at any other (the deterministic barrier-merge invariant)."
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // One dispatch point for every subcommand, so new entry points stop
+    // accreting ad-hoc flag scans.
+    match args.first().map(String::as_str) {
+        Some("--help" | "-h") => print_help(),
+        Some("--bench-network") => run_network_bench(),
+        Some("--bench-quantum") => run_quantum_bench(),
+        Some("--scenarios") => {
+            if let Err(message) = run_scenarios(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
+        Some(flag) if flag.starts_with("--") => {
+            eprintln!("error: unknown flag \"{flag}\" (see --help)");
+            std::process::exit(2);
+        }
+        _ => {
+            // Experiment selections are bare names; a flag anywhere else in
+            // the list is a misplaced subcommand, not a selection — reject
+            // it instead of silently filtering nothing.
+            if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+                eprintln!(
+                    "error: flag \"{flag}\" must come first (subcommands take no experiment names; see --help)"
+                );
+                std::process::exit(2);
+            }
+            let requested: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
+            run_experiments(&requested);
         }
     }
 }

@@ -8,11 +8,11 @@
 //! diameter 2, any two candidates are adjacent or share a common neighbour,
 //! so every candidate except the highest-ranked one hears of a higher rank.
 
-use congest_net::{Graph, Network, NetworkConfig, Payload};
+use congest_net::{Graph, Network, Payload};
 use qle::candidate::sample_candidates;
 use qle::problems::{LeaderElectionOutcome, NodeStatus};
 use qle::report::{CostSummary, LeaderElectionRun};
-use qle::{Error, LeaderElection};
+use qle::{Error, LeaderElection, RunOptions, TracedRun};
 
 /// Messages exchanged by the classical diameter-2 baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ impl LeaderElection for CprDiameterTwoLe {
         "CPR-Diameter2LE (classical)"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         let n = graph.node_count();
         if n < 3 {
             return Err(Error::UnsupportedTopology {
@@ -72,8 +72,7 @@ impl LeaderElection for CprDiameterTwoLe {
                 reason: "graph diameter exceeds 2".into(),
             });
         }
-        let mut net: Network<CprMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<CprMessage> = opts.network(graph.clone(), seed);
         let candidates = sample_candidates(&mut net);
         let mut statuses = vec![NodeStatus::NonElected; n];
 
@@ -104,15 +103,18 @@ impl LeaderElection for CprDiameterTwoLe {
         }
         net.advance_round();
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges: graph.edge_count(),
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds: 2,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges: graph.edge_count(),
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds: 2,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

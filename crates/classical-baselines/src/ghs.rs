@@ -10,10 +10,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use qle::problems::{LeaderElectionOutcome, NodeStatus};
 use qle::report::{CostSummary, LeaderElectionRun};
-use qle::{Error, LeaderElection};
+use qle::{Error, LeaderElection, RunOptions, TracedRun};
 
 /// Messages exchanged by the classical tree-merging baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +81,7 @@ impl LeaderElection for GhsLe {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         graph.validate_as_network().map_err(Error::from)?;
         let n = graph.node_count();
         if n < 2 {
@@ -90,8 +90,7 @@ impl LeaderElection for GhsLe {
                 reason: "need at least two nodes".into(),
             });
         }
-        let mut net: Network<GhsMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<GhsMessage> = opts.network(graph.clone(), seed);
         let mut cluster_of: Vec<u64> = (0..n as u64).collect();
         let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let max_phases = (n.max(2) as f64).log2().ceil() as usize + 2;
@@ -244,15 +243,18 @@ impl LeaderElection for GhsLe {
         net.advance_round();
         effective_rounds += n as u64;
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges: graph.edge_count(),
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges: graph.edge_count(),
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

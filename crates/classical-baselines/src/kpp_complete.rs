@@ -8,11 +8,11 @@
 //! rank they have seen, every candidate except the highest-ranked one learns
 //! of a higher rank and withdraws.
 
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use qle::candidate::sample_candidates;
 use qle::problems::{LeaderElectionOutcome, NodeStatus};
 use qle::report::{CostSummary, LeaderElectionRun};
-use qle::{Error, LeaderElection};
+use qle::{Error, LeaderElection, RunOptions, TracedRun};
 use rand::Rng;
 
 /// Messages exchanged by the classical complete-graph baseline.
@@ -58,7 +58,7 @@ impl LeaderElection for KppCompleteLe {
         "KPP-CompleteLE (classical)"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         let n = graph.node_count();
         if n < 2 || graph.edge_count() != n * (n - 1) / 2 {
             return Err(Error::UnsupportedTopology {
@@ -67,8 +67,7 @@ impl LeaderElection for KppCompleteLe {
             });
         }
         let s = self.referee_count(n);
-        let mut net: Network<KppMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<KppMessage> = opts.network(graph.clone(), seed);
         let candidates = sample_candidates(&mut net);
         let mut statuses = vec![NodeStatus::NonElected; n];
 
@@ -109,15 +108,18 @@ impl LeaderElection for KppCompleteLe {
         }
         net.advance_round();
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges: graph.edge_count(),
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds: 2,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges: graph.edge_count(),
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds: 2,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

@@ -8,11 +8,11 @@
 //! walk, and a candidate withdraws when it hears of a higher rank.
 
 use congest_net::walks::spectral_mixing_time;
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use qle::candidate::sample_candidates;
 use qle::problems::{LeaderElectionOutcome, NodeStatus};
 use qle::report::{CostSummary, LeaderElectionRun};
-use qle::{Error, LeaderElection};
+use qle::{Error, LeaderElection, RunOptions, TracedRun};
 use rand::Rng;
 
 /// Messages exchanged by the classical random-walk baseline.
@@ -63,7 +63,7 @@ impl LeaderElection for KppMixingLe {
         "KPP-MixingLE (classical)"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         graph.validate_as_network().map_err(Error::from)?;
         let n = graph.node_count();
         if n < 3 {
@@ -84,8 +84,7 @@ impl LeaderElection for KppMixingLe {
             .tokens
             .unwrap_or_else(|| (2.0 * ((n as f64) * (n as f64).ln()).sqrt()).ceil() as usize)
             .clamp(1, 4 * n);
-        let mut net: Network<KppWalkMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<KppWalkMessage> = opts.network(graph.clone(), seed);
         let candidates = sample_candidates(&mut net);
         let mut statuses = vec![NodeStatus::NonElected; n];
 
@@ -136,15 +135,18 @@ impl LeaderElection for KppMixingLe {
             };
         }
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges: graph.edge_count(),
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds: 2 * tau as u64,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges: graph.edge_count(),
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds: 2 * tau as u64,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

@@ -1,0 +1,414 @@
+//! The fault-injection plane: declarative, seeded fault plans consulted at
+//! the round barrier.
+//!
+//! A [`FaultPlan`] describes three fault classes, all deterministic for a
+//! given plan:
+//!
+//! * **seeded message drops** — every delivered message is dropped with a
+//!   fixed probability, decided by a dedicated PRNG stream derived from the
+//!   plan's seed (never from the nodes' private streams, so installing a
+//!   plan does not perturb protocol randomness);
+//! * **per-link outage windows** — all messages crossing a given undirected
+//!   link during a half-open round window `[from, until)` are dropped;
+//! * **crash-stop nodes** — from its crash round on, a node performs no
+//!   computation ([`SyncRuntime`](crate::runtime::SyncRuntime) skips its
+//!   callbacks) and every message from or to it is dropped.
+//!
+//! # Determinism and the barrier merge
+//!
+//! Fault decisions are made exclusively inside
+//! [`Network::advance_round`](crate::Network::advance_round), in **delivery
+//! order** — the sequential pending buffer first, then each shard's outbox
+//! queue in shard order. That order is byte-identical for every shard count
+//! (the deterministic barrier-merge invariant of the crate docs), so the
+//! drop PRNG stream, every fault decision, the fault counters in
+//! [`Metrics`](crate::Metrics), and the emitted [`TraceEvent`]s are
+//! byte-identical for every shard count too. The workspace fault-plane test
+//! suite pins this, together with the stronger property that installing an
+//! *empty* plan leaves a run byte-identical to the pristine fault-free path.
+//!
+//! # Round numbering
+//!
+//! Fault rounds count delivery barriers, aligned with the
+//! [`RoundContext::round`](crate::runtime::RoundContext) numbering of the
+//! runtime: messages queued by round-`r` callbacks are judged with fault
+//! clock `r`, and a node with crash round `r` executes nothing from round
+//! `r` on. [`Network::skip_rounds`](crate::Network::skip_rounds) advances
+//! the fault clock by the skipped amount, so outage windows stay aligned
+//! with protocol round numbers for the quantum subroutines too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::NodeId;
+use crate::metrics::MetricsRecorder;
+
+/// A declarative fault schedule for one network execution. Built with the
+/// fluent methods below; installed via
+/// [`Network::set_fault_plan`](crate::Network::set_fault_plan) (or
+/// [`SyncRuntime::set_fault_plan`](crate::runtime::SyncRuntime::set_fault_plan))
+/// before the first round.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_probability: f64,
+    outages: Vec<LinkOutage>,
+    crashes: Vec<CrashPoint>,
+}
+
+/// An outage window on one undirected link: every message crossing the link
+/// (in either direction) during rounds `from_round..until_round` is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint of the link.
+    pub b: NodeId,
+    /// First round of the outage (inclusive).
+    pub from_round: u64,
+    /// End of the outage (exclusive).
+    pub until_round: u64,
+}
+
+/// A crash-stop fault: `node` executes nothing from `round` on, and every
+/// message from or to it is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The crashing node.
+    pub node: NodeId,
+    /// The first round the node no longer participates in.
+    pub round: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan whose drop PRNG stream is derived from `seed`.
+    ///
+    /// An empty plan (no drops, no outages, no crashes) is byte-identical to
+    /// running without a plan at all — pinned by the workspace fault-plane
+    /// suite.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the per-message drop probability (clamped to `0.0..=1.0`).
+    #[must_use]
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        self
+    }
+
+    /// Adds an outage window on the undirected link `{a, b}` covering rounds
+    /// `from_round..until_round`.
+    #[must_use]
+    pub fn link_outage(mut self, a: NodeId, b: NodeId, from_round: u64, until_round: u64) -> Self {
+        self.outages.push(LinkOutage {
+            a,
+            b,
+            from_round,
+            until_round,
+        });
+        self
+    }
+
+    /// Adds a crash-stop fault: `node` stops participating at `round`.
+    #[must_use]
+    pub fn crash(mut self, node: NodeId, round: u64) -> Self {
+        self.crashes.push(CrashPoint { node, round });
+        self
+    }
+
+    /// Whether the plan injects no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.drop_probability == 0.0 && self.outages.is_empty() && self.crashes.is_empty()
+    }
+
+    /// The seed of the dedicated drop PRNG stream.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-message drop probability.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// The configured link outage windows.
+    #[must_use]
+    pub fn outages(&self) -> &[LinkOutage] {
+        &self.outages
+    }
+
+    /// The configured crash-stop faults.
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashPoint] {
+        &self.crashes
+    }
+}
+
+/// Why a message was dropped at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The sender had crashed by the send round.
+    SenderCrashed,
+    /// The receiver has crashed by the delivery round.
+    ReceiverCrashed,
+    /// The link was inside an outage window.
+    LinkOutage,
+    /// The seeded per-message drop fired.
+    RandomDrop,
+}
+
+impl DropCause {
+    /// A stable short label, used by trace serialization.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::SenderCrashed => "sender-crash",
+            DropCause::ReceiverCrashed => "receiver-crash",
+            DropCause::LinkOutage => "outage",
+            DropCause::RandomDrop => "random",
+        }
+    }
+
+    /// Parses a label produced by [`DropCause::label`].
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        Some(match label {
+            "sender-crash" => DropCause::SenderCrashed,
+            "receiver-crash" => DropCause::ReceiverCrashed,
+            "outage" => DropCause::LinkOutage,
+            "random" => DropCause::RandomDrop,
+            _ => return None,
+        })
+    }
+}
+
+/// One round-stamped event recorded by the network's trace sink (enabled via
+/// [`Network::enable_trace`](crate::Network::enable_trace); off by default,
+/// in which case nothing is recorded and nothing allocates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node reached its crash round.
+    NodeCrashed {
+        /// The crash round.
+        round: u64,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A message was dropped at the delivery barrier.
+    MessageDropped {
+        /// The send round of the dropped message.
+        round: u64,
+        /// The sending node.
+        from: NodeId,
+        /// The intended recipient.
+        to: NodeId,
+        /// Why the message was dropped.
+        cause: DropCause,
+    },
+}
+
+/// The network's live fault machinery, instantiated from a [`FaultPlan`]
+/// when one is installed.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    drop_probability: f64,
+    /// Dedicated drop stream; `Some` iff the drop probability is positive,
+    /// so plans without random drops consume no randomness at all.
+    rng: Option<StdRng>,
+    /// Crash round per node (`u64::MAX` = never crashes).
+    crash_round: Vec<u64>,
+    /// Crash faults sorted by `(round, node)`, for event emission and the
+    /// monotone crashed-node count.
+    crash_events: Vec<(u64, NodeId)>,
+    /// Index of the first crash event not yet reached by the clock.
+    next_crash: usize,
+    outages: Vec<LinkOutage>,
+    /// The fault clock: the round whose sends the next barrier judges.
+    /// Starts at 0 (the runtime's start-up round) and advances with every
+    /// barrier and every skipped round.
+    pub(crate) clock: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan, n: usize) -> Self {
+        let mut crash_round = vec![u64::MAX; n];
+        // Entries for nodes outside the graph are ignored, so one plan can
+        // be reused across a scenario's size sweep.
+        for c in plan.crashes.iter().filter(|c| c.node < n) {
+            crash_round[c.node] = crash_round[c.node].min(c.round);
+        }
+        let mut crash_events: Vec<(u64, NodeId)> = crash_round
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r != u64::MAX)
+            .map(|(v, &r)| (r, v))
+            .collect();
+        crash_events.sort_unstable();
+        FaultState {
+            drop_probability: plan.drop_probability,
+            rng: (plan.drop_probability > 0.0).then(|| StdRng::seed_from_u64(plan.seed)),
+            crash_round,
+            crash_events,
+            next_crash: 0,
+            outages: plan
+                .outages
+                .iter()
+                .filter(|o| o.a < n && o.b < n)
+                .copied()
+                .collect(),
+            clock: 0,
+        }
+    }
+
+    /// Whether `v` has crashed as of the current fault clock.
+    pub(crate) fn node_crashed(&self, v: NodeId) -> bool {
+        self.crash_round[v] <= self.clock
+    }
+
+    /// The per-node crash rounds (for handing shard views a read-only
+    /// window).
+    pub(crate) fn crash_rounds(&self) -> &[u64] {
+        &self.crash_round
+    }
+
+    /// Decides the fate of one message sent from `from` to `to` this round.
+    /// Consulted once per pending message, in delivery order; the drop PRNG
+    /// is only consumed for messages no structural fault already dropped.
+    pub(crate) fn judge(&mut self, from: NodeId, to: NodeId) -> Option<DropCause> {
+        if self.crash_round[from] <= self.clock {
+            return Some(DropCause::SenderCrashed);
+        }
+        // Delivery happens one round after the send: a receiver crashing at
+        // the delivery round never observes the message.
+        if self.crash_round[to] <= self.clock + 1 {
+            return Some(DropCause::ReceiverCrashed);
+        }
+        for o in &self.outages {
+            let on_link = (o.a == from && o.b == to) || (o.a == to && o.b == from);
+            if on_link && o.from_round <= self.clock && self.clock < o.until_round {
+                return Some(DropCause::LinkOutage);
+            }
+        }
+        if let Some(rng) = self.rng.as_mut() {
+            if rng.gen::<f64>() < self.drop_probability {
+                return Some(DropCause::RandomDrop);
+            }
+        }
+        None
+    }
+
+    /// Emits [`TraceEvent::NodeCrashed`] for every crash the clock has
+    /// reached (covering rounds jumped over by `skip_rounds` too) and
+    /// refreshes the monotone crashed-node counter.
+    pub(crate) fn emit_crashes(
+        &mut self,
+        recorder: &mut MetricsRecorder,
+        trace: &mut Vec<TraceEvent>,
+        trace_enabled: bool,
+    ) {
+        while self.next_crash < self.crash_events.len()
+            && self.crash_events[self.next_crash].0 <= self.clock
+        {
+            let (round, node) = self.crash_events[self.next_crash];
+            if trace_enabled {
+                trace.push(TraceEvent::NodeCrashed { round, node });
+            }
+            self.next_crash += 1;
+        }
+        recorder.totals.crashed_nodes = self.next_crash as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_judges_nothing() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        let mut state = FaultState::new(&plan, 8);
+        for round in 0..10 {
+            state.clock = round;
+            for v in 0..8 {
+                assert!(!state.node_crashed(v));
+                assert_eq!(state.judge(v, (v + 1) % 8), None);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_drops_and_reports() {
+        let plan = FaultPlan::new(0).crash(2, 3);
+        assert!(!plan.is_empty());
+        let mut state = FaultState::new(&plan, 4);
+        state.clock = 2;
+        // One round before the crash: sends from 2 still pass, but messages
+        // *to* 2 are already lost (they would arrive at round 3).
+        assert!(!state.node_crashed(2));
+        assert_eq!(state.judge(2, 0), None);
+        assert_eq!(state.judge(0, 2), Some(DropCause::ReceiverCrashed));
+        state.clock = 3;
+        assert!(state.node_crashed(2));
+        assert_eq!(state.judge(2, 0), Some(DropCause::SenderCrashed));
+    }
+
+    #[test]
+    fn outage_window_is_half_open_and_bidirectional() {
+        let plan = FaultPlan::new(0).link_outage(1, 2, 2, 4);
+        let mut state = FaultState::new(&plan, 4);
+        for (round, expect) in [(1, None), (2, Some(DropCause::LinkOutage)), (4, None)] {
+            state.clock = round;
+            assert_eq!(state.judge(1, 2), expect, "round {round}");
+            assert_eq!(state.judge(2, 1), expect, "round {round} reversed");
+        }
+        state.clock = 3;
+        assert_eq!(state.judge(2, 1), Some(DropCause::LinkOutage));
+        // Other links are untouched.
+        assert_eq!(state.judge(0, 1), None);
+    }
+
+    #[test]
+    fn random_drops_are_seed_deterministic() {
+        let stream = |seed: u64| -> Vec<bool> {
+            let mut state = FaultState::new(&FaultPlan::new(seed).drop_probability(0.5), 2);
+            (0..64).map(|_| state.judge(0, 1).is_some()).collect()
+        };
+        assert_eq!(stream(9), stream(9));
+        assert_ne!(stream(9), stream(10));
+        assert!(stream(9).iter().any(|&d| d));
+        assert!(stream(9).iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn out_of_range_faults_are_ignored() {
+        let plan = FaultPlan::new(0)
+            .crash(100, 0)
+            .link_outage(0, 100, 0, u64::MAX)
+            .drop_probability(0.0);
+        let mut state = FaultState::new(&plan, 4);
+        assert_eq!(state.judge(0, 1), None);
+        assert!(!state.node_crashed(0));
+    }
+
+    #[test]
+    fn drop_cause_labels_round_trip() {
+        for cause in [
+            DropCause::SenderCrashed,
+            DropCause::ReceiverCrashed,
+            DropCause::LinkOutage,
+            DropCause::RandomDrop,
+        ] {
+            assert_eq!(DropCause::parse(cause.label()), Some(cause));
+        }
+        assert_eq!(DropCause::parse("nonsense"), None);
+    }
+}

@@ -110,7 +110,30 @@
 //! Sharded rounds allocate O(k) task envelopes for pool dispatch (the
 //! zero-allocation guarantee of §3 is a property of the sequential path);
 //! the per-message hot paths stay allocation-free, and speedup requires
-//! real cores and enough per-round work to amortise the barrier.
+//! real cores and enough per-round work to amortise the barrier. Because
+//! both paths are byte-identical, the runtime schedules **adaptively**:
+//! rounds that delivered fewer than
+//! [`runtime::ADAPTIVE_SEQUENTIAL_THRESHOLD`] messages run on the calling
+//! thread even with `k > 1` — the switch can only trade wall-clock time.
+//!
+//! ## 5. Fault injection at the barrier
+//!
+//! A [`FaultPlan`](fault::FaultPlan) (seeded per-message drops, per-link
+//! outage windows, crash-stop nodes) can be installed on any network
+//! ([`Network::set_fault_plan`]). All fault decisions are made inside
+//! [`Network::advance_round`] in **delivery order** — exactly the
+//! deterministic merge order of §4 — so a faulty run is byte-identical for
+//! every shard count, and for a fixed plan it is exactly as reproducible as
+//! a fault-free one. Dropped messages count as sent (the sender paid for
+//! them) and are tallied separately in [`Metrics::dropped_messages`];
+//! crashed nodes are skipped by both round engines and counted in
+//! [`Metrics::crashed_nodes`]. An optional round-stamped
+//! [trace sink](Network::enable_trace) records every fault event, which is
+//! what the scenario engine's replay mode re-verifies.
+//!
+//! **Invariant:** without an installed plan, delivery takes the untouched
+//! fast path of §3 — and installing an *empty* plan is byte-identical to
+//! installing none (pinned by the workspace fault-plane suite).
 //!
 //! # Example
 //!
@@ -134,6 +157,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod message;
 pub mod metrics;
@@ -144,6 +168,7 @@ pub mod topology;
 pub mod walks;
 
 pub use error::Error;
+pub use fault::{CrashPoint, DropCause, FaultPlan, LinkOutage, TraceEvent};
 pub use graph::{EdgeId, Graph, NodeId, Port};
 pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};

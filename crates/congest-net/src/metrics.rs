@@ -23,6 +23,13 @@ pub struct Metrics {
     pub peak_messages_per_round: u64,
     /// Total bits sent (classical + quantum), for bandwidth-style analyses.
     pub total_bits: u64,
+    /// Messages dropped by the fault-injection plane (always 0 without an
+    /// installed [`FaultPlan`](crate::fault::FaultPlan); dropped messages are
+    /// still counted as sent by the message counters above).
+    pub dropped_messages: u64,
+    /// Nodes whose crash round the execution has reached (monotone; always 0
+    /// without a fault plan).
+    pub crashed_nodes: u64,
 }
 
 impl Metrics {
@@ -48,6 +55,10 @@ impl Metrics {
             .peak_messages_per_round
             .max(other.peak_messages_per_round);
         self.total_bits += other.total_bits;
+        self.dropped_messages += other.dropped_messages;
+        // Sub-executions of one protocol share the network's node set, so
+        // the crashed count is a maximum, not a sum.
+        self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
     }
 }
 
@@ -62,6 +73,8 @@ pub struct RoundReport {
     pub bits: u64,
     /// Whether any of the messages were charged to the quantum meter.
     pub quantum: bool,
+    /// Messages dropped at this round's barrier by the fault plane.
+    pub dropped: u64,
 }
 
 /// Per-shard send counters for the sharded round engine.
@@ -110,6 +123,7 @@ pub(crate) struct MetricsRecorder {
     pub(crate) current_round_messages: u64,
     pub(crate) current_round_bits: u64,
     pub(crate) current_round_quantum: bool,
+    pub(crate) current_round_dropped: u64,
     pub(crate) quantum_depth: u32,
 }
 
@@ -124,6 +138,13 @@ impl MetricsRecorder {
         self.totals.total_bits += bits as u64;
         self.current_round_messages += 1;
         self.current_round_bits += bits as u64;
+    }
+
+    /// Counts one message dropped by the fault plane at the current round's
+    /// barrier.
+    pub(crate) fn record_drop(&mut self) {
+        self.totals.dropped_messages += 1;
+        self.current_round_dropped += 1;
     }
 
     /// Absorbs (and resets) one shard's per-round counters into the current
@@ -159,11 +180,13 @@ impl MetricsRecorder {
                 messages: self.current_round_messages,
                 bits: self.current_round_bits,
                 quantum: self.current_round_quantum,
+                dropped: self.current_round_dropped,
             });
         }
         self.current_round_messages = 0;
         self.current_round_bits = 0;
         self.current_round_quantum = false;
+        self.current_round_dropped = 0;
     }
 
     /// Records `rounds` rounds in which no messages were sent, without
@@ -265,6 +288,8 @@ mod tests {
             rounds: 2,
             peak_messages_per_round: 4,
             total_bits: 90,
+            dropped_messages: 2,
+            crashed_nodes: 3,
         };
         let b = Metrics {
             classical_messages: 1,
@@ -272,6 +297,8 @@ mod tests {
             rounds: 9,
             peak_messages_per_round: 6,
             total_bits: 10,
+            dropped_messages: 5,
+            crashed_nodes: 1,
         };
         a.absorb(&b);
         assert_eq!(a.classical_messages, 4);
@@ -279,5 +306,21 @@ mod tests {
         assert_eq!(a.rounds, 11);
         assert_eq!(a.peak_messages_per_round, 6);
         assert_eq!(a.total_bits, 100);
+        assert_eq!(a.dropped_messages, 7);
+        // Crashed nodes are a shared-node-set maximum, not a sum.
+        assert_eq!(a.crashed_nodes, 3);
+    }
+
+    #[test]
+    fn record_drop_feeds_totals_and_history() {
+        let mut rec = MetricsRecorder::default();
+        rec.record_send(8);
+        rec.record_drop();
+        rec.record_drop();
+        rec.finish_round(true);
+        rec.finish_round(true);
+        assert_eq!(rec.totals.dropped_messages, 2);
+        assert_eq!(rec.history[0].dropped, 2);
+        assert_eq!(rec.history[1].dropped, 0);
     }
 }

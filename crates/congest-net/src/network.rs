@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::error::Error;
+use crate::fault::{FaultPlan, FaultState, TraceEvent};
 use crate::graph::{EdgeId, Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
 use crate::metrics::{Metrics, MetricsRecorder, RoundReport, ShardCounters};
@@ -164,6 +165,20 @@ pub struct Network<M: Payload> {
     /// Per-shard send counters, absorbed into the recorder in shard order at
     /// the round barrier.
     shard_counters: Vec<ShardCounters>,
+    /// The fault-injection plane, instantiated when a
+    /// [`FaultPlan`](crate::fault::FaultPlan) is installed; `None` (the
+    /// default) keeps delivery on the pristine fault-free path.
+    faults: Option<FaultState>,
+    /// Whether the trace sink records events (off by default; when off the
+    /// sink is never touched).
+    trace_enabled: bool,
+    /// Round-stamped fault events, recorded at the barrier in delivery
+    /// order when tracing is enabled.
+    trace: Vec<TraceEvent>,
+    /// Messages actually delivered (sent minus dropped) at the last
+    /// `advance_round`; the live-traffic signal the runtime's adaptive
+    /// scheduler reads.
+    delivered_last_round: usize,
 }
 
 impl<M: Payload> Network<M> {
@@ -205,7 +220,68 @@ impl<M: Payload> Network<M> {
             boundaries,
             shard_pending: (0..shards).map(|_| Vec::new()).collect(),
             shard_counters: vec![ShardCounters::default(); shards],
+            faults: None,
+            trace_enabled: false,
+            trace: Vec::new(),
+            delivered_last_round: 0,
         }
+    }
+
+    /// Installs a [`FaultPlan`], instantiating the fault-injection plane.
+    ///
+    /// Must be installed before the first round: the fault clock starts at
+    /// round 0 regardless of when the plan is installed. Fault decisions are
+    /// made at the delivery barrier in delivery order, which is
+    /// byte-identical for every shard count, so a faulty run is exactly as
+    /// deterministic as a fault-free one (see the crate docs and the
+    /// [`fault`](crate::fault) module). Installing an *empty* plan is
+    /// byte-identical to installing none.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::new(plan, self.graph.node_count()));
+    }
+
+    /// Whether a fault plan is installed.
+    #[must_use]
+    pub fn fault_plan_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Turns on the trace sink: from now on, fault events are recorded with
+    /// their round stamps. Off by default, in which case tracing costs one
+    /// branch per barrier and nothing else.
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The events recorded so far (empty unless [`enable_trace`](Network::enable_trace)
+    /// was called).
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Takes the recorded events, leaving the sink empty (and still
+    /// enabled, if it was).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Whether node `v` has crashed (per the installed fault plan) as of the
+    /// round currently executing. Always `false` without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn node_crashed(&self, v: NodeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.node_crashed(v))
+    }
+
+    /// Messages delivered (sent minus dropped) at the last
+    /// [`advance_round`](Network::advance_round).
+    #[must_use]
+    pub fn delivered_last_round(&self) -> usize {
+        self.delivered_last_round
     }
 
     /// The underlying communication graph.
@@ -388,19 +464,27 @@ impl<M: Payload> Network<M> {
         for v in self.dirty_inboxes.drain(..) {
             self.inboxes[v].clear();
         }
-        for (from, port, to, msg) in self.pending.drain(..) {
-            if self.inboxes[to].is_empty() {
-                self.dirty_inboxes.push(to);
-            }
-            self.inboxes[to].push((from, port, msg));
-        }
-        for s in 0..self.shard_pending.len() {
-            for (from, port, to, msg) in self.shard_pending[s].drain(..) {
+        if self.faults.is_some() {
+            self.deliver_with_faults();
+        } else {
+            let mut delivered = 0usize;
+            for (from, port, to, msg) in self.pending.drain(..) {
                 if self.inboxes[to].is_empty() {
                     self.dirty_inboxes.push(to);
                 }
                 self.inboxes[to].push((from, port, msg));
+                delivered += 1;
             }
+            for s in 0..self.shard_pending.len() {
+                for (from, port, to, msg) in self.shard_pending[s].drain(..) {
+                    if self.inboxes[to].is_empty() {
+                        self.dirty_inboxes.push(to);
+                    }
+                    self.inboxes[to].push((from, port, msg));
+                    delivered += 1;
+                }
+            }
+            self.delivered_last_round = delivered;
         }
         for shard in &mut self.shard_counters {
             if !shard.is_empty() || shard.bits > 0 {
@@ -408,7 +492,63 @@ impl<M: Payload> Network<M> {
             }
         }
         self.round_stamp += 1;
+        if let Some(faults) = self.faults.as_mut() {
+            faults.clock += 1;
+        }
         self.recorder.finish_round(self.config.track_round_history);
+    }
+
+    /// The fault-checked delivery path: identical to the fast loops in
+    /// [`advance_round`](Network::advance_round) except that every message is
+    /// judged by the installed [`FaultState`] — in delivery order, which is
+    /// byte-identical for every shard count, so fault decisions (and the
+    /// dedicated drop PRNG stream) are too. Kept out of line so the
+    /// fault-free hot path pays one branch for the whole feature.
+    #[inline(never)]
+    fn deliver_with_faults(&mut self) {
+        let mut faults = self.faults.take().expect("fault state present");
+        faults.emit_crashes(&mut self.recorder, &mut self.trace, self.trace_enabled);
+        let mut delivered = 0usize;
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut queue = 0usize;
+        loop {
+            for (from, port, to, msg) in pending.drain(..) {
+                match faults.judge(from, to) {
+                    Some(cause) => {
+                        self.recorder.record_drop();
+                        if self.trace_enabled {
+                            self.trace.push(TraceEvent::MessageDropped {
+                                round: faults.clock,
+                                from,
+                                to,
+                                cause,
+                            });
+                        }
+                    }
+                    None => {
+                        if self.inboxes[to].is_empty() {
+                            self.dirty_inboxes.push(to);
+                        }
+                        self.inboxes[to].push((from, port, msg));
+                        delivered += 1;
+                    }
+                }
+            }
+            // Rotate the drained buffer back, then judge the shard queues in
+            // shard order — the same merge order as the fault-free path.
+            if queue == 0 {
+                self.pending = pending;
+            } else {
+                self.shard_pending[queue - 1] = pending;
+            }
+            if queue == self.shard_pending.len() {
+                break;
+            }
+            pending = std::mem::take(&mut self.shard_pending[queue]);
+            queue += 1;
+        }
+        self.delivered_last_round = delivered;
+        self.faults = Some(faults);
     }
 
     /// Advances the round clock by `rounds` rounds in which no messages are
@@ -421,6 +561,12 @@ impl<M: Payload> Network<M> {
             "skip_rounds with undelivered messages"
         );
         self.round_stamp += rounds;
+        if let Some(faults) = self.faults.as_mut() {
+            // Keep outage windows and crash rounds aligned with protocol
+            // round numbers; crashes inside the skipped window surface (as
+            // events and in the crashed-node count) at the next barrier.
+            faults.clock += rounds;
+        }
         self.recorder.record_idle_rounds(rounds);
     }
 
@@ -519,6 +665,10 @@ impl<M: Payload> Network<M> {
         let graph = &self.graph;
         let boundaries = &self.boundaries;
         let shards = boundaries.len() - 1;
+        let (crash_rounds, fault_clock) = match self.faults.as_ref() {
+            Some(f) => (Some(f.crash_rounds()), f.clock),
+            None => (None, 0),
+        };
         let mut inboxes = self.inboxes.as_mut_slice();
         let mut stamps = self.edge_stamp.as_mut_slice();
         let mut rngs = self.node_rngs.as_mut_slice();
@@ -538,6 +688,8 @@ impl<M: Payload> Network<M> {
                 graph,
                 node_lo,
                 edge_lo,
+                crash_rounds: crash_rounds.map(|c| &c[node_lo..node_hi]),
+                fault_clock,
                 round_stamp: self.round_stamp,
                 enforce_congest: self.config.enforce_congest,
                 budget_bits: self.budget_bits,
@@ -564,6 +716,11 @@ pub struct ShardView<'a, M: Payload> {
     node_lo: NodeId,
     /// First directed edge id owned by this shard (`first_edge_id(node_lo)`).
     edge_lo: EdgeId,
+    /// This shard's window onto the fault plan's per-node crash rounds
+    /// (`None` when no plan is installed).
+    crash_rounds: Option<&'a [u64]>,
+    /// The fault clock at view creation (the round being executed).
+    fault_clock: u64,
     round_stamp: u64,
     enforce_congest: bool,
     budget_bits: usize,
@@ -604,6 +761,19 @@ impl<M: Payload> ShardView<'_, M> {
     #[must_use]
     pub fn inbox_is_empty(&self, v: NodeId) -> bool {
         self.inboxes[v - self.node_lo].is_empty()
+    }
+
+    /// Whether node `v` has crashed (per the installed fault plan) as of the
+    /// round being executed — the sharded mirror of
+    /// [`Network::node_crashed`]. Always `false` without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside this shard's node range.
+    #[must_use]
+    pub fn node_crashed(&self, v: NodeId) -> bool {
+        self.crash_rounds
+            .is_some_and(|c| c[v - self.node_lo] <= self.fault_clock)
     }
 
     /// Exchanges node `v`'s inbox with `scratch`, exactly like

@@ -25,10 +25,20 @@
 use rand::rngs::StdRng;
 
 use crate::error::Error;
+use crate::fault::{FaultPlan, TraceEvent};
 use crate::graph::{Graph, NodeId, Port};
 use crate::message::Payload;
 use crate::metrics::Metrics;
 use crate::network::{Delivery, Network, NetworkConfig, ShardView};
+
+/// Rounds that delivered fewer messages than this run sequentially even when
+/// the network is configured with `shards > 1` (adaptive hybrid scheduling):
+/// below this traffic level the per-round pool dispatch costs more than the
+/// round body, and since the sequential and sharded paths are byte-identical
+/// by the deterministic-merge invariant, the switch is free — it can only
+/// trade wall-clock time. The start-up round uses the node count as its
+/// traffic proxy (nothing has been delivered yet).
+pub const ADAPTIVE_SEQUENTIAL_THRESHOLD: usize = 96;
 
 /// The per-round view a node program gets of its environment.
 #[derive(Debug)]
@@ -143,6 +153,9 @@ pub struct SyncRuntime<P: NodeProgram> {
     /// Per-shard error slots for the sharded path; the lowest-shard error is
     /// the one reported, which keeps error selection deterministic.
     shard_errors: Vec<Option<Error>>,
+    /// Rounds the adaptive scheduler ran sequentially despite `shards > 1`
+    /// (always 0 when the network resolved to a single shard).
+    adaptive_sequential_rounds: u64,
 }
 
 /// One worker shard's reusable buffers: the sharded analogue of the
@@ -192,6 +205,11 @@ fn run_shard_round<P: NodeProgram>(
     let node_lo = view.first_node();
     for (offset, program) in programs.iter_mut().enumerate() {
         let v = node_lo + offset;
+        // Same crash rule as the sequential engine: a crashed node computes
+        // nothing and its inbox is kept empty by the barrier.
+        if view.node_crashed(v) {
+            continue;
+        }
         let degree = view.graph().degree(v);
         if start {
             let mut ctx = RoundContext {
@@ -269,7 +287,34 @@ impl<P: NodeProgram> SyncRuntime<P> {
             flush_scratch: Vec::new(),
             shard_scratch,
             shard_errors,
+            adaptive_sequential_rounds: 0,
         }
+    }
+
+    /// Installs a [`FaultPlan`] on the underlying network (see
+    /// [`Network::set_fault_plan`]); call before [`start`](SyncRuntime::start).
+    /// Crashed nodes are skipped by both the sequential and the sharded
+    /// round engine, and their traffic is dropped at the barrier.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.net.set_fault_plan(plan);
+    }
+
+    /// Turns on the network's trace sink (see [`Network::enable_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.net.enable_trace();
+    }
+
+    /// Takes the events recorded so far (see [`Network::take_trace`]).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.net.take_trace()
+    }
+
+    /// Rounds executed sequentially by the adaptive scheduler despite a
+    /// `shards > 1` configuration (sparse rounds below
+    /// [`ADAPTIVE_SEQUENTIAL_THRESHOLD`]).
+    #[must_use]
+    pub fn adaptive_sequential_rounds(&self) -> u64 {
+        self.adaptive_sequential_rounds
     }
 
     /// The number of worker shards executing each round (1 = sequential).
@@ -318,13 +363,21 @@ impl<P: NodeProgram> SyncRuntime<P> {
     /// Propagates network errors from the queued sends.
     pub fn start(&mut self) -> Result<(), Error> {
         debug_assert_eq!(self.round, 0, "start() called twice");
+        // Adaptive hybrid scheduling: nothing has been delivered before the
+        // start-up round, so the node count stands in for the traffic level.
         if self.net.shard_count() > 1 {
-            self.run_round_sharded(true)?;
-            self.round = 1;
-            return Ok(());
+            if self.programs.len() >= ADAPTIVE_SEQUENTIAL_THRESHOLD {
+                self.run_round_sharded(true)?;
+                self.round = 1;
+                return Ok(());
+            }
+            self.adaptive_sequential_rounds += 1;
         }
         let shared = self.shared_value();
         for v in 0..self.programs.len() {
+            if self.net.node_crashed(v) {
+                continue;
+            }
             let degree = self.net.graph().degree(v);
             {
                 let mut ctx = RoundContext {
@@ -352,10 +405,18 @@ impl<P: NodeProgram> SyncRuntime<P> {
     ///
     /// Propagates network errors from the queued sends.
     pub fn step(&mut self) -> Result<(), Error> {
+        // Adaptive hybrid scheduling: a sparse round (few messages delivered
+        // at the last barrier) costs more in pool dispatch than it saves, so
+        // it runs on the calling thread even with `shards > 1`. Both paths
+        // are byte-identical (the deterministic-merge invariant), so the
+        // switch affects wall-clock time only.
         if self.net.shard_count() > 1 {
-            self.run_round_sharded(false)?;
-            self.round += 1;
-            return Ok(());
+            if self.net.delivered_last_round() >= ADAPTIVE_SEQUENTIAL_THRESHOLD {
+                self.run_round_sharded(false)?;
+                self.round += 1;
+                return Ok(());
+            }
+            self.adaptive_sequential_rounds += 1;
         }
         let shared = self.shared_value();
         // Per-node body mirrored in `run_shard_round` (kept as two textually
@@ -365,6 +426,11 @@ impl<P: NodeProgram> SyncRuntime<P> {
             // A halted node sends nothing and, with an empty inbox, observes
             // nothing: skip it without touching any buffer.
             if inbox_empty && self.programs[v].halted() {
+                continue;
+            }
+            // A crashed node computes nothing (its inbox is always empty:
+            // the barrier already dropped anything addressed to it).
+            if self.net.node_crashed(v) {
                 continue;
             }
             if inbox_empty {
@@ -404,10 +470,16 @@ impl<P: NodeProgram> SyncRuntime<P> {
         Ok(())
     }
 
-    /// Whether every node program has halted.
+    /// Whether every node program has halted. A crashed node counts as
+    /// halted: it executes nothing ever again, so waiting on its program
+    /// state would spin [`run_until_halt`](SyncRuntime::run_until_halt)
+    /// through the whole round budget on every crash-stop scenario.
     #[must_use]
     pub fn all_halted(&self) -> bool {
-        self.programs.iter().all(NodeProgram::halted)
+        self.programs
+            .iter()
+            .enumerate()
+            .all(|(v, p)| p.halted() || self.net.node_crashed(v))
     }
 
     /// Consumes the runtime and returns the programs and final metrics.

@@ -18,7 +18,7 @@
 //! With `k = Θ(n^{1/3})` the message complexity is `Õ(n^{1/3})`
 //! (Corollary 5.3), beating the classical `Θ̃(√n)` bound.
 
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -28,7 +28,7 @@ use crate::config::{AlphaChoice, KChoice};
 use crate::error::Error;
 use crate::framework::{distributed_grover_search, CheckingOracle};
 use crate::problems::{LeaderElectionOutcome, NodeStatus};
-use crate::protocol::LeaderElection;
+use crate::protocol::{LeaderElection, RunOptions, TracedRun};
 use crate::report::{CostSummary, LeaderElectionRun};
 
 /// Messages exchanged by `QuantumLE`.
@@ -182,14 +182,13 @@ impl LeaderElection for QuantumLe {
         "QuantumLE"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         Self::validate(graph)?;
         let n = graph.node_count();
         let edges = graph.edge_count();
         let k = self.k.resolve(n, 1.0 / 3.0);
         let alpha = self.alpha.resolve(n);
-        let mut net: Network<LeMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<LeMessage> = opts.network(graph.clone(), seed);
 
         // Phase 1: choosing candidates (local randomness only).
         let candidates = sample_candidates(&mut net);
@@ -227,15 +226,18 @@ impl LeaderElection for QuantumLe {
             };
         }
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges,
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds: classical_rounds + max_quantum_rounds,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges,
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds: classical_rounds + max_quantum_rounds,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

@@ -31,7 +31,7 @@
 //! higher-ranked candidate is passive, exactly as the proof of Theorem 5.6
 //! requires.
 
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use quantum_sim::johnson::JohnsonGraph;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -43,7 +43,7 @@ use crate::framework::{
     distributed_grover_search, distributed_walk_search, CheckingOracle, WalkOracle,
 };
 use crate::problems::{LeaderElectionOutcome, NodeStatus};
-use crate::protocol::LeaderElection;
+use crate::protocol::{LeaderElection, RunOptions, TracedRun};
 use crate::report::{CostSummary, LeaderElectionRun};
 
 /// Messages exchanged by `QuantumQWLE`.
@@ -439,7 +439,7 @@ impl LeaderElection for QuantumQwLe {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         self.validate(graph)?;
         let n = graph.node_count();
         let k_target = self.k.resolve(n, 2.0 / 3.0);
@@ -450,8 +450,7 @@ impl LeaderElection for QuantumQwLe {
         };
         let iterations = self.resolve_iterations(n);
         let activation = self.resolve_activation(n);
-        let mut net: Network<QwMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<QwMessage> = opts.network(graph.clone(), seed);
 
         let candidates = sample_candidates(&mut net);
         let mut in_race: Vec<bool> = vec![false; n];
@@ -538,15 +537,18 @@ impl LeaderElection for QuantumQwLe {
                 statuses[c.node] = NodeStatus::Elected;
             }
         }
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges: graph.edge_count(),
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges: graph.edge_count(),
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

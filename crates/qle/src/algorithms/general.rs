@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -27,7 +27,7 @@ use crate::config::AlphaChoice;
 use crate::error::Error;
 use crate::framework::{distributed_grover_search, CheckingOracle};
 use crate::problems::{LeaderElectionOutcome, NodeStatus};
-use crate::protocol::LeaderElection;
+use crate::protocol::{LeaderElection, RunOptions, TracedRun};
 use crate::report::{CostSummary, LeaderElectionRun};
 
 /// Messages exchanged by `QuantumGeneralLE`.
@@ -217,7 +217,7 @@ impl LeaderElection for QuantumGeneralLe {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         graph.validate_as_network()?;
         let n = graph.node_count();
         if n < 2 {
@@ -227,8 +227,7 @@ impl LeaderElection for QuantumGeneralLe {
             });
         }
         let alpha = self.alpha.resolve_inner(n);
-        let mut net: Network<GenMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<GenMessage> = opts.network(graph.clone(), seed);
         let mut clustering = Clustering::singletons(n);
         // The halving argument needs ⌈log₂ n⌉ phases when every cluster finds
         // an outgoing edge; a small amount of slack absorbs per-node Grover
@@ -400,15 +399,18 @@ impl LeaderElection for QuantumGeneralLe {
         net.advance_round();
         effective_rounds += n as u64;
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges: graph.edge_count(),
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges: graph.edge_count(),
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

@@ -28,7 +28,7 @@
 //! at most a constant factor.
 
 use congest_net::walks::spectral_mixing_time;
-use congest_net::{Graph, Network, NetworkConfig, NodeId, Payload};
+use congest_net::{Graph, Network, NodeId, Payload};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -37,7 +37,7 @@ use crate::config::{AlphaChoice, KChoice};
 use crate::error::Error;
 use crate::framework::{distributed_grover_search, CheckingOracle};
 use crate::problems::{LeaderElectionOutcome, NodeStatus};
-use crate::protocol::LeaderElection;
+use crate::protocol::{LeaderElection, RunOptions, TracedRun};
 use crate::report::{CostSummary, LeaderElectionRun};
 
 /// Messages exchanged by `QuantumRWLE`.
@@ -279,7 +279,7 @@ impl LeaderElection for QuantumRwLe {
         "QuantumRWLE"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error> {
         graph.validate_as_network()?;
         let n = graph.node_count();
         if n < 3 {
@@ -293,8 +293,7 @@ impl LeaderElection for QuantumRwLe {
         let walk_length = tau;
         let k = self.resolve_k(n, tau);
         let alpha = self.alpha.resolve(n);
-        let mut net: Network<RwMessage> =
-            Network::new(graph.clone(), NetworkConfig::with_seed(seed));
+        let mut net: Network<RwMessage> = opts.network(graph.clone(), seed);
 
         // Phase 1: candidates.
         let candidates = sample_candidates(&mut net);
@@ -355,15 +354,18 @@ impl LeaderElection for QuantumRwLe {
             };
         }
 
-        Ok(LeaderElectionRun {
-            protocol: self.name().to_string(),
-            nodes: n,
-            edges,
-            outcome: LeaderElectionOutcome::new(statuses),
-            cost: CostSummary {
-                metrics: net.metrics(),
-                effective_rounds: classical_rounds + max_quantum_rounds,
+        Ok(TracedRun {
+            run: LeaderElectionRun {
+                protocol: self.name().to_string(),
+                nodes: n,
+                edges,
+                outcome: LeaderElectionOutcome::new(statuses),
+                cost: CostSummary {
+                    metrics: net.metrics(),
+                    effective_rounds: classical_rounds + max_quantum_rounds,
+                },
             },
+            trace: net.take_trace(),
         })
     }
 }

@@ -69,5 +69,5 @@ pub mod star;
 pub use config::{AlphaChoice, KChoice};
 pub use error::Error;
 pub use problems::{AgreementDecision, AgreementOutcome, LeaderElectionOutcome, NodeStatus};
-pub use protocol::{Agreement, LeaderElection};
+pub use protocol::{Agreement, LeaderElection, RunOptions, TracedRun};
 pub use report::{AgreementRun, CostSummary, LeaderElectionRun};

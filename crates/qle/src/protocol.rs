@@ -1,29 +1,107 @@
 //! Protocol traits: the public interface shared by the quantum protocols of
 //! this crate and the classical baselines of `classical-baselines`.
+//!
+//! Every leader-election protocol is runnable two ways:
+//!
+//! * [`LeaderElection::run`] — the plain entry point: fault-free, default
+//!   shard resolution, no tracing. This is what the experiment harness and
+//!   most tests use.
+//! * [`LeaderElection::run_with`] — the configurable entry point the
+//!   scenario engine drives: a [`RunOptions`] injects a
+//!   [`FaultPlan`](congest_net::FaultPlan), pins the shard count, and turns
+//!   on the network's round-stamped event trace, which comes back in the
+//!   [`TracedRun`] alongside the ordinary report.
+//!
+//! `run` is a provided method delegating to `run_with` with default options,
+//! so the two can never diverge.
 
-use congest_net::Graph;
+use congest_net::{FaultPlan, Graph, Network, NetworkConfig, Payload, TraceEvent};
 
 use crate::error::Error;
 use crate::report::{AgreementRun, LeaderElectionRun};
 
+/// Execution options threaded through [`LeaderElection::run_with`]: the
+/// knobs a scenario applies to a protocol's internal network without the
+/// protocol knowing where they came from.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker shard count for runtime-driven execution (`0` = auto, the
+    /// default — see [`NetworkConfig::shard_count`]).
+    pub shards: usize,
+    /// Fault plan to install on the protocol's network, if any. Protocols
+    /// that drive the [`Network`] directly (rather than through per-node
+    /// state machines) keep their driver-side knowledge, so for them faults
+    /// manifest as dropped traffic in the metrics and trace rather than as
+    /// altered control flow; runtime-driven protocols additionally skip
+    /// crashed nodes.
+    pub fault_plan: Option<FaultPlan>,
+    /// Whether to record the round-stamped event trace.
+    pub trace: bool,
+}
+
+impl RunOptions {
+    /// Builds the protocol's network with these options applied, starting
+    /// from the standard seeded configuration.
+    #[must_use]
+    pub fn network<M: Payload>(&self, graph: Graph, seed: u64) -> Network<M> {
+        self.network_with(graph, NetworkConfig::with_seed(seed))
+    }
+
+    /// Builds the protocol's network with these options applied on top of a
+    /// protocol-specific `config` (e.g. a shared coin).
+    #[must_use]
+    pub fn network_with<M: Payload>(&self, graph: Graph, config: NetworkConfig) -> Network<M> {
+        let mut net = Network::new(graph, config.shards(self.shards));
+        if self.trace {
+            net.enable_trace();
+        }
+        if let Some(plan) = &self.fault_plan {
+            net.set_fault_plan(plan);
+        }
+        net
+    }
+}
+
+/// A protocol run together with the event trace its network recorded
+/// (empty unless [`RunOptions::trace`] was set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedRun {
+    /// The ordinary run report.
+    pub run: LeaderElectionRun,
+    /// Round-stamped fault events, in the network's deterministic delivery
+    /// order.
+    pub trace: Vec<TraceEvent>,
+}
+
 /// A (randomized or quantum) implicit leader-election protocol.
 ///
-/// `run` executes one simulation of the protocol over `graph`, with all
-/// randomness derived from `seed`, and returns the outcome together with the
-/// measured message and round complexity.
+/// `run_with` executes one simulation of the protocol over `graph`, with all
+/// protocol randomness derived from `seed` and the execution environment
+/// (faults, sharding, tracing) taken from `opts`, and returns the outcome
+/// together with the measured message and round complexity.
 pub trait LeaderElection {
     /// A short human-readable protocol name used in reports and experiment
     /// tables.
     fn name(&self) -> &'static str;
 
-    /// Runs the protocol once.
+    /// Runs the protocol once under the given execution options.
     ///
     /// # Errors
     ///
     /// Returns an error if the graph violates the protocol's topology
     /// requirements, if the configuration is invalid, or if the simulation
     /// encounters a network error (which indicates a protocol bug).
-    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error>;
+    fn run_with(&self, graph: &Graph, seed: u64, opts: &RunOptions) -> Result<TracedRun, Error>;
+
+    /// Runs the protocol once with default options (fault-free, auto
+    /// sharding, no trace).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with`](LeaderElection::run_with).
+    fn run(&self, graph: &Graph, seed: u64) -> Result<LeaderElectionRun, Error> {
+        Ok(self.run_with(graph, seed, &RunOptions::default())?.run)
+    }
 }
 
 /// A (randomized or quantum) implicit agreement protocol.

@@ -1,0 +1,227 @@
+//! The scenario engine: matrix expansion, parallel execution, and the
+//! deterministic results table.
+//!
+//! [`expand`] turns a list of [`ScenarioSpec`]s into the flat cell matrix
+//! (spec order × size order × seed order); [`run_matrix`] executes every
+//! cell on the workspace's `rayon` pool and merges results **in cell
+//! order**, so the results table and the serialized traces are
+//! byte-identical no matter how the pool schedules the work — the same
+//! seed-order-deterministic merge discipline the experiment sweeps use.
+
+use congest_net::topology::Family;
+use congest_net::FaultPlan;
+use qle::RunOptions;
+use rayon::prelude::*;
+
+use crate::registry::{topology_name, CellOutcome, ProtocolKind};
+use crate::spec::ScenarioSpec;
+
+/// One cell of the scenario matrix: a concrete `(topology instance,
+/// protocol, seed)` triple plus the scenario's execution knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Name of the scenario this cell came from.
+    pub scenario: String,
+    /// The topology family.
+    pub topology: Family,
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// Requested network size (the family may round it to a feasible size).
+    pub n: usize,
+    /// The seed for both the topology generator and the protocol run.
+    pub seed: u64,
+    /// Worker shard count (`0` = auto).
+    pub shards: usize,
+    /// Round budget for runtime-driven protocols.
+    pub max_rounds: u64,
+    /// The scenario's fault plan.
+    pub faults: FaultPlan,
+}
+
+impl Cell {
+    /// A compact identity string, used in trace headers and error messages.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "{} protocol={} topology={} n={} seed={}",
+            self.scenario,
+            self.protocol.name(),
+            topology_name(self.topology),
+            self.n,
+            self.seed
+        )
+    }
+}
+
+/// One executed cell: the cell identity plus everything it measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// What it measured.
+    pub outcome: CellOutcome,
+}
+
+/// Expands scenario specs into the flat, deterministically-ordered cell
+/// matrix (spec order × size order × seed order).
+#[must_use]
+pub fn expand(specs: &[ScenarioSpec]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for spec in specs {
+        for &n in &spec.sizes {
+            for &seed in &spec.seeds {
+                cells.push(Cell {
+                    scenario: spec.name.clone(),
+                    topology: spec.topology,
+                    protocol: spec.protocol,
+                    n,
+                    seed,
+                    shards: spec.shards,
+                    max_rounds: spec.max_rounds,
+                    faults: spec.faults.clone(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs one cell: generate the topology, apply the scenario's execution
+/// options, run the protocol, and collect metrics plus trace.
+///
+/// # Errors
+///
+/// Returns a rendered error naming the cell when topology generation or the
+/// protocol run fails (a spec bug — e.g. a complete-graph protocol on a
+/// cycle — not a fault-induced outcome).
+pub fn run_cell(cell: &Cell) -> Result<CellResult, String> {
+    let graph = cell
+        .topology
+        .generate(cell.n, cell.seed)
+        .map_err(|e| format!("{}: topology: {e}", cell.id()))?;
+    let opts = RunOptions {
+        shards: cell.shards,
+        fault_plan: (!cell.faults.is_empty()).then(|| cell.faults.clone()),
+        trace: true,
+    };
+    let outcome = cell
+        .protocol
+        .run(&graph, cell.seed, &opts, cell.max_rounds)
+        .map_err(|e| format!("{}: {e}", cell.id()))?;
+    Ok(CellResult {
+        cell: cell.clone(),
+        outcome,
+    })
+}
+
+/// Runs an already-expanded cell list on the `rayon` pool, merging results
+/// in cell order (deterministic regardless of scheduling).
+///
+/// # Errors
+///
+/// Returns the first failing cell's rendered error, in cell order (also
+/// deterministic).
+pub fn run_cells(cells: &[Cell]) -> Result<Vec<CellResult>, String> {
+    let results: Vec<Result<CellResult, String>> = cells.par_iter().map(run_cell).collect();
+    results.into_iter().collect()
+}
+
+/// Expands `specs` and runs every cell (see [`expand`] and [`run_cells`]).
+///
+/// # Errors
+///
+/// Same as [`run_cells`].
+pub fn run_matrix(specs: &[ScenarioSpec]) -> Result<Vec<CellResult>, String> {
+    run_cells(&expand(specs))
+}
+
+/// Renders the results table: one row per cell, in cell order, with message,
+/// round, congestion, and fault columns.
+#[must_use]
+pub fn results_table(results: &[CellResult]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let detail = "detail";
+    writeln!(
+        out,
+        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6}  {detail}",
+        "scenario",
+        "protocol",
+        "topology",
+        "n",
+        "seed",
+        "messages",
+        "rounds",
+        "peak/rd",
+        "dropped",
+        "crashed",
+        "ok",
+    )
+    .unwrap();
+    for r in results {
+        let m = &r.outcome.metrics;
+        writeln!(
+            out,
+            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6}  {}",
+            r.cell.scenario,
+            r.cell.protocol.name(),
+            topology_name(r.cell.topology),
+            r.cell.n,
+            r.cell.seed,
+            m.total_messages(),
+            r.outcome.effective_rounds,
+            m.peak_messages_per_round,
+            m.dropped_messages,
+            m.crashed_nodes,
+            if r.outcome.ok { "yes" } else { "NO" },
+            r.outcome.detail
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_specs() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::new("flood-cycle", Family::Cycle, ProtocolKind::Flood)
+                .sizes([12, 16])
+                .seeds([1, 2]),
+            ScenarioSpec::new("ghs-torus", Family::Torus, ProtocolKind::GhsLe)
+                .sizes([16])
+                .seeds([3]),
+        ]
+    }
+
+    #[test]
+    fn expansion_is_spec_by_size_by_seed_ordered() {
+        let cells = expand(&tiny_specs());
+        let ids: Vec<(usize, u64)> = cells.iter().map(|c| (c.n, c.seed)).collect();
+        assert_eq!(ids, vec![(12, 1), (12, 2), (16, 1), (16, 2), (16, 3)]);
+        assert_eq!(cells[4].scenario, "ghs-torus");
+    }
+
+    #[test]
+    fn matrix_runs_and_tables_deterministically() {
+        let specs = tiny_specs();
+        let a = run_matrix(&specs).unwrap();
+        let b = run_matrix(&specs).unwrap();
+        assert_eq!(a, b);
+        let table = results_table(&a);
+        assert_eq!(table.lines().count(), 1 + a.len());
+        assert!(table.contains("flood-cycle"));
+        assert!(table.contains("yes"));
+    }
+
+    #[test]
+    fn spec_bugs_surface_as_cell_ordered_errors() {
+        let specs =
+            vec![ScenarioSpec::new("bad", Family::Cycle, ProtocolKind::QuantumLe).sizes([8, 12])];
+        let err = run_matrix(&specs).unwrap_err();
+        assert!(err.contains("bad protocol=quantum-le"), "{err}");
+        assert!(err.contains("n=8"), "first failing cell wins: {err}");
+    }
+}

@@ -1,0 +1,269 @@
+//! The topology and protocol registries: every name a scenario spec can
+//! mention, and the adapters that run each protocol one cell at a time.
+//!
+//! Topologies resolve to [`Family`] values (cycle, torus, complete,
+//! expander/random-regular, star, hypercube — with the expander degree as a
+//! parameter). Protocols are the [`ProtocolKind`] enum: the `Flood`
+//! reference program driven through the sharded [`SyncRuntime`], and the
+//! leader-election protocols (quantum and classical) driven through
+//! [`LeaderElection::run_with`], so every cell honours the scenario's fault
+//! plan, shard count, and trace flag.
+
+use congest_net::programs::Flood;
+use congest_net::topology::Family;
+use congest_net::{Graph, Metrics, NetworkConfig, SyncRuntime, TraceEvent};
+
+use classical_baselines::{CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe};
+use qle::algorithms::{QuantumLe, QuantumQwLe};
+use qle::{LeaderElection, RunOptions};
+
+/// Resolves a topology name (and expander degree, where applicable) from a
+/// scenario spec. Accepted names: `complete`, `star`, `cycle`, `torus`,
+/// `hypercube`, and `expander` / `random-regular` (degree defaults to 4).
+#[must_use]
+pub fn parse_topology(name: &str, degree: usize) -> Option<Family> {
+    Some(match name {
+        "complete" => Family::Complete,
+        "star" => Family::Star,
+        "cycle" => Family::Cycle,
+        "torus" => Family::Torus,
+        "hypercube" => Family::Hypercube,
+        "expander" | "random-regular" => Family::RandomRegular {
+            degree: if degree == 0 { 4 } else { degree },
+        },
+        _ => return None,
+    })
+}
+
+/// The canonical spec-format name of a topology family (the inverse of
+/// [`parse_topology`]; the expander degree is serialized separately).
+#[must_use]
+pub fn topology_name(family: Family) -> &'static str {
+    match family {
+        Family::RandomRegular { .. } => "expander",
+        other => other.name(),
+    }
+}
+
+/// The protocols the scenario engine can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Single-source flooding (runtime-driven; the pure round-engine load).
+    Flood,
+    /// Classical GHS-style tree-merging leader election (arbitrary graphs).
+    GhsLe,
+    /// `QuantumLE` (complete graphs, `Õ(n^{1/3})` messages).
+    QuantumLe,
+    /// `QuantumQWLE` (diameter-2 graphs, `Õ(n^{2/3})` messages).
+    QuantumQwLe,
+    /// Classical KPP-style leader election for complete graphs (`Õ(√n)`).
+    KppCompleteLe,
+    /// Classical KPP-style random-walk leader election (mixing time `τ`).
+    KppMixingLe,
+    /// Classical CPR-style leader election for diameter-2 graphs (`Õ(n)`).
+    CprDiameterTwoLe,
+}
+
+/// Every registered protocol, in registry order.
+pub const ALL_PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::Flood,
+    ProtocolKind::GhsLe,
+    ProtocolKind::QuantumLe,
+    ProtocolKind::QuantumQwLe,
+    ProtocolKind::KppCompleteLe,
+    ProtocolKind::KppMixingLe,
+    ProtocolKind::CprDiameterTwoLe,
+];
+
+impl ProtocolKind {
+    /// The spec-format name of this protocol.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Flood => "flood",
+            ProtocolKind::GhsLe => "ghs-le",
+            ProtocolKind::QuantumLe => "quantum-le",
+            ProtocolKind::QuantumQwLe => "quantum-qw-le",
+            ProtocolKind::KppCompleteLe => "kpp-complete-le",
+            ProtocolKind::KppMixingLe => "kpp-mixing-le",
+            ProtocolKind::CprDiameterTwoLe => "cpr-d2-le",
+        }
+    }
+
+    /// Resolves a spec-format protocol name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        ALL_PROTOCOLS.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Runs one cell of this protocol on `graph` under `opts`, with a round
+    /// budget of `max_rounds` for runtime-driven protocols.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error when the topology violates the protocol's
+    /// requirements or the simulation hits a network error.
+    pub fn run(
+        self,
+        graph: &Graph,
+        seed: u64,
+        opts: &RunOptions,
+        max_rounds: u64,
+    ) -> Result<CellOutcome, String> {
+        match self {
+            ProtocolKind::Flood => run_flood(graph, seed, opts, max_rounds),
+            ProtocolKind::GhsLe => run_le(&GhsLe::new(), graph, seed, opts),
+            ProtocolKind::QuantumLe => run_le(&QuantumLe::new(), graph, seed, opts),
+            ProtocolKind::QuantumQwLe => run_le(&QuantumQwLe::new(), graph, seed, opts),
+            ProtocolKind::KppCompleteLe => run_le(&KppCompleteLe::new(), graph, seed, opts),
+            ProtocolKind::KppMixingLe => run_le(&KppMixingLe::new(), graph, seed, opts),
+            ProtocolKind::CprDiameterTwoLe => run_le(&CprDiameterTwoLe::new(), graph, seed, opts),
+        }
+    }
+}
+
+/// What one scenario cell measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The network's raw counters (including fault counters).
+    pub metrics: Metrics,
+    /// The protocol's parallel round complexity (for `Flood`: rounds until
+    /// halt or budget exhaustion).
+    pub effective_rounds: u64,
+    /// Whether the run solved its problem (for `Flood`: every non-crashed
+    /// node received the token — genuinely false under partitioning faults).
+    pub ok: bool,
+    /// A short human-readable outcome description for the results table.
+    pub detail: String,
+    /// The round-stamped event trace (empty unless `opts.trace`).
+    pub trace: Vec<TraceEvent>,
+}
+
+fn run_flood(
+    graph: &Graph,
+    seed: u64,
+    opts: &RunOptions,
+    max_rounds: u64,
+) -> Result<CellOutcome, String> {
+    let mut runtime = SyncRuntime::new(
+        graph.clone(),
+        NetworkConfig::with_seed(seed).shards(opts.shards),
+        |v, _| Flood::new(v == 0),
+    );
+    if opts.trace {
+        runtime.enable_trace();
+    }
+    if let Some(plan) = &opts.fault_plan {
+        runtime.set_fault_plan(plan);
+    }
+    let rounds = runtime
+        .run_until_halt(max_rounds)
+        .map_err(|e| e.to_string())?;
+    let n = graph.node_count();
+    // `node_crashed` is the forward-looking view (also what the runtime's
+    // halting check uses); derive both coverage numbers from it so the ok
+    // flag and the detail arithmetic can never disagree (the metrics
+    // column counts crash *events* observed at barriers, which can lag by
+    // one round at termination).
+    let crashed = (0..n)
+        .filter(|&v| runtime.network().node_crashed(v))
+        .count();
+    let reached = (0..n)
+        .filter(|&v| runtime.programs()[v].has_token() && !runtime.network().node_crashed(v))
+        .count();
+    let metrics = runtime.metrics();
+    Ok(CellOutcome {
+        metrics,
+        effective_rounds: rounds,
+        ok: reached + crashed == n,
+        detail: format!("reached {reached}/{} live nodes", n - crashed),
+        trace: runtime.take_trace(),
+    })
+}
+
+fn run_le(
+    protocol: &dyn LeaderElection,
+    graph: &Graph,
+    seed: u64,
+    opts: &RunOptions,
+) -> Result<CellOutcome, String> {
+    let traced = protocol
+        .run_with(graph, seed, opts)
+        .map_err(|e| e.to_string())?;
+    let leaders = traced.run.outcome.leaders().len();
+    Ok(CellOutcome {
+        metrics: traced.run.cost.metrics,
+        effective_rounds: traced.run.cost.effective_rounds,
+        ok: traced.run.succeeded(),
+        detail: format!("{leaders} leader(s)"),
+        trace: traced.trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_net::topology;
+
+    #[test]
+    fn protocol_names_round_trip() {
+        for p in ALL_PROTOCOLS {
+            assert_eq!(ProtocolKind::parse(p.name()), Some(p));
+        }
+        assert_eq!(ProtocolKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn topology_names_round_trip() {
+        for family in [
+            Family::Complete,
+            Family::Star,
+            Family::Cycle,
+            Family::Torus,
+            Family::Hypercube,
+            Family::RandomRegular { degree: 6 },
+        ] {
+            let degree = match family {
+                Family::RandomRegular { degree } => degree,
+                _ => 0,
+            };
+            assert_eq!(parse_topology(topology_name(family), degree), Some(family));
+        }
+        assert_eq!(
+            parse_topology("expander", 0),
+            Some(Family::RandomRegular { degree: 4 })
+        );
+        assert_eq!(parse_topology("moebius", 0), None);
+    }
+
+    #[test]
+    fn flood_cell_reports_coverage() {
+        let graph = topology::cycle(16).unwrap();
+        let out = ProtocolKind::Flood
+            .run(&graph, 1, &RunOptions::default(), 1000)
+            .unwrap();
+        assert!(out.ok);
+        // Every node broadcasts the token exactly once: 2 messages each.
+        assert_eq!(out.metrics.classical_messages, 2 * 16);
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn le_cell_runs_ghs() {
+        let graph = topology::cycle(12).unwrap();
+        let out = ProtocolKind::GhsLe
+            .run(&graph, 1, &RunOptions::default(), 1000)
+            .unwrap();
+        assert!(out.ok);
+        assert!(out.metrics.total_messages() > 0);
+    }
+
+    #[test]
+    fn incompatible_topology_is_a_rendered_error() {
+        let graph = topology::cycle(12).unwrap();
+        let err = ProtocolKind::QuantumLe
+            .run(&graph, 1, &RunOptions::default(), 1000)
+            .unwrap_err();
+        assert!(err.contains("complete"), "{err}");
+    }
+}

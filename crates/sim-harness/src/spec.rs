@@ -1,0 +1,524 @@
+//! Declarative scenario specifications: the typed builder and the TOML-ish
+//! text format.
+//!
+//! A [`ScenarioSpec`] names one `(topology family, protocol)` pair plus the
+//! parameter ranges to sweep (sizes and seeds), the shard count, a round
+//! budget, and a [`FaultPlan`]. A spec file holds any number of scenarios:
+//!
+//! ```text
+//! [scenario]
+//! name = "flood-cycle-drop"
+//! topology = "cycle"
+//! protocol = "flood"
+//! sizes = [32, 64]
+//! seeds = [1, 2]
+//! shards = 0            # 0 = auto (CONGEST_SHARDS)
+//! max_rounds = 10000
+//!
+//! [faults]
+//! seed = 9
+//! drop = 0.05
+//! outage = [0, 1, 2, 10]   # link 0-1 down during rounds [2, 10)
+//! crash = [3, 4]           # node 3 crashes at round 4
+//! ```
+//!
+//! The format is a deliberate subset of TOML (sections, `key = value`,
+//! quoted strings, numbers, flat integer lists, `#` comments) parsed with a
+//! ~hundred-line hand-rolled parser so the workspace stays free of new
+//! dependencies. [`ScenarioSpec::to_text`] emits the same format, and
+//! parse ∘ emit is the identity (pinned by the round-trip tests).
+
+use congest_net::topology::Family;
+use congest_net::FaultPlan;
+
+use crate::registry::{parse_topology, topology_name, ProtocolKind};
+
+/// One declarative scenario: a topology sweep × seed sweep of a protocol
+/// under a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (used in tables and trace headers).
+    pub name: String,
+    /// The topology family cells are generated from.
+    pub topology: Family,
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// Network sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Seeds to sweep (each seeds both the topology generator and the
+    /// protocol run).
+    pub seeds: Vec<u64>,
+    /// Worker shard count (`0` = auto via `CONGEST_SHARDS`).
+    pub shards: usize,
+    /// Round budget for runtime-driven protocols.
+    pub max_rounds: u64,
+    /// The fault plan every cell of this scenario runs under (empty =
+    /// fault-free).
+    pub faults: FaultPlan,
+}
+
+impl ScenarioSpec {
+    /// A scenario with one size (32), one seed (1), auto sharding, a
+    /// generous round budget, and no faults; refine with the builder
+    /// methods.
+    #[must_use]
+    pub fn new(name: impl Into<String>, topology: Family, protocol: ProtocolKind) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology,
+            protocol,
+            sizes: vec![32],
+            seeds: vec![1],
+            shards: 0,
+            max_rounds: 100_000,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Sets the sizes to sweep.
+    #[must_use]
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the seeds to sweep.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the shard count (`0` = auto).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the round budget for runtime-driven protocols.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Serializes this scenario in the spec text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("[scenario]\n");
+        writeln!(out, "name = \"{}\"", self.name).unwrap();
+        writeln!(out, "topology = \"{}\"", topology_name(self.topology)).unwrap();
+        if let Family::RandomRegular { degree } = self.topology {
+            writeln!(out, "degree = {degree}").unwrap();
+        }
+        writeln!(out, "protocol = \"{}\"", self.protocol.name()).unwrap();
+        writeln!(out, "sizes = {}", fmt_list(self.sizes.iter())).unwrap();
+        writeln!(out, "seeds = {}", fmt_list(self.seeds.iter())).unwrap();
+        writeln!(out, "shards = {}", self.shards).unwrap();
+        writeln!(out, "max_rounds = {}", self.max_rounds).unwrap();
+        if !self.faults.is_empty() || self.faults.seed() != 0 {
+            out.push_str("\n[faults]\n");
+            writeln!(out, "seed = {}", self.faults.seed()).unwrap();
+            if self.faults.drop_rate() > 0.0 {
+                writeln!(out, "drop = {}", self.faults.drop_rate()).unwrap();
+            }
+            for o in self.faults.outages() {
+                writeln!(
+                    out,
+                    "outage = [{}, {}, {}, {}]",
+                    o.a, o.b, o.from_round, o.until_round
+                )
+                .unwrap();
+            }
+            for c in self.faults.crashes() {
+                writeln!(out, "crash = [{}, {}]", c.node, c.round).unwrap();
+            }
+        }
+        out
+    }
+
+    /// Parses every scenario in `text` (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending line for malformed
+    /// sections, keys, values, unknown topology/protocol names, or a
+    /// scenario missing its required keys.
+    pub fn parse_many(text: &str) -> Result<Vec<ScenarioSpec>, SpecError> {
+        Parser::new(text).parse()
+    }
+}
+
+fn fmt_list<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
+    let body: Vec<String> = items.map(|x| x.to_string()).collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// A spec parse error, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A partially-assembled scenario while its sections are being read.
+#[derive(Debug, Default)]
+struct Draft {
+    name: Option<String>,
+    topology: Option<String>,
+    degree: usize,
+    protocol: Option<String>,
+    sizes: Option<Vec<usize>>,
+    seeds: Option<Vec<u64>>,
+    shards: usize,
+    max_rounds: Option<u64>,
+    fault_seed: u64,
+    drop: f64,
+    outages: Vec<[u64; 4]>,
+    crashes: Vec<[u64; 2]>,
+    /// Line of the `[scenario]` header, for error reporting.
+    line: usize,
+}
+
+impl Draft {
+    fn finish(self) -> Result<ScenarioSpec, SpecError> {
+        let err = |message: String| SpecError {
+            line: self.line,
+            message,
+        };
+        let name = self
+            .name
+            .ok_or_else(|| err("scenario is missing `name`".into()))?;
+        let topology_name = self
+            .topology
+            .ok_or_else(|| err(format!("scenario \"{name}\" is missing `topology`")))?;
+        let topology = parse_topology(&topology_name, self.degree)
+            .ok_or_else(|| err(format!("unknown topology \"{topology_name}\"")))?;
+        let protocol_name = self
+            .protocol
+            .ok_or_else(|| err(format!("scenario \"{name}\" is missing `protocol`")))?;
+        let protocol = ProtocolKind::parse(&protocol_name)
+            .ok_or_else(|| err(format!("unknown protocol \"{protocol_name}\"")))?;
+        let mut faults = FaultPlan::new(self.fault_seed).drop_probability(self.drop);
+        for [a, b, from, until] in self.outages {
+            faults = faults.link_outage(a as usize, b as usize, from, until);
+        }
+        for [node, round] in self.crashes {
+            faults = faults.crash(node as usize, round);
+        }
+        let mut spec = ScenarioSpec::new(name, topology, protocol).faults(faults);
+        // Absent keys fall back to the builder defaults; *explicitly* empty
+        // or zero values are spec bugs and must not silently become
+        // defaults (they would run cells the author excluded).
+        if let Some(sizes) = self.sizes {
+            if sizes.is_empty() {
+                return Err(err(format!("scenario \"{}\": `sizes` is empty", spec.name)));
+            }
+            spec.sizes = sizes;
+        }
+        if let Some(seeds) = self.seeds {
+            if seeds.is_empty() {
+                return Err(err(format!("scenario \"{}\": `seeds` is empty", spec.name)));
+            }
+            spec.seeds = seeds;
+        }
+        spec.shards = self.shards;
+        if let Some(max_rounds) = self.max_rounds {
+            if max_rounds == 0 {
+                return Err(err(format!(
+                    "scenario \"{}\": `max_rounds` must be positive",
+                    spec.name
+                )));
+            }
+            spec.max_rounds = max_rounds;
+        }
+        Ok(spec)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Scenario,
+    Faults,
+}
+
+struct Parser<'a> {
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text }
+    }
+
+    fn parse(self) -> Result<Vec<ScenarioSpec>, SpecError> {
+        let mut specs = Vec::new();
+        let mut draft: Option<Draft> = None;
+        let mut section = Section::None;
+        for (idx, raw) in self.text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| SpecError {
+                line: line_no,
+                message,
+            };
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| err("unterminated section header".into()))?
+                    .trim();
+                match header {
+                    "scenario" => {
+                        if let Some(done) = draft.take() {
+                            specs.push(done.finish()?);
+                        }
+                        draft = Some(Draft {
+                            line: line_no,
+                            ..Draft::default()
+                        });
+                        section = Section::Scenario;
+                    }
+                    "faults" | "scenario.faults" => {
+                        if draft.is_none() {
+                            return Err(err("[faults] outside a [scenario]".into()));
+                        }
+                        section = Section::Faults;
+                    }
+                    other => return Err(err(format!("unknown section [{other}]"))),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `key = value`, got \"{line}\"")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let draft = draft
+                .as_mut()
+                .ok_or_else(|| err("key before the first [scenario] section".into()))?;
+            match (section, key) {
+                (Section::Scenario, "name") => draft.name = Some(parse_string(value, line_no)?),
+                (Section::Scenario, "topology") => {
+                    draft.topology = Some(parse_string(value, line_no)?);
+                }
+                (Section::Scenario, "degree") => {
+                    draft.degree = parse_int(value, line_no)? as usize;
+                }
+                (Section::Scenario, "protocol") => {
+                    draft.protocol = Some(parse_string(value, line_no)?);
+                }
+                (Section::Scenario, "sizes") => {
+                    draft.sizes = Some(
+                        parse_int_list(value, line_no)?
+                            .into_iter()
+                            .map(|x| x as usize)
+                            .collect(),
+                    );
+                }
+                (Section::Scenario, "seeds") => {
+                    draft.seeds = Some(parse_int_list(value, line_no)?);
+                }
+                (Section::Scenario, "shards") => {
+                    draft.shards = parse_int(value, line_no)? as usize;
+                }
+                (Section::Scenario, "max_rounds") => {
+                    draft.max_rounds = Some(parse_int(value, line_no)?);
+                }
+                (Section::Faults, "seed") => draft.fault_seed = parse_int(value, line_no)?,
+                (Section::Faults, "drop") => {
+                    draft.drop = value.parse::<f64>().map_err(|_| SpecError {
+                        line: line_no,
+                        message: format!("invalid drop probability \"{value}\""),
+                    })?;
+                }
+                (Section::Faults, "outage") => {
+                    let xs = parse_int_list(value, line_no)?;
+                    let [a, b, from, until] = xs[..].try_into().map_err(|_| SpecError {
+                        line: line_no,
+                        message: "outage needs [a, b, from_round, until_round]".into(),
+                    })?;
+                    draft.outages.push([a, b, from, until]);
+                }
+                (Section::Faults, "crash") => {
+                    let xs = parse_int_list(value, line_no)?;
+                    let [node, round] = xs[..].try_into().map_err(|_| SpecError {
+                        line: line_no,
+                        message: "crash needs [node, round]".into(),
+                    })?;
+                    draft.crashes.push([node, round]);
+                }
+                (_, other) => return Err(err(format!("unknown key \"{other}\""))),
+            }
+        }
+        if let Some(done) = draft.take() {
+            specs.push(done.finish()?);
+        }
+        Ok(specs)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, SpecError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| SpecError {
+            line,
+            message: format!("expected a quoted string, got {value}"),
+        })
+}
+
+fn parse_int(value: &str, line: usize) -> Result<u64, SpecError> {
+    value.parse().map_err(|_| SpecError {
+        line,
+        message: format!("expected an integer, got \"{value}\""),
+    })
+}
+
+fn parse_int_list(value: &str, line: usize) -> Result<Vec<u64>, SpecError> {
+    let body = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| SpecError {
+            line,
+            message: format!("expected a [list], got \"{value}\""),
+        })?;
+    body.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_int(s, line))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ScenarioSpec {
+        ScenarioSpec::new("flood-cycle-drop", Family::Cycle, ProtocolKind::Flood)
+            .sizes([32, 64])
+            .seeds([1, 2, 3])
+            .max_rounds(10_000)
+            .faults(
+                FaultPlan::new(9)
+                    .drop_probability(0.05)
+                    .link_outage(0, 1, 2, 10)
+                    .crash(3, 4),
+            )
+    }
+
+    #[test]
+    fn to_text_parse_round_trips() {
+        let spec = sample_spec();
+        let parsed = ScenarioSpec::parse_many(&spec.to_text()).unwrap();
+        assert_eq!(parsed, vec![spec]);
+    }
+
+    #[test]
+    fn parses_multiple_scenarios_with_comments() {
+        let text = r##"
+# a comment
+[scenario]
+name = "a"          # trailing comment
+topology = "torus"
+protocol = "ghs-le"
+sizes = [16]
+
+[scenario]
+name = "b"
+topology = "expander"
+degree = 6
+protocol = "flood"
+seeds = [4, 5]
+
+[faults]
+seed = 2
+crash = [0, 1]
+"##;
+        let specs = ScenarioSpec::parse_many(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "a");
+        assert_eq!(specs[0].topology, Family::Torus);
+        assert_eq!(specs[0].protocol, ProtocolKind::GhsLe);
+        assert!(specs[0].faults.is_empty());
+        assert_eq!(specs[1].topology, Family::RandomRegular { degree: 6 });
+        assert_eq!(specs[1].seeds, vec![4, 5]);
+        assert_eq!(specs[1].faults.crashes().len(), 1);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let bad = "[scenario]\nname = \"x\"\ntopology = \"moebius\"\nprotocol = \"flood\"\n";
+        let err = ScenarioSpec::parse_many(bad).unwrap_err();
+        assert!(err.message.contains("moebius"), "{err}");
+        let bad = "[scenario]\nname = unquoted\n";
+        let err = ScenarioSpec::parse_many(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        let bad = "[faults]\nseed = 1\n";
+        assert!(ScenarioSpec::parse_many(bad).is_err());
+        let bad = "[scenario]\nname = \"x\"\nprotocol = \"flood\"\n";
+        let err = ScenarioSpec::parse_many(bad).unwrap_err();
+        assert!(err.message.contains("missing `topology`"), "{err}");
+    }
+
+    #[test]
+    fn explicitly_empty_values_are_rejected_not_defaulted() {
+        let base = "[scenario]\nname = \"x\"\ntopology = \"cycle\"\nprotocol = \"flood\"\n";
+        for (key, needle) in [
+            ("sizes = []", "`sizes` is empty"),
+            ("seeds = []", "`seeds` is empty"),
+            ("max_rounds = 0", "`max_rounds` must be positive"),
+        ] {
+            let err = ScenarioSpec::parse_many(&format!("{base}{key}\n")).unwrap_err();
+            assert!(err.message.contains(needle), "{key}: {err}");
+        }
+        // Absent keys still fall back to the builder defaults.
+        let spec = &ScenarioSpec::parse_many(base).unwrap()[0];
+        assert_eq!(spec.sizes, vec![32]);
+        assert_eq!(spec.seeds, vec![1]);
+        assert_eq!(spec.max_rounds, 100_000);
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let text = "[scenario]\nname = \"a#b\"\ntopology = \"cycle\"\nprotocol = \"flood\"\n";
+        let specs = ScenarioSpec::parse_many(text).unwrap();
+        assert_eq!(specs[0].name, "a#b");
+    }
+}

@@ -1,0 +1,277 @@
+//! Trace serialization and replay comparison.
+//!
+//! A trace file is the line-oriented, self-describing record of one matrix
+//! run: for every cell (in deterministic cell order) a header, a `summary`
+//! line carrying every [`Metrics`] counter, and one `event` line per
+//! round-stamped fault event. [`serialize`] emits it, [`parse`] reads it
+//! back, and [`compare`] re-verifies a fresh run against a baseline —
+//! **byte-identical metrics and events**, which is what `experiments
+//! --scenarios … --replay` asserts. Because fault decisions are made in the
+//! network's deterministic delivery order, a baseline recorded at one shard
+//! count must replay cleanly at any other; CI exercises exactly that
+//! cross-shard replay.
+
+use congest_net::{DropCause, Metrics, TraceEvent};
+
+use crate::engine::CellResult;
+
+/// One cell's record as parsed back from a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCell {
+    /// The cell identity line (scenario, protocol, topology, n, seed).
+    pub id: String,
+    /// The metrics summary.
+    pub metrics: Metrics,
+    /// The protocol's effective rounds.
+    pub effective_rounds: u64,
+    /// Whether the run solved its problem.
+    pub ok: bool,
+    /// The round-stamped events.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Serializes a matrix run as a trace file.
+#[must_use]
+pub fn serialize(results: &[CellResult]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("# sim-harness trace v1\n");
+    for r in results {
+        let m = &r.outcome.metrics;
+        writeln!(out, "cell {}", r.cell.id()).unwrap();
+        writeln!(
+            out,
+            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} crashed={} effective={} ok={}",
+            m.classical_messages,
+            m.quantum_messages,
+            m.rounds,
+            m.peak_messages_per_round,
+            m.total_bits,
+            m.dropped_messages,
+            m.crashed_nodes,
+            r.outcome.effective_rounds,
+            r.outcome.ok
+        )
+        .unwrap();
+        for event in &r.outcome.trace {
+            match *event {
+                TraceEvent::NodeCrashed { round, node } => {
+                    writeln!(out, "event round={round} crash node={node}").unwrap();
+                }
+                TraceEvent::MessageDropped {
+                    round,
+                    from,
+                    to,
+                    cause,
+                } => {
+                    writeln!(
+                        out,
+                        "event round={round} drop from={from} to={to} cause={}",
+                        cause.label()
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parses a trace file produced by [`serialize`].
+///
+/// # Errors
+///
+/// Returns a rendered error naming the offending line.
+pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
+    let mut cells: Vec<BaselineCell> = Vec::new();
+    let mut current: Option<BaselineCell> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(id) = line.strip_prefix("cell ") {
+            if current.is_some() {
+                return Err(format!("trace line {line_no}: cell before previous end"));
+            }
+            current = Some(BaselineCell {
+                id: id.to_string(),
+                metrics: Metrics::default(),
+                effective_rounds: 0,
+                ok: false,
+                events: Vec::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix("summary ") {
+            let cell = current
+                .as_mut()
+                .ok_or_else(|| format!("trace line {line_no}: summary outside a cell"))?;
+            let get = |key: &str| -> Result<u64, String> {
+                field(rest, key, line_no)?
+                    .parse()
+                    .map_err(|_| format!("trace line {line_no}: bad {key}"))
+            };
+            cell.metrics = Metrics {
+                classical_messages: get("classical")?,
+                quantum_messages: get("quantum")?,
+                rounds: get("rounds")?,
+                peak_messages_per_round: get("peak")?,
+                total_bits: get("bits")?,
+                dropped_messages: get("dropped")?,
+                crashed_nodes: get("crashed")?,
+            };
+            cell.effective_rounds = get("effective")?;
+            cell.ok = field(rest, "ok", line_no)? == "true";
+        } else if let Some(rest) = line.strip_prefix("event ") {
+            let cell = current
+                .as_mut()
+                .ok_or_else(|| format!("trace line {line_no}: event outside a cell"))?;
+            let round: u64 = field(rest, "round", line_no)?
+                .parse()
+                .map_err(|_| format!("trace line {line_no}: bad round"))?;
+            if rest.contains(" crash ") {
+                let node = field(rest, "node", line_no)?
+                    .parse()
+                    .map_err(|_| format!("trace line {line_no}: bad node"))?;
+                cell.events.push(TraceEvent::NodeCrashed { round, node });
+            } else if rest.contains(" drop ") {
+                let parse_node = |key: &str| -> Result<usize, String> {
+                    field(rest, key, line_no)?
+                        .parse()
+                        .map_err(|_| format!("trace line {line_no}: bad {key}"))
+                };
+                let cause = DropCause::parse(field(rest, "cause", line_no)?)
+                    .ok_or_else(|| format!("trace line {line_no}: unknown drop cause"))?;
+                cell.events.push(TraceEvent::MessageDropped {
+                    round,
+                    from: parse_node("from")?,
+                    to: parse_node("to")?,
+                    cause,
+                });
+            } else {
+                return Err(format!("trace line {line_no}: unknown event kind"));
+            }
+        } else if line == "end" {
+            cells.push(
+                current
+                    .take()
+                    .ok_or_else(|| format!("trace line {line_no}: end outside a cell"))?,
+            );
+        } else {
+            return Err(format!(
+                "trace line {line_no}: unrecognised line \"{line}\""
+            ));
+        }
+    }
+    if current.is_some() {
+        return Err("trace ended inside a cell".into());
+    }
+    Ok(cells)
+}
+
+/// Extracts `key=value` from a space-separated attribute line.
+fn field<'a>(line: &'a str, key: &str, line_no: usize) -> Result<&'a str, String> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+        .ok_or_else(|| format!("trace line {line_no}: missing {key}="))
+}
+
+/// Compares a fresh matrix run against a parsed baseline, returning one
+/// message per mismatch (empty = byte-identical replay).
+#[must_use]
+pub fn compare(results: &[CellResult], baseline: &[BaselineCell]) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    if results.len() != baseline.len() {
+        mismatches.push(format!(
+            "cell count differs: ran {}, baseline has {}",
+            results.len(),
+            baseline.len()
+        ));
+        return mismatches;
+    }
+    for (r, b) in results.iter().zip(baseline) {
+        let id = r.cell.id();
+        if id != b.id {
+            mismatches.push(format!(
+                "cell identity differs: ran \"{id}\", baseline \"{}\"",
+                b.id
+            ));
+            continue;
+        }
+        if r.outcome.metrics != b.metrics {
+            mismatches.push(format!(
+                "{id}: metrics differ (ran {:?}, baseline {:?})",
+                r.outcome.metrics, b.metrics
+            ));
+        }
+        if r.outcome.effective_rounds != b.effective_rounds {
+            mismatches.push(format!(
+                "{id}: effective rounds differ ({} vs {})",
+                r.outcome.effective_rounds, b.effective_rounds
+            ));
+        }
+        if r.outcome.ok != b.ok {
+            mismatches.push(format!("{id}: ok flag differs"));
+        }
+        if r.outcome.trace != b.events {
+            mismatches.push(format!(
+                "{id}: trace differs ({} events vs {})",
+                r.outcome.trace.len(),
+                b.events.len()
+            ));
+        }
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_matrix;
+    use crate::registry::ProtocolKind;
+    use crate::spec::ScenarioSpec;
+    use congest_net::topology::Family;
+    use congest_net::FaultPlan;
+
+    fn faulty_results() -> Vec<CellResult> {
+        let specs =
+            vec![
+                ScenarioSpec::new("flood-cycle-faulty", Family::Cycle, ProtocolKind::Flood)
+                    .sizes([24])
+                    .seeds([1, 2])
+                    .faults(FaultPlan::new(5).drop_probability(0.1).crash(3, 2)),
+            ];
+        run_matrix(&specs).unwrap()
+    }
+
+    #[test]
+    fn serialize_parse_round_trips() {
+        let results = faulty_results();
+        let text = serialize(&results);
+        let baseline = parse(&text).unwrap();
+        assert_eq!(baseline.len(), results.len());
+        assert!(compare(&results, &baseline).is_empty());
+        // The trace genuinely recorded fault events.
+        assert!(results.iter().any(|r| !r.outcome.trace.is_empty()));
+    }
+
+    #[test]
+    fn compare_flags_divergence() {
+        let results = faulty_results();
+        let mut baseline = parse(&serialize(&results)).unwrap();
+        baseline[0].metrics.classical_messages += 1;
+        let mismatches = compare(&results, &baseline);
+        assert_eq!(mismatches.len(), 1);
+        assert!(mismatches[0].contains("metrics differ"));
+        assert!(compare(&results, &baseline[1..]).len() == 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces() {
+        assert!(parse("summary classical=1\n").is_err());
+        assert!(parse("cell a\ncell b\n").is_err());
+        assert!(parse("cell a\nsummary classical=1\n").is_err());
+        assert!(parse("nonsense\n").is_err());
+        assert!(parse("cell a\nevent round=1 warp node=2\nend\n").is_err());
+    }
+}

@@ -105,6 +105,29 @@ fn ghs_is_deterministic_and_matches_golden() {
 }
 
 #[test]
+fn adaptive_hybrid_scheduling_is_free_and_pinned() {
+    // With shards > 1, sparse rounds (fewer deliveries than the adaptive
+    // threshold) run sequentially on the calling thread. Flood on Q6 mixes
+    // both regimes: the early/late wavefront rounds are sparse, the peak
+    // round (120 messages) is above the 96-message threshold. The switch
+    // must be invisible in every observable (the golden values) while
+    // genuinely exercising both paths.
+    let graph = topology::hypercube(6).unwrap();
+    let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(9).shards(4), |v, _| {
+        Flood::new(v == 0)
+    });
+    let rounds = runtime.run_until_halt(10_000).unwrap();
+    assert_eq!(rounds, 7);
+    assert_eq!(runtime.metrics().classical_messages, 384);
+    assert_eq!(runtime.metrics().peak_messages_per_round, 120);
+    let adaptive = runtime.adaptive_sequential_rounds();
+    assert!(
+        adaptive >= 1 && adaptive < rounds,
+        "expected a mix of sequential and sharded rounds, got {adaptive}/{rounds} sequential"
+    );
+}
+
+#[test]
 fn flood_golden_is_invariant_across_shard_counts() {
     // The same golden values as `flood_is_deterministic_and_matches_golden`,
     // reproduced byte-for-byte by every shard count in the matrix.

@@ -1,0 +1,171 @@
+//! End-to-end tests of the scenario engine: the acceptance matrix (several
+//! topologies × protocols × fault plans), replay byte-identity at shard
+//! counts 1 and 4, and the spec text format.
+
+use congest_net::topology::Family;
+use congest_net::FaultPlan;
+use sim_harness::{run_matrix, trace, ProtocolKind, ScenarioSpec};
+
+/// A compact version of the committed acceptance matrix: 4 topologies ×
+/// 4 protocols, fault-free plus two distinct fault plans, parameterised by
+/// shard count.
+fn acceptance_specs(shards: usize) -> Vec<ScenarioSpec> {
+    let drop_plan = FaultPlan::new(9).drop_probability(0.05);
+    let chaos_plan = FaultPlan::new(11).link_outage(0, 1, 0, 4).crash(5, 2);
+    vec![
+        ScenarioSpec::new("flood-cycle", Family::Cycle, ProtocolKind::Flood)
+            .sizes([48])
+            .seeds([1, 2])
+            .max_rounds(500)
+            .shards(shards),
+        ScenarioSpec::new("flood-torus-drop", Family::Torus, ProtocolKind::Flood)
+            .sizes([36])
+            .seeds([1])
+            .max_rounds(500)
+            .shards(shards)
+            .faults(drop_plan.clone()),
+        ScenarioSpec::new(
+            "flood-expander-chaos",
+            Family::RandomRegular { degree: 4 },
+            ProtocolKind::Flood,
+        )
+        .sizes([32])
+        .seeds([1])
+        .max_rounds(500)
+        .shards(shards)
+        .faults(chaos_plan.clone()),
+        ScenarioSpec::new("ghs-torus", Family::Torus, ProtocolKind::GhsLe)
+            .sizes([25])
+            .seeds([1])
+            .shards(shards),
+        ScenarioSpec::new("ghs-cycle-drop", Family::Cycle, ProtocolKind::GhsLe)
+            .sizes([32])
+            .seeds([1])
+            .shards(shards)
+            .faults(drop_plan),
+        ScenarioSpec::new("quantum-le", Family::Complete, ProtocolKind::QuantumLe)
+            .sizes([32])
+            .seeds([1])
+            .shards(shards),
+        ScenarioSpec::new(
+            "quantum-le-chaos",
+            Family::Complete,
+            ProtocolKind::QuantumLe,
+        )
+        .sizes([32])
+        .seeds([1])
+        .shards(shards)
+        .faults(chaos_plan),
+        ScenarioSpec::new("cpr-d2-star", Family::Star, ProtocolKind::CprDiameterTwoLe)
+            .sizes([48])
+            .seeds([1])
+            .shards(shards),
+    ]
+}
+
+/// The acceptance criterion: the matrix runs end-to-end, and replay mode
+/// reproduces byte-identical metrics and traces for every cell at shard
+/// counts 1 and 4 — including replaying one shard count's baseline under
+/// the other.
+#[test]
+fn acceptance_matrix_replays_byte_identically_across_shard_counts() {
+    let sequential = run_matrix(&acceptance_specs(1)).unwrap();
+    assert_eq!(sequential.len(), 9);
+    let baseline_text = trace::serialize(&sequential);
+    let baseline = trace::parse(&baseline_text).unwrap();
+
+    // Replay at the same shard count.
+    let replayed = run_matrix(&acceptance_specs(1)).unwrap();
+    assert!(trace::compare(&replayed, &baseline).is_empty());
+
+    // Cross-shard replay: the sharded engine must reproduce the sequential
+    // baseline byte-for-byte (fault decisions happen at the deterministic
+    // barrier merge).
+    let sharded = run_matrix(&acceptance_specs(4)).unwrap();
+    let mismatches = trace::compare(&sharded, &baseline);
+    assert!(
+        mismatches.is_empty(),
+        "sharded run diverged from sequential baseline:\n{}",
+        mismatches.join("\n")
+    );
+    assert_eq!(trace::serialize(&sharded), baseline_text);
+
+    // The matrix genuinely exercised the fault plane.
+    let total_dropped: u64 = sequential
+        .iter()
+        .map(|r| r.outcome.metrics.dropped_messages)
+        .sum();
+    let total_crashed: u64 = sequential
+        .iter()
+        .map(|r| r.outcome.metrics.crashed_nodes)
+        .max()
+        .unwrap();
+    assert!(total_dropped > 0, "no drops recorded");
+    assert!(total_crashed > 0, "no crashes recorded");
+    assert!(sequential.iter().any(|r| !r.outcome.trace.is_empty()));
+    // Fault-free cells stay pristine.
+    assert!(sequential
+        .iter()
+        .filter(|r| r.cell.faults.is_empty())
+        .all(|r| r.outcome.metrics.dropped_messages == 0 && r.outcome.trace.is_empty()));
+}
+
+/// The committed example specs under `examples/scenarios/` stay loadable
+/// and expand to the advertised acceptance shape (≥ 3 topologies × ≥ 3
+/// protocols × fault-free + ≥ 2 fault plans).
+#[test]
+fn committed_example_specs_cover_the_acceptance_shape() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let specs = sim_harness::load_specs(&dir).unwrap();
+    let cells = sim_harness::expand(&specs);
+    assert!(cells.len() >= 20, "committed matrix too small");
+
+    let mut topologies: Vec<&str> = specs
+        .iter()
+        .map(|s| sim_harness::topology_name(s.topology))
+        .collect();
+    topologies.sort_unstable();
+    topologies.dedup();
+    assert!(topologies.len() >= 3, "topologies: {topologies:?}");
+
+    let mut protocols: Vec<&str> = specs.iter().map(|s| s.protocol.name()).collect();
+    protocols.sort_unstable();
+    protocols.dedup();
+    assert!(protocols.len() >= 3, "protocols: {protocols:?}");
+
+    let mut fault_plans: Vec<&FaultPlan> = specs
+        .iter()
+        .map(|s| &s.faults)
+        .filter(|f| !f.is_empty())
+        .collect();
+    assert!(
+        specs.iter().any(|s| s.faults.is_empty()),
+        "need fault-free cells"
+    );
+    fault_plans.dedup();
+    assert!(fault_plans.len() >= 2, "need >= 2 distinct fault plans");
+}
+
+/// The committed specs run end-to-end and replay byte-identically (the
+/// in-process version of the CI scenario-smoke job).
+#[test]
+fn committed_example_specs_run_and_replay() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let specs = sim_harness::load_specs(&dir).unwrap();
+    let results = run_matrix(&specs).unwrap();
+    let baseline = trace::parse(&trace::serialize(&results)).unwrap();
+    let replayed = run_matrix(&specs).unwrap();
+    assert!(trace::compare(&replayed, &baseline).is_empty());
+    let table = sim_harness::results_table(&results);
+    assert_eq!(table.lines().count(), results.len() + 1);
+}
+
+/// Builder specs survive the text round-trip, so a builder-driven matrix
+/// can be saved as `.scn` files and reloaded identically.
+#[test]
+fn builder_specs_round_trip_through_text() {
+    for spec in acceptance_specs(0) {
+        let parsed = ScenarioSpec::parse_many(&spec.to_text()).unwrap();
+        assert_eq!(parsed, vec![spec]);
+    }
+}
