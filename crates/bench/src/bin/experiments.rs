@@ -63,7 +63,7 @@ fn run_network_bench() {
     println!(
         "network_core round-engine benchmark (n = {n}, {runs} timed runs each, \
          {workers} pool worker(s), sharded engine uses {} shards)\n",
-        network_bench::BENCH_SHARDS
+        network_bench::bench_shards()
     );
     let threshold = gate::speedup_threshold("BENCH_NETWORK_MIN_SPEEDUP");
     let (records, aggregate) = gate::measure_best_of(threshold, || {
@@ -98,7 +98,7 @@ fn run_network_bench() {
         }
         seen
     };
-    let sharded = format!("csr-mt{}", network_bench::BENCH_SHARDS);
+    let sharded = format!("csr-mt{}", network_bench::bench_shards());
     for label in labels {
         let of = |engine: &str| {
             records
@@ -134,7 +134,7 @@ fn run_network_bench() {
         println!(
             "flood aggregate (all topologies): {:.2}x speedup ({sharded} vs csr; needs >= {} cores to scale)",
             csr_total as f64 / sharded_total as f64,
-            network_bench::BENCH_SHARDS
+            network_bench::bench_shards()
         );
     }
     let json = network_bench::to_json(&records);
@@ -325,6 +325,21 @@ USAGE:
         [--replay <dir>]                     re-run and assert byte-identical metrics + traces
                                              against <dir>/traces.txt instead of writing output
     experiments --help                       this text
+
+ENVIRONMENT:
+    CONGEST_SHARDS=<k>               worker shards for auto-configured networks
+                                     (default 1 = sequential; metrics and traces
+                                     are byte-identical for every k)
+    RAYON_NUM_THREADS=<t>            thread-pool size for sweeps, scenario cells,
+                                     and sharded rounds (default: available cores)
+    BENCH_SHARDS=<k>                 shard count for the csr-mt bench records
+                                     (default 4; --bench-network only)
+    BENCH_NETWORK_MIN_SPEEDUP=<x>    fail --bench-network if the aggregate
+                                     csr-vs-legacy flood speedup drops below x
+                                     (CI sets 3.0; unset = record only)
+    BENCH_QUANTUM_MIN_SPEEDUP=<x>    fail --bench-quantum if the aggregate
+                                     soa-vs-legacy speedup drops below x
+                                     (CI sets 1.3; unset = record only)
 
 Scenario cells honour CONGEST_SHARDS; traces recorded at one shard count replay
 byte-identically at any other (the deterministic barrier-merge invariant)."

@@ -1,5 +1,5 @@
 //! Round-engine throughput measurement: modern CSR engine (sequential and
-//! sharded) vs the frozen [`legacy`](crate::legacy) engine, plus GHS as a
+//! sharded) vs the frozen [`legacy`] engine, plus GHS as a
 //! heavier protocol load.
 //!
 //! Used two ways:
@@ -49,8 +49,23 @@ pub fn standard_topologies(n: usize) -> Vec<(String, Graph)> {
     ]
 }
 
-/// Number of worker shards used for the sharded-engine benchmark records.
+/// Default number of worker shards for the sharded-engine benchmark records
+/// (see [`bench_shards`]).
 pub const BENCH_SHARDS: usize = 4;
+
+/// Number of worker shards used for the sharded-engine benchmark records:
+/// the `BENCH_SHARDS` environment variable if set to a positive integer,
+/// otherwise [`BENCH_SHARDS`] (4). Lets a multi-core host probe scaling
+/// without a rebuild; the CI gate only reads the sequential records, so the
+/// knob cannot weaken the speedup floor.
+#[must_use]
+pub fn bench_shards() -> usize {
+    std::env::var("BENCH_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&k| k > 0)
+        .unwrap_or(BENCH_SHARDS)
+}
 
 /// One flood run on the modern engine; returns `(rounds, messages)`.
 #[must_use]
@@ -164,11 +179,12 @@ pub fn measure_all(n: usize, runs: u32) -> Vec<BenchRecord> {
                 ns_per_run: ns,
             });
         };
+        let shards = bench_shards();
         push("flood", "csr", time_runs(runs, || flood_modern(&graph)));
         push(
             "flood",
-            &format!("csr-mt{BENCH_SHARDS}"),
-            time_runs(runs, || flood_sharded(&graph, BENCH_SHARDS)),
+            &format!("csr-mt{shards}"),
+            time_runs(runs, || flood_sharded(&graph, shards)),
         );
         push("flood", "legacy", time_runs(runs, || flood_legacy(&graph)));
         push("ghs", "csr", time_runs(runs, || ghs_modern(&graph, 1)));

@@ -7,6 +7,15 @@
 //! edge per cluster, match clusters, merge); the only difference is step 1,
 //! where every node probes **all** of its incident edges to find outgoing
 //! ones instead of Grover-searching its neighbourhood.
+//!
+//! The cluster-probe phase (step 1) is **inbox-driven**: nodes answer only
+//! the queries that actually arrived and propose only edges whose replies
+//! they actually received, and crashed nodes neither query nor reply. Under
+//! an installed [`FaultPlan`](congest_net::FaultPlan) this genuinely changes
+//! which clusters merge — control flow, not just counters. The later phases
+//! (convergecast, matching, merge bookkeeping) still run off driver-side
+//! tree state, so their sends are charged but their decisions are
+//! fault-oblivious; a fully inbox-driven GHS is a ROADMAP follow-on.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -95,6 +104,10 @@ impl LeaderElection for GhsLe {
         let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let max_phases = (n.max(2) as f64).log2().ceil() as usize + 2;
         let mut effective_rounds = 0u64;
+        // Reusable scratch for reading inboxes back in step 1, and for the
+        // per-sender query dedup of the reply round.
+        let mut inbox_scratch = Vec::new();
+        let mut query_scratch: Vec<(NodeId, u64)> = Vec::new();
 
         for _phase in 0..max_phases {
             let mut clusters: Vec<u64> = cluster_of.clone();
@@ -106,23 +119,71 @@ impl LeaderElection for GhsLe {
 
             // Step 1: every node probes *all* incident edges for outgoing ones
             // (this is the Θ(m)-per-phase step the quantum protocol avoids).
+            //
+            // This phase is **inbox-driven**, not omniscient: a node answers
+            // only the queries that actually arrived, and proposes only
+            // edges whose replies it actually received — so drops, outages,
+            // latency, and crashes genuinely change which clusters merge
+            // (the later tree bookkeeping stays driver-side; see the module
+            // docs). On a fault-free run the messages, rounds, and proposal
+            // choices are byte-identical to the omniscient formulation:
+            // inboxes deliver in ascending sender order, which is exactly
+            // the neighbour order the old scan used.
             let mut proposals: Vec<Option<(NodeId, NodeId)>> = vec![None; n];
             for (v, &cluster) in cluster_of.iter().enumerate() {
+                if net.node_crashed(v) {
+                    continue;
+                }
                 for &w in graph.neighbors(v) {
                     net.send(v, w, GhsMessage::ClusterQuery(cluster))?;
                 }
             }
             net.advance_round();
-            for v in 0..n {
-                for &w in graph.neighbors(v) {
-                    let outgoing = cluster_of[w] != cluster_of[v];
-                    net.send(w, v, GhsMessage::ClusterReply(outgoing))?;
-                    if outgoing && proposals[v].is_none() {
-                        proposals[v] = Some((v, w));
+            for (w, &own_cluster) in cluster_of.iter().enumerate() {
+                if net.node_crashed(w) {
+                    continue;
+                }
+                net.swap_inbox(w, &mut inbox_scratch);
+                // One reply per querying neighbour, answering the freshest
+                // query (the last in delivery order). Today the inbox can
+                // hold at most one query per neighbour — queries travel only
+                // on the direct edge, the CONGEST rule admits one message
+                // per directed edge per round, and constant per-link latency
+                // preserves FIFO with at most one maturing message per
+                // barrier (pinned by the fault-plane latency sweep) — but
+                // deduplicating keeps a double `send` on one edge (an
+                // `EdgeBusy` abort) impossible even if a future fault model
+                // adds jittered latency.
+                query_scratch.clear();
+                for &(v, _port, msg) in inbox_scratch.iter() {
+                    if let GhsMessage::ClusterQuery(c) = msg {
+                        match query_scratch.iter_mut().find(|(from, _)| *from == v) {
+                            Some(entry) => entry.1 = c,
+                            None => query_scratch.push((v, c)),
+                        }
                     }
+                }
+                for &(v, c) in query_scratch.iter() {
+                    net.send(w, v, GhsMessage::ClusterReply(c != own_cluster))?;
                 }
             }
             net.advance_round();
+            for (v, proposal) in proposals.iter_mut().enumerate() {
+                if net.node_crashed(v) {
+                    continue;
+                }
+                net.swap_inbox(v, &mut inbox_scratch);
+                // The lowest-port outgoing reply wins, matching the old
+                // neighbour-order scan on the fault-free path.
+                let mut best: Option<(usize, NodeId)> = None;
+                for &(w, port, msg) in inbox_scratch.iter() {
+                    if msg == GhsMessage::ClusterReply(true) && best.is_none_or(|(bp, _)| port < bp)
+                    {
+                        best = Some((port, w));
+                    }
+                }
+                *proposal = best.map(|(_, w)| (v, w));
+            }
             effective_rounds += 2;
 
             // Step 1b: convergecast one proposal per cluster to its centre.

@@ -1,18 +1,28 @@
 //! The fault-injection plane: declarative, seeded fault plans consulted at
 //! the round barrier.
 //!
-//! A [`FaultPlan`] describes three fault classes, all deterministic for a
+//! A [`FaultPlan`] describes five fault classes, all deterministic for a
 //! given plan:
 //!
 //! * **seeded message drops** — every delivered message is dropped with a
 //!   fixed probability, decided by a dedicated PRNG stream derived from the
 //!   plan's seed (never from the nodes' private streams, so installing a
 //!   plan does not perturb protocol randomness);
-//! * **per-link outage windows** — all messages crossing a given undirected
-//!   link during a half-open round window `[from, until)` are dropped;
+//! * **per-link outage windows** — all messages *sent* on a given undirected
+//!   link during a half-open round window `[from, until)` are dropped
+//!   (outages are judged at the send round: a latency-delayed message
+//!   already in flight when a window opens is not retroactively lost);
+//! * **per-link latency** — messages crossing a given undirected link are
+//!   delivered a fixed number of rounds late, which reorders them relative
+//!   to traffic on faster links (the delivery queue spans rounds; see
+//!   below);
 //! * **crash-stop nodes** — from its crash round on, a node performs no
 //!   computation ([`SyncRuntime`](crate::runtime::SyncRuntime) skips its
-//!   callbacks) and every message from or to it is dropped.
+//!   callbacks) and every message from or to it is dropped;
+//! * **crash-recovery windows** — a node is down during `[from, until)` and
+//!   resumes at round `until` with whatever state its
+//!   [`NodeProgram::on_recover`](crate::runtime::NodeProgram::on_recover)
+//!   hook reconstructs (the default keeps the pre-crash state).
 //!
 //! # Determinism and the barrier merge
 //!
@@ -23,9 +33,14 @@
 //! (the deterministic barrier-merge invariant of the crate docs), so the
 //! drop PRNG stream, every fault decision, the fault counters in
 //! [`Metrics`](crate::Metrics), and the emitted [`TraceEvent`]s are
-//! byte-identical for every shard count too. The workspace fault-plane test
-//! suite pins this, together with the stronger property that installing an
-//! *empty* plan leaves a run byte-identical to the pristine fault-free path.
+//! byte-identical for every shard count too. Messages delayed by link
+//! latency are parked on a cross-round heap keyed by
+//! `(due round, delivery-order sequence number)` — the sequence number is
+//! assigned in that same deterministic delivery order, so the drain order at
+//! a later barrier is also byte-identical for every shard count. The
+//! workspace fault-plane test suite pins this, together with the stronger
+//! property that installing an *empty* plan leaves a run byte-identical to
+//! the pristine fault-free path.
 //!
 //! # Round numbering
 //!
@@ -33,14 +48,19 @@
 //! [`RoundContext::round`](crate::runtime::RoundContext) numbering of the
 //! runtime: messages queued by round-`r` callbacks are judged with fault
 //! clock `r`, and a node with crash round `r` executes nothing from round
-//! `r` on. [`Network::skip_rounds`](crate::Network::skip_rounds) advances
-//! the fault clock by the skipped amount, so outage windows stay aligned
-//! with protocol round numbers for the quantum subroutines too.
+//! `r` on. A node with a recovery window `[from, until)` executes again from
+//! round `until` on; messages that would be observed exactly at round
+//! `until` were addressed to the pre-reboot incarnation and are dropped
+//! (`ReceiverCrashed`), so a recovering node always starts from an empty
+//! inbox. [`Network::skip_rounds`](crate::Network::skip_rounds) advances the
+//! fault clock by the skipped amount, so outage windows, latencies, and
+//! crash rounds stay aligned with protocol round numbers for the quantum
+//! subroutines too.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::graph::NodeId;
+use crate::graph::{NodeId, Port};
 use crate::metrics::MetricsRecorder;
 
 /// A declarative fault schedule for one network execution. Built with the
@@ -48,16 +68,42 @@ use crate::metrics::MetricsRecorder;
 /// [`Network::set_fault_plan`](crate::Network::set_fault_plan) (or
 /// [`SyncRuntime::set_fault_plan`](crate::runtime::SyncRuntime::set_fault_plan))
 /// before the first round.
+///
+/// ```
+/// use congest_net::FaultPlan;
+///
+/// // Drop 5% of messages, take link {0, 1} down for rounds 2..10, delay
+/// // link {2, 3} by 3 rounds, crash node 7 for good at round 4, and crash
+/// // node 5 at round 1 with recovery at round 6.
+/// let plan = FaultPlan::new(9)
+///     .drop_probability(0.05)
+///     .link_outage(0, 1, 2, 10)
+///     .link_latency(2, 3, 3)
+///     .crash(7, 4)
+///     .crash_recover(5, 1, 6);
+/// assert!(!plan.is_empty());
+/// assert_eq!(plan.latencies().len(), 1);
+/// assert_eq!(plan.crashes().len(), 2);
+///
+/// // A freshly seeded plan injects nothing; installing it is byte-identical
+/// // to installing no plan at all.
+/// assert!(FaultPlan::new(9).is_empty());
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     seed: u64,
     drop_probability: f64,
     outages: Vec<LinkOutage>,
+    latencies: Vec<LinkLatency>,
     crashes: Vec<CrashPoint>,
 }
 
-/// An outage window on one undirected link: every message crossing the link
-/// (in either direction) during rounds `from_round..until_round` is dropped.
+/// An outage window on one undirected link: every message *sent* on the
+/// link (in either direction) during rounds `from_round..until_round` is
+/// dropped. The window is judged at the send round, so on a link that also
+/// has a [`LinkLatency`] fault, a message sent before the window opens is
+/// delivered at its due barrier even if its flight time overlaps the
+/// window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkOutage {
     /// One endpoint of the link.
@@ -70,22 +116,41 @@ pub struct LinkOutage {
     pub until_round: u64,
 }
 
-/// A crash-stop fault: `node` executes nothing from `round` on, and every
-/// message from or to it is dropped.
+/// A latency fault on one undirected link: every message crossing the link
+/// (in either direction) is delivered `delay_rounds` rounds later than
+/// normal, in both directions, for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkLatency {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint of the link.
+    pub b: NodeId,
+    /// Extra delivery delay in rounds (`0` behaves like no entry at all).
+    pub delay_rounds: u64,
+}
+
+/// A crash fault: `node` executes nothing during `round..recover_round` and
+/// every message from or to it in that window is dropped. A
+/// `recover_round` of `u64::MAX` is a classic crash-stop; a finite one is a
+/// crash-recovery window, after which the node executes again (its program
+/// state is whatever [`NodeProgram::on_recover`](crate::runtime::NodeProgram::on_recover)
+/// reconstructs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPoint {
     /// The crashing node.
     pub node: NodeId,
     /// The first round the node no longer participates in.
     pub round: u64,
+    /// The first round the node participates in again (`u64::MAX` = never).
+    pub recover_round: u64,
 }
 
 impl FaultPlan {
     /// An empty plan whose drop PRNG stream is derived from `seed`.
     ///
-    /// An empty plan (no drops, no outages, no crashes) is byte-identical to
-    /// running without a plan at all — pinned by the workspace fault-plane
-    /// suite.
+    /// An empty plan (no drops, no outages, no latencies, no crashes) is
+    /// byte-identical to running without a plan at all — pinned by the
+    /// workspace fault-plane suite.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         FaultPlan {
@@ -114,17 +179,53 @@ impl FaultPlan {
         self
     }
 
-    /// Adds a crash-stop fault: `node` stops participating at `round`.
+    /// Adds a latency fault: every message crossing the undirected link
+    /// `{a, b}` is delivered `delay_rounds` rounds late. A delay of `0` is
+    /// ignored (it would behave exactly like no entry).
+    #[must_use]
+    pub fn link_latency(mut self, a: NodeId, b: NodeId, delay_rounds: u64) -> Self {
+        if delay_rounds > 0 {
+            self.latencies.push(LinkLatency { a, b, delay_rounds });
+        }
+        self
+    }
+
+    /// Adds a crash-stop fault: `node` stops participating at `round` and
+    /// never comes back.
     #[must_use]
     pub fn crash(mut self, node: NodeId, round: u64) -> Self {
-        self.crashes.push(CrashPoint { node, round });
+        self.crashes.push(CrashPoint {
+            node,
+            round,
+            recover_round: u64::MAX,
+        });
+        self
+    }
+
+    /// Adds a crash-recovery fault: `node` is down during rounds
+    /// `round..recover_round` and resumes (with
+    /// [`NodeProgram::on_recover`](crate::runtime::NodeProgram::on_recover)-reconstructed
+    /// state) at `recover_round`. An empty window (`recover_round <= round`)
+    /// is ignored.
+    #[must_use]
+    pub fn crash_recover(mut self, node: NodeId, round: u64, recover_round: u64) -> Self {
+        if recover_round > round {
+            self.crashes.push(CrashPoint {
+                node,
+                round,
+                recover_round,
+            });
+        }
         self
     }
 
     /// Whether the plan injects no faults at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.drop_probability == 0.0 && self.outages.is_empty() && self.crashes.is_empty()
+        self.drop_probability == 0.0
+            && self.outages.is_empty()
+            && self.latencies.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// The seed of the dedicated drop PRNG stream.
@@ -145,7 +246,13 @@ impl FaultPlan {
         &self.outages
     }
 
-    /// The configured crash-stop faults.
+    /// The configured link latency faults.
+    #[must_use]
+    pub fn latencies(&self) -> &[LinkLatency] {
+        &self.latencies
+    }
+
+    /// The configured crash faults (crash-stop and crash-recovery).
     #[must_use]
     pub fn crashes(&self) -> &[CrashPoint] {
         &self.crashes
@@ -157,7 +264,7 @@ impl FaultPlan {
 pub enum DropCause {
     /// The sender had crashed by the send round.
     SenderCrashed,
-    /// The receiver has crashed by the delivery round.
+    /// The receiver is down (or rebooting) at the delivery round.
     ReceiverCrashed,
     /// The link was inside an outage window.
     LinkOutage,
@@ -202,9 +309,19 @@ pub enum TraceEvent {
         /// The crashed node.
         node: NodeId,
     },
+    /// A node reached the end of its crash-recovery window and executes
+    /// again from this round on.
+    NodeRecovered {
+        /// The recovery round (the first round the node participates in
+        /// again).
+        round: u64,
+        /// The recovered node.
+        node: NodeId,
+    },
     /// A message was dropped at the delivery barrier.
     MessageDropped {
-        /// The send round of the dropped message.
+        /// The send round of the dropped message (for latency-delayed
+        /// messages dropped at their due barrier: the due round).
         round: u64,
         /// The sending node.
         from: NodeId,
@@ -213,6 +330,53 @@ pub enum TraceEvent {
         /// Why the message was dropped.
         cause: DropCause,
     },
+    /// A message was parked on the cross-round delivery heap by a link
+    /// latency fault.
+    MessageDelayed {
+        /// The send round of the delayed message.
+        round: u64,
+        /// The sending node.
+        from: NodeId,
+        /// The intended recipient.
+        to: NodeId,
+        /// Extra delivery delay in rounds beyond the normal next-round
+        /// delivery.
+        delay: u64,
+    },
+}
+
+/// The fate of one judged message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Deliver at this barrier, as usual.
+    Deliver,
+    /// Park on the cross-round heap; deliver this many rounds late.
+    Delay(u64),
+    /// Drop, for the given cause.
+    Drop(DropCause),
+}
+
+/// A per-node, read-only window onto the installed fault plan's crash
+/// schedule, handed to [`RoundContext`](crate::runtime::RoundContext) so
+/// node programs can observe which of their neighbours are currently down.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NeighborFaultView<'a> {
+    /// The querying node's neighbour list (indexed by port).
+    pub(crate) neighbors: &'a [NodeId],
+    /// Per-node first down round (`u64::MAX` = never crashes).
+    pub(crate) down_from: &'a [u64],
+    /// Per-node recovery round (`u64::MAX` = crash-stop).
+    pub(crate) down_until: &'a [u64],
+    /// The fault clock of the round being executed.
+    pub(crate) clock: u64,
+}
+
+impl NeighborFaultView<'_> {
+    /// Whether the neighbour behind `port` is down at the current round.
+    pub(crate) fn neighbor_failed(&self, port: Port) -> bool {
+        let u = self.neighbors[port];
+        self.down_from[u] <= self.clock && self.clock < self.down_until[u]
+    }
 }
 
 /// The network's live fault machinery, instantiated from a [`FaultPlan`]
@@ -223,14 +387,25 @@ pub(crate) struct FaultState {
     /// Dedicated drop stream; `Some` iff the drop probability is positive,
     /// so plans without random drops consume no randomness at all.
     rng: Option<StdRng>,
-    /// Crash round per node (`u64::MAX` = never crashes).
-    crash_round: Vec<u64>,
-    /// Crash faults sorted by `(round, node)`, for event emission and the
+    /// First down round per node (`u64::MAX` = never crashes).
+    down_from: Vec<u64>,
+    /// Recovery round per node (`u64::MAX` = crash-stop; meaningful only
+    /// where `down_from` is finite).
+    down_until: Vec<u64>,
+    /// Crash events sorted by `(round, node)`, for event emission and the
     /// monotone crashed-node count.
     crash_events: Vec<(u64, NodeId)>,
     /// Index of the first crash event not yet reached by the clock.
     next_crash: usize,
+    /// Recovery events sorted by `(round, node)`, for event emission.
+    recover_events: Vec<(u64, NodeId)>,
+    /// Index of the first recovery event not yet reached by the clock.
+    next_recover: usize,
     outages: Vec<LinkOutage>,
+    /// Per-link latency faults (entries with in-range endpoints only).
+    latencies: Vec<LinkLatency>,
+    /// Next delivery-order sequence number for the cross-round heap.
+    next_seq: u64,
     /// The fault clock: the round whose sends the next barrier judges.
     /// Starts at 0 (the runtime's start-up round) and advances with every
     /// barrier and every skipped round.
@@ -239,76 +414,169 @@ pub(crate) struct FaultState {
 
 impl FaultState {
     pub(crate) fn new(plan: &FaultPlan, n: usize) -> Self {
-        let mut crash_round = vec![u64::MAX; n];
+        let mut down_from = vec![u64::MAX; n];
+        let mut down_until = vec![u64::MAX; n];
         // Entries for nodes outside the graph are ignored, so one plan can
-        // be reused across a scenario's size sweep.
+        // be reused across a scenario's size sweep. When several entries
+        // name the same node, the earliest window wins (ties: the shorter
+        // one) — one window per node keeps the schedule unambiguous.
         for c in plan.crashes.iter().filter(|c| c.node < n) {
-            crash_round[c.node] = crash_round[c.node].min(c.round);
+            if (c.round, c.recover_round) < (down_from[c.node], down_until[c.node]) {
+                down_from[c.node] = c.round;
+                down_until[c.node] = c.recover_round;
+            }
         }
-        let mut crash_events: Vec<(u64, NodeId)> = crash_round
+        let mut crash_events: Vec<(u64, NodeId)> = down_from
             .iter()
             .enumerate()
             .filter(|&(_, &r)| r != u64::MAX)
             .map(|(v, &r)| (r, v))
             .collect();
         crash_events.sort_unstable();
+        let mut recover_events: Vec<(u64, NodeId)> = down_until
+            .iter()
+            .enumerate()
+            .filter(|&(v, &r)| r != u64::MAX && down_from[v] < r)
+            .map(|(v, &r)| (r, v))
+            .collect();
+        recover_events.sort_unstable();
         FaultState {
             drop_probability: plan.drop_probability,
             rng: (plan.drop_probability > 0.0).then(|| StdRng::seed_from_u64(plan.seed)),
-            crash_round,
+            down_from,
+            down_until,
             crash_events,
             next_crash: 0,
+            recover_events,
+            next_recover: 0,
             outages: plan
                 .outages
                 .iter()
                 .filter(|o| o.a < n && o.b < n)
                 .copied()
                 .collect(),
+            latencies: plan
+                .latencies
+                .iter()
+                .filter(|l| l.a < n && l.b < n)
+                .copied()
+                .collect(),
+            next_seq: 0,
             clock: 0,
         }
     }
 
-    /// Whether `v` has crashed as of the current fault clock.
-    pub(crate) fn node_crashed(&self, v: NodeId) -> bool {
-        self.crash_round[v] <= self.clock
+    /// Whether `v` is down (crashed and not yet recovered) at round `round`.
+    pub(crate) fn down_at(&self, v: NodeId, round: u64) -> bool {
+        self.down_from[v] <= round && round < self.down_until[v]
     }
 
-    /// The per-node crash rounds (for handing shard views a read-only
-    /// window).
-    pub(crate) fn crash_rounds(&self) -> &[u64] {
-        &self.crash_round
+    /// Whether `v` has crashed as of the current fault clock.
+    pub(crate) fn node_crashed(&self, v: NodeId) -> bool {
+        self.down_at(v, self.clock)
+    }
+
+    /// Whether `v` is down at the current clock and never recovers.
+    pub(crate) fn node_permanently_down(&self, v: NodeId) -> bool {
+        self.node_crashed(v) && self.down_until[v] == u64::MAX
+    }
+
+    /// Whether the current round is exactly `v`'s recovery round (the round
+    /// the runtime must call
+    /// [`NodeProgram::on_recover`](crate::runtime::NodeProgram::on_recover)
+    /// instead of the ordinary round callback).
+    pub(crate) fn node_recovered_this_round(&self, v: NodeId) -> bool {
+        self.down_until[v] == self.clock && self.down_from[v] < self.clock
+    }
+
+    /// The per-node down windows, for handing shard views (and round
+    /// contexts) a read-only view.
+    pub(crate) fn down_windows(&self) -> (&[u64], &[u64]) {
+        (&self.down_from, &self.down_until)
+    }
+
+    /// Whether a message observed at round `round` reaches `v`: a node is
+    /// unreachable while down **and** at its recovery round itself (a
+    /// delivery at the reboot instant was addressed to the pre-crash
+    /// incarnation), so a recovering node always starts from an empty
+    /// inbox.
+    pub(crate) fn unreachable_at(&self, v: NodeId, round: u64) -> bool {
+        self.down_from[v] <= round && round <= self.down_until[v]
+    }
+
+    /// The next delivery-order sequence number for the cross-round heap.
+    pub(crate) fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Decides the fate of one message sent from `from` to `to` this round.
     /// Consulted once per pending message, in delivery order; the drop PRNG
     /// is only consumed for messages no structural fault already dropped.
-    pub(crate) fn judge(&mut self, from: NodeId, to: NodeId) -> Option<DropCause> {
-        if self.crash_round[from] <= self.clock {
-            return Some(DropCause::SenderCrashed);
+    ///
+    /// For latency-free links this is byte-identical (including PRNG
+    /// consumption) to the pre-latency fault plane; a latency verdict is
+    /// only reached by messages that survived every drop check, and the
+    /// receiver-crash check for those is deferred to the due barrier
+    /// ([`judge_delayed`](FaultState::judge_delayed)), because the receiver
+    /// that matters is the one alive at *delivery* time.
+    pub(crate) fn judge(&mut self, from: NodeId, to: NodeId) -> Verdict {
+        if self.down_at(from, self.clock) {
+            return Verdict::Drop(DropCause::SenderCrashed);
         }
-        // Delivery happens one round after the send: a receiver crashing at
-        // the delivery round never observes the message.
-        if self.crash_round[to] <= self.clock + 1 {
-            return Some(DropCause::ReceiverCrashed);
+        let delay = self.link_delay(from, to);
+        // Delivery happens one round after the send: a receiver down at the
+        // delivery round never observes the message. Delayed messages are
+        // re-judged at their actual delivery barrier instead.
+        if delay == 0 && self.unreachable_at(to, self.clock + 1) {
+            return Verdict::Drop(DropCause::ReceiverCrashed);
         }
         for o in &self.outages {
             let on_link = (o.a == from && o.b == to) || (o.a == to && o.b == from);
             if on_link && o.from_round <= self.clock && self.clock < o.until_round {
-                return Some(DropCause::LinkOutage);
+                return Verdict::Drop(DropCause::LinkOutage);
             }
         }
         if let Some(rng) = self.rng.as_mut() {
             if rng.gen::<f64>() < self.drop_probability {
-                return Some(DropCause::RandomDrop);
+                return Verdict::Drop(DropCause::RandomDrop);
             }
         }
-        None
+        if delay > 0 {
+            return Verdict::Delay(delay);
+        }
+        Verdict::Deliver
     }
 
-    /// Emits [`TraceEvent::NodeCrashed`] for every crash the clock has
-    /// reached (covering rounds jumped over by `skip_rounds` too) and
-    /// refreshes the monotone crashed-node counter.
-    pub(crate) fn emit_crashes(
+    /// Decides the fate of a latency-delayed message popped from the
+    /// cross-round heap at its due barrier: only the receiver-crash check
+    /// remains (sender crash, outages, and the drop lottery were all judged
+    /// at the send barrier).
+    pub(crate) fn judge_delayed(&self, to: NodeId) -> Option<DropCause> {
+        self.unreachable_at(to, self.clock + 1)
+            .then_some(DropCause::ReceiverCrashed)
+    }
+
+    /// The configured extra delay for the link `{from, to}` (0 = none; the
+    /// first matching entry wins).
+    fn link_delay(&self, from: NodeId, to: NodeId) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        self.latencies
+            .iter()
+            .find(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
+            .map_or(0, |l| l.delay_rounds)
+    }
+
+    /// Emits [`TraceEvent::NodeCrashed`] / [`TraceEvent::NodeRecovered`] for
+    /// every crash and recovery the clock has reached (covering rounds
+    /// jumped over by `skip_rounds` too) and refreshes the monotone
+    /// crashed-node counter. The counter counts crash *events* observed, so
+    /// a crash-recovery node still counts as one crash even after it
+    /// resumes.
+    pub(crate) fn emit_transitions(
         &mut self,
         recorder: &mut MetricsRecorder,
         trace: &mut Vec<TraceEvent>,
@@ -324,6 +592,15 @@ impl FaultState {
             self.next_crash += 1;
         }
         recorder.totals.crashed_nodes = self.next_crash as u64;
+        while self.next_recover < self.recover_events.len()
+            && self.recover_events[self.next_recover].0 <= self.clock
+        {
+            let (round, node) = self.recover_events[self.next_recover];
+            if trace_enabled {
+                trace.push(TraceEvent::NodeRecovered { round, node });
+            }
+            self.next_recover += 1;
+        }
     }
 }
 
@@ -340,7 +617,7 @@ mod tests {
             state.clock = round;
             for v in 0..8 {
                 assert!(!state.node_crashed(v));
-                assert_eq!(state.judge(v, (v + 1) % 8), None);
+                assert_eq!(state.judge(v, (v + 1) % 8), Verdict::Deliver);
             }
         }
     }
@@ -354,33 +631,121 @@ mod tests {
         // One round before the crash: sends from 2 still pass, but messages
         // *to* 2 are already lost (they would arrive at round 3).
         assert!(!state.node_crashed(2));
-        assert_eq!(state.judge(2, 0), None);
-        assert_eq!(state.judge(0, 2), Some(DropCause::ReceiverCrashed));
+        assert_eq!(state.judge(2, 0), Verdict::Deliver);
+        assert_eq!(state.judge(0, 2), Verdict::Drop(DropCause::ReceiverCrashed));
         state.clock = 3;
         assert!(state.node_crashed(2));
-        assert_eq!(state.judge(2, 0), Some(DropCause::SenderCrashed));
+        assert!(state.node_permanently_down(2));
+        assert_eq!(state.judge(2, 0), Verdict::Drop(DropCause::SenderCrashed));
+    }
+
+    #[test]
+    fn crash_recovery_window_restores_participation() {
+        let plan = FaultPlan::new(0).crash_recover(1, 2, 5);
+        let mut state = FaultState::new(&plan, 4);
+        // Down rounds [2, 5): sends from 1 dropped, messages to 1 dropped.
+        for round in 2..5 {
+            state.clock = round;
+            assert!(state.node_crashed(1), "round {round}");
+            assert!(!state.node_permanently_down(1));
+            assert_eq!(
+                state.judge(1, 0),
+                Verdict::Drop(DropCause::SenderCrashed),
+                "round {round}"
+            );
+        }
+        // A delivery observed exactly at the recovery round is lost (the
+        // reboot discards it), so round-4 sends to node 1 are dropped even
+        // though node 1 computes at round 5.
+        state.clock = 4;
+        assert_eq!(state.judge(0, 1), Verdict::Drop(DropCause::ReceiverCrashed));
+        // At the recovery round the node computes and sends again.
+        state.clock = 5;
+        assert!(!state.node_crashed(1));
+        assert!(state.node_recovered_this_round(1));
+        assert_eq!(state.judge(1, 0), Verdict::Deliver);
+        assert_eq!(state.judge(0, 1), Verdict::Deliver);
+        state.clock = 6;
+        assert!(!state.node_recovered_this_round(1));
+    }
+
+    #[test]
+    fn empty_recovery_windows_are_ignored() {
+        let plan = FaultPlan::new(0)
+            .crash_recover(1, 5, 5)
+            .crash_recover(2, 6, 3);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn earliest_window_wins_for_duplicate_crash_entries() {
+        let plan = FaultPlan::new(0).crash(1, 7).crash_recover(1, 2, 4);
+        let mut state = FaultState::new(&plan, 4);
+        state.clock = 2;
+        assert!(state.node_crashed(1));
+        state.clock = 4;
+        assert!(!state.node_crashed(1), "the earlier window recovers at 4");
+        state.clock = 7;
+        assert!(!state.node_crashed(1), "the later crash-stop entry lost");
     }
 
     #[test]
     fn outage_window_is_half_open_and_bidirectional() {
         let plan = FaultPlan::new(0).link_outage(1, 2, 2, 4);
         let mut state = FaultState::new(&plan, 4);
-        for (round, expect) in [(1, None), (2, Some(DropCause::LinkOutage)), (4, None)] {
+        for (round, expect) in [
+            (1, Verdict::Deliver),
+            (2, Verdict::Drop(DropCause::LinkOutage)),
+            (4, Verdict::Deliver),
+        ] {
             state.clock = round;
             assert_eq!(state.judge(1, 2), expect, "round {round}");
             assert_eq!(state.judge(2, 1), expect, "round {round} reversed");
         }
         state.clock = 3;
-        assert_eq!(state.judge(2, 1), Some(DropCause::LinkOutage));
+        assert_eq!(state.judge(2, 1), Verdict::Drop(DropCause::LinkOutage));
         // Other links are untouched.
-        assert_eq!(state.judge(0, 1), None);
+        assert_eq!(state.judge(0, 1), Verdict::Deliver);
+    }
+
+    #[test]
+    fn latency_defers_delivery_in_both_directions() {
+        let plan = FaultPlan::new(0).link_latency(0, 1, 3);
+        assert!(!plan.is_empty());
+        let mut state = FaultState::new(&plan, 4);
+        assert_eq!(state.judge(0, 1), Verdict::Delay(3));
+        assert_eq!(state.judge(1, 0), Verdict::Delay(3));
+        assert_eq!(state.judge(1, 2), Verdict::Deliver);
+        assert_eq!(state.take_seq(), 0);
+        assert_eq!(state.take_seq(), 1);
+    }
+
+    #[test]
+    fn zero_delay_latency_is_dropped_at_plan_level() {
+        assert!(FaultPlan::new(0).link_latency(0, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn delayed_judgement_checks_receiver_at_due_round() {
+        let plan = FaultPlan::new(0).link_latency(0, 1, 4).crash(1, 3);
+        let mut state = FaultState::new(&plan, 4);
+        // Send at round 0 survives the send barrier (latency wins over the
+        // nominal receiver check)…
+        assert_eq!(state.judge(0, 1), Verdict::Delay(4));
+        // …but at the due barrier (clock 4, observed round 5) node 1 has
+        // crashed, so the delayed message is dropped.
+        state.clock = 4;
+        assert_eq!(state.judge_delayed(1), Some(DropCause::ReceiverCrashed));
+        assert_eq!(state.judge_delayed(2), None);
     }
 
     #[test]
     fn random_drops_are_seed_deterministic() {
         let stream = |seed: u64| -> Vec<bool> {
             let mut state = FaultState::new(&FaultPlan::new(seed).drop_probability(0.5), 2);
-            (0..64).map(|_| state.judge(0, 1).is_some()).collect()
+            (0..64)
+                .map(|_| state.judge(0, 1) != Verdict::Deliver)
+                .collect()
         };
         assert_eq!(stream(9), stream(9));
         assert_ne!(stream(9), stream(10));
@@ -393,10 +758,31 @@ mod tests {
         let plan = FaultPlan::new(0)
             .crash(100, 0)
             .link_outage(0, 100, 0, u64::MAX)
+            .link_latency(0, 100, 5)
             .drop_probability(0.0);
         let mut state = FaultState::new(&plan, 4);
-        assert_eq!(state.judge(0, 1), None);
+        assert_eq!(state.judge(0, 1), Verdict::Deliver);
         assert!(!state.node_crashed(0));
+    }
+
+    #[test]
+    fn neighbor_fault_view_reports_down_neighbors() {
+        let plan = FaultPlan::new(0).crash_recover(2, 1, 3);
+        let state = FaultState::new(&plan, 4);
+        let (down_from, down_until) = state.down_windows();
+        let neighbors = [1usize, 2, 3];
+        let view = |clock| NeighborFaultView {
+            neighbors: &neighbors,
+            down_from,
+            down_until,
+            clock,
+        };
+        assert!(!view(0).neighbor_failed(1));
+        assert!(view(1).neighbor_failed(1), "node 2 (port 1) is down");
+        assert!(view(2).neighbor_failed(1));
+        assert!(!view(3).neighbor_failed(1), "recovered at round 3");
+        assert!(!view(1).neighbor_failed(0));
+        assert!(!view(1).neighbor_failed(2));
     }
 
     #[test]

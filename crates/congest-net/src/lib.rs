@@ -63,7 +63,7 @@
 //!
 //! [`Network`] owns one reusable `pending` buffer and one inbox `Vec` per
 //! node (cleared via a dirty list, capacity retained).
-//! [`SyncRuntime`](runtime::SyncRuntime) owns its delivery and outbox
+//! [`SyncRuntime`] owns its delivery and outbox
 //! scratch and rotates inbox storage through [`Network::swap_inbox`], so
 //! driving `n` programs allocates nothing once capacities have warmed up;
 //! halted nodes with empty inboxes are skipped outright.
@@ -75,7 +75,7 @@
 //!
 //! ## 4. Sharded round execution with a deterministic barrier merge
 //!
-//! [`SyncRuntime`](runtime::SyncRuntime) can execute a round with `k`
+//! [`SyncRuntime`] can execute a round with `k`
 //! worker shards on the `rayon` shim's persistent thread pool
 //! ([`NetworkConfig::shards`], or the `CONGEST_SHARDS` environment variable;
 //! `k = 1` — the default — is exactly the sequential path above). Nodes are
@@ -118,22 +118,43 @@
 //!
 //! ## 5. Fault injection at the barrier
 //!
-//! A [`FaultPlan`](fault::FaultPlan) (seeded per-message drops, per-link
-//! outage windows, crash-stop nodes) can be installed on any network
-//! ([`Network::set_fault_plan`]). All fault decisions are made inside
-//! [`Network::advance_round`] in **delivery order** — exactly the
-//! deterministic merge order of §4 — so a faulty run is byte-identical for
-//! every shard count, and for a fixed plan it is exactly as reproducible as
-//! a fault-free one. Dropped messages count as sent (the sender paid for
-//! them) and are tallied separately in [`Metrics::dropped_messages`];
-//! crashed nodes are skipped by both round engines and counted in
-//! [`Metrics::crashed_nodes`]. An optional round-stamped
-//! [trace sink](Network::enable_trace) records every fault event, which is
-//! what the scenario engine's replay mode re-verifies.
+//! A [`FaultPlan`] (seeded per-message drops, per-link outage windows,
+//! per-link latency, crash-stop nodes, and crash-recovery windows) can be
+//! installed on any network ([`Network::set_fault_plan`]). All fault
+//! decisions are made inside [`Network::advance_round`] in **delivery
+//! order** — exactly the deterministic merge order of §4 — so a faulty run
+//! is byte-identical for every shard count, and for a fixed plan it is
+//! exactly as reproducible as a fault-free one. Dropped messages count as
+//! sent (the sender paid for them) and are tallied separately in
+//! [`Metrics::dropped_messages`]; crashed nodes are skipped by both round
+//! engines and counted in [`Metrics::crashed_nodes`]. An optional
+//! round-stamped [trace sink](Network::enable_trace) records every fault
+//! event, which is what the scenario engine's replay mode re-verifies.
+//!
+//! Latency faults make the delivery queue **span rounds**: delayed messages
+//! are parked on a heap keyed by `(due round, delivery-order sequence
+//! number)` and drained at their due barrier in that order. Both the park
+//! decision and the sequence number are assigned in delivery order, so the
+//! cross-round drain order is byte-identical for every shard count too —
+//! the shard-invariance invariant survives cross-round delivery (pinned by
+//! the fault-plane suite's latency goldens and property tests).
+//!
+//! Faults are **protocol-visible**, not just metric-visible:
+//! [`runtime::RoundContext::failed_neighbors`] is a perfect failure
+//! detector fed by the fault clock, and
+//! [`runtime::NodeProgram::on_recover`] is invoked (instead of the round
+//! callback) when a crash-recovery window ends, so node programs can
+//! implement genuinely fault-tolerant variants —
+//! [`programs::FloodFt`] is the reference example.
 //!
 //! **Invariant:** without an installed plan, delivery takes the untouched
 //! fast path of §3 — and installing an *empty* plan is byte-identical to
 //! installing none (pinned by the workspace fault-plane suite).
+//!
+//! `docs/ARCHITECTURE.md` in the repository root consolidates this section
+//! with the scenario-engine and state-vector architecture notes into one
+//! narrative; treat the invariants stated here as the authoritative ones
+//! for this crate.
 //!
 //! # Example
 //!
@@ -168,7 +189,7 @@ pub mod topology;
 pub mod walks;
 
 pub use error::Error;
-pub use fault::{CrashPoint, DropCause, FaultPlan, LinkOutage, TraceEvent};
+pub use fault::{CrashPoint, DropCause, FaultPlan, LinkLatency, LinkOutage, TraceEvent};
 pub use graph::{EdgeId, Graph, NodeId, Port};
 pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};

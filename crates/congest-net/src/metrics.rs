@@ -7,7 +7,7 @@
 //! configurations (Section 3.1); the simulator realises this by running the
 //! representative configuration of each quantum subroutine iteration and
 //! charging its messages to the dedicated *quantum* meter while a
-//! [`quantum scope`](crate::Network::enter_quantum_scope) is active.
+//! [`quantum scope`](crate::Network::quantum_scope) is active.
 
 /// Cumulative counters for one protocol execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,8 +27,14 @@ pub struct Metrics {
     /// installed [`FaultPlan`](crate::fault::FaultPlan); dropped messages are
     /// still counted as sent by the message counters above).
     pub dropped_messages: u64,
-    /// Nodes whose crash round the execution has reached (monotone; always 0
-    /// without a fault plan).
+    /// Messages parked on the cross-round delivery heap by a link-latency
+    /// fault (always 0 without a fault plan; delayed messages still count as
+    /// sent, and as dropped too if a crash catches them before their due
+    /// round).
+    pub delayed_messages: u64,
+    /// Nodes whose crash round the execution has reached (monotone; counts
+    /// crash *events*, so a crash-recovery node stays counted after it
+    /// resumes; always 0 without a fault plan).
     pub crashed_nodes: u64,
 }
 
@@ -56,6 +62,7 @@ impl Metrics {
             .max(other.peak_messages_per_round);
         self.total_bits += other.total_bits;
         self.dropped_messages += other.dropped_messages;
+        self.delayed_messages += other.delayed_messages;
         // Sub-executions of one protocol share the network's node set, so
         // the crashed count is a maximum, not a sum.
         self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
@@ -79,10 +86,10 @@ pub struct RoundReport {
 
 /// Per-shard send counters for the sharded round engine.
 ///
-/// Worker shards cannot touch the network's [`MetricsRecorder`] concurrently,
+/// Worker shards cannot touch the network's `MetricsRecorder` concurrently,
 /// so each shard counts its own sends here and the recorder absorbs the
 /// shards **in shard order** at the round barrier
-/// ([`MetricsRecorder::absorb_shard`]). All fields are plain sums, so the
+/// (`MetricsRecorder::absorb_shard`). All fields are plain sums, so the
 /// merged totals are byte-identical to what the sequential engine records —
 /// this is the "mergeable counters" half of the deterministic-merge
 /// invariant documented in `congest_net`'s crate docs.
@@ -145,6 +152,12 @@ impl MetricsRecorder {
     pub(crate) fn record_drop(&mut self) {
         self.totals.dropped_messages += 1;
         self.current_round_dropped += 1;
+    }
+
+    /// Counts one message parked on the cross-round delivery heap by a
+    /// link-latency fault.
+    pub(crate) fn record_delay(&mut self) {
+        self.totals.delayed_messages += 1;
     }
 
     /// Absorbs (and resets) one shard's per-round counters into the current
@@ -289,6 +302,7 @@ mod tests {
             peak_messages_per_round: 4,
             total_bits: 90,
             dropped_messages: 2,
+            delayed_messages: 4,
             crashed_nodes: 3,
         };
         let b = Metrics {
@@ -298,6 +312,7 @@ mod tests {
             peak_messages_per_round: 6,
             total_bits: 10,
             dropped_messages: 5,
+            delayed_messages: 1,
             crashed_nodes: 1,
         };
         a.absorb(&b);
@@ -307,6 +322,7 @@ mod tests {
         assert_eq!(a.peak_messages_per_round, 6);
         assert_eq!(a.total_bits, 100);
         assert_eq!(a.dropped_messages, 7);
+        assert_eq!(a.delayed_messages, 5);
         // Crashed nodes are a shared-node-set maximum, not a sum.
         assert_eq!(a.crashed_nodes, 3);
     }

@@ -11,7 +11,7 @@
 //!   not O(n).
 //! * The CONGEST one-message-per-directed-edge rule is enforced by a
 //!   **round-stamped** `Vec<u64>` indexed by the graph's directed
-//!   [`EdgeId`](crate::graph::EdgeId)s: an edge is busy iff its stamp equals
+//!   [`EdgeId`]s: an edge is busy iff its stamp equals
 //!   the current round stamp, so there is no hashing and nothing to clear
 //!   between rounds.
 //! * The arrival port of every message is resolved at *send* time through the
@@ -19,14 +19,54 @@
 //!   [`SyncRuntime`](crate::runtime::SyncRuntime)) never scan adjacency
 //!   lists.
 
+use std::collections::BinaryHeap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::error::Error;
-use crate::fault::{FaultPlan, FaultState, TraceEvent};
+use crate::fault::{FaultPlan, FaultState, NeighborFaultView, TraceEvent, Verdict};
 use crate::graph::{EdgeId, Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
 use crate::metrics::{Metrics, MetricsRecorder, RoundReport, ShardCounters};
+
+/// One message parked on the cross-round delivery heap by a link-latency
+/// fault. Ordered by `(due, seq)` only — `seq` is assigned in the
+/// deterministic barrier delivery order, so heap drain order is
+/// byte-identical for every shard count and never inspects the payload.
+#[derive(Debug)]
+struct DelayedMsg<M> {
+    /// The fault-clock value of the barrier this message matures at.
+    due: u64,
+    /// Delivery-order sequence number (unique, so the order is total).
+    seq: u64,
+    from: NodeId,
+    port: Port,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for DelayedMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+
+impl<M> Eq for DelayedMsg<M> {}
+
+impl<M> PartialOrd for DelayedMsg<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for DelayedMsg<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, and the earliest (due, seq)
+        // must pop first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
 
 /// Configuration of a [`Network`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +209,11 @@ pub struct Network<M: Payload> {
     /// [`FaultPlan`](crate::fault::FaultPlan) is installed; `None` (the
     /// default) keeps delivery on the pristine fault-free path.
     faults: Option<FaultState>,
+    /// Messages parked by link-latency faults, keyed by
+    /// `(due fault-clock, delivery-order seq)` and drained at the barrier
+    /// whose clock reaches their due value. Always empty without latency
+    /// faults.
+    delayed: BinaryHeap<DelayedMsg<M>>,
     /// Whether the trace sink records events (off by default; when off the
     /// sink is never touched).
     trace_enabled: bool,
@@ -221,6 +266,7 @@ impl<M: Payload> Network<M> {
             shard_pending: (0..shards).map(|_| Vec::new()).collect(),
             shard_counters: vec![ShardCounters::default(); shards],
             faults: None,
+            delayed: BinaryHeap::new(),
             trace_enabled: false,
             trace: Vec::new(),
             delivered_last_round: 0,
@@ -266,8 +312,9 @@ impl<M: Payload> Network<M> {
         std::mem::take(&mut self.trace)
     }
 
-    /// Whether node `v` has crashed (per the installed fault plan) as of the
-    /// round currently executing. Always `false` without a fault plan.
+    /// Whether node `v` is down (crashed and not yet recovered, per the
+    /// installed fault plan) as of the round currently executing. Always
+    /// `false` without a fault plan.
     ///
     /// # Panics
     ///
@@ -275,6 +322,63 @@ impl<M: Payload> Network<M> {
     #[must_use]
     pub fn node_crashed(&self, v: NodeId) -> bool {
         self.faults.as_ref().is_some_and(|f| f.node_crashed(v))
+    }
+
+    /// Whether node `v` is down as of the current round **and never
+    /// recovers** — what "counts as halted" means to
+    /// [`SyncRuntime::all_halted`](crate::runtime::SyncRuntime::all_halted):
+    /// a node inside a crash-recovery window will participate again, so
+    /// waiting for it is not a livelock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn node_permanently_down(&self, v: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.node_permanently_down(v))
+    }
+
+    /// Whether the round currently executing is exactly node `v`'s recovery
+    /// round — the round where the runtime calls
+    /// [`NodeProgram::on_recover`](crate::runtime::NodeProgram::on_recover)
+    /// instead of the ordinary round callback. Always `false` without a
+    /// fault plan.
+    ///
+    /// The gate is exact: if [`skip_rounds`](Network::skip_rounds) jumps
+    /// *over* the recovery round, the reboot instant was never executed and
+    /// this query never reports it (the node simply resumes with whatever
+    /// state it had; the `NodeRecovered` trace event still surfaces at the
+    /// next barrier). The [`SyncRuntime`](crate::runtime::SyncRuntime) —
+    /// the only caller that drives `on_recover` — never skips rounds, so
+    /// this only concerns drivers that mix `skip_rounds` with their own
+    /// recovery handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn node_recovered_this_round(&self, v: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.node_recovered_this_round(v))
+    }
+
+    /// Splits the borrows a [`RoundContext`](crate::runtime::RoundContext)
+    /// needs for node `v`: the node's private RNG stream (mutable) plus a
+    /// read-only neighbour-fault view (`None` without a fault plan).
+    pub(crate) fn ctx_parts(&mut self, v: NodeId) -> (&mut StdRng, Option<NeighborFaultView<'_>>) {
+        let faults = self.faults.as_ref().map(|f| {
+            let (down_from, down_until) = f.down_windows();
+            NeighborFaultView {
+                neighbors: self.graph.neighbors(v),
+                down_from,
+                down_until,
+                clock: f.clock,
+            }
+        });
+        (&mut self.node_rngs[v], faults)
     }
 
     /// Messages delivered (sent minus dropped) at the last
@@ -504,17 +608,54 @@ impl<M: Payload> Network<M> {
     /// byte-identical for every shard count, so fault decisions (and the
     /// dedicated drop PRNG stream) are too. Kept out of line so the
     /// fault-free hot path pays one branch for the whole feature.
+    ///
+    /// Latency-delayed messages that matured (their due clock reached,
+    /// possibly jumped over by [`skip_rounds`](Network::skip_rounds)) are
+    /// delivered **first**, in `(due, seq)` order — they were sent in
+    /// earlier rounds — then this round's pending messages are judged.
     #[inline(never)]
     fn deliver_with_faults(&mut self) {
         let mut faults = self.faults.take().expect("fault state present");
-        faults.emit_crashes(&mut self.recorder, &mut self.trace, self.trace_enabled);
+        faults.emit_transitions(&mut self.recorder, &mut self.trace, self.trace_enabled);
         let mut delivered = 0usize;
+        while let Some(entry) = self.delayed.peek() {
+            if entry.due > faults.clock {
+                break;
+            }
+            let DelayedMsg {
+                from,
+                port,
+                to,
+                msg,
+                ..
+            } = self.delayed.pop().expect("peeked entry present");
+            match faults.judge_delayed(to) {
+                Some(cause) => {
+                    self.recorder.record_drop();
+                    if self.trace_enabled {
+                        self.trace.push(TraceEvent::MessageDropped {
+                            round: faults.clock,
+                            from,
+                            to,
+                            cause,
+                        });
+                    }
+                }
+                None => {
+                    if self.inboxes[to].is_empty() {
+                        self.dirty_inboxes.push(to);
+                    }
+                    self.inboxes[to].push((from, port, msg));
+                    delivered += 1;
+                }
+            }
+        }
         let mut pending = std::mem::take(&mut self.pending);
         let mut queue = 0usize;
         loop {
             for (from, port, to, msg) in pending.drain(..) {
                 match faults.judge(from, to) {
-                    Some(cause) => {
+                    Verdict::Drop(cause) => {
                         self.recorder.record_drop();
                         if self.trace_enabled {
                             self.trace.push(TraceEvent::MessageDropped {
@@ -525,7 +666,26 @@ impl<M: Payload> Network<M> {
                             });
                         }
                     }
-                    None => {
+                    Verdict::Delay(delay) => {
+                        self.recorder.record_delay();
+                        if self.trace_enabled {
+                            self.trace.push(TraceEvent::MessageDelayed {
+                                round: faults.clock,
+                                from,
+                                to,
+                                delay,
+                            });
+                        }
+                        self.delayed.push(DelayedMsg {
+                            due: faults.clock + delay,
+                            seq: faults.take_seq(),
+                            from,
+                            port,
+                            to,
+                            msg,
+                        });
+                    }
+                    Verdict::Deliver => {
                         if self.inboxes[to].is_empty() {
                             self.dirty_inboxes.push(to);
                         }
@@ -562,9 +722,15 @@ impl<M: Payload> Network<M> {
         );
         self.round_stamp += rounds;
         if let Some(faults) = self.faults.as_mut() {
-            // Keep outage windows and crash rounds aligned with protocol
-            // round numbers; crashes inside the skipped window surface (as
-            // events and in the crashed-node count) at the next barrier.
+            // Keep outage windows, latencies, and crash rounds aligned with
+            // protocol round numbers; crashes/recoveries inside the skipped
+            // window surface (as events and in the crashed-node count) at
+            // the next barrier, and latency-delayed messages whose due round
+            // falls inside it are delivered — late — at the next barrier
+            // too. A recovery round jumped over is never *executed* though:
+            // `node_recovered_this_round` gates on exact equality (see its
+            // docs), so skipping past it means the node resumes silently
+            // with its pre-crash state.
             faults.clock += rounds;
         }
         self.recorder.record_idle_rounds(rounds);
@@ -665,8 +831,8 @@ impl<M: Payload> Network<M> {
         let graph = &self.graph;
         let boundaries = &self.boundaries;
         let shards = boundaries.len() - 1;
-        let (crash_rounds, fault_clock) = match self.faults.as_ref() {
-            Some(f) => (Some(f.crash_rounds()), f.clock),
+        let (down_windows, fault_clock) = match self.faults.as_ref() {
+            Some(f) => (Some(f.down_windows()), f.clock),
             None => (None, 0),
         };
         let mut inboxes = self.inboxes.as_mut_slice();
@@ -688,7 +854,7 @@ impl<M: Payload> Network<M> {
                 graph,
                 node_lo,
                 edge_lo,
-                crash_rounds: crash_rounds.map(|c| &c[node_lo..node_hi]),
+                down_windows,
                 fault_clock,
                 round_stamp: self.round_stamp,
                 enforce_congest: self.config.enforce_congest,
@@ -716,9 +882,12 @@ pub struct ShardView<'a, M: Payload> {
     node_lo: NodeId,
     /// First directed edge id owned by this shard (`first_edge_id(node_lo)`).
     edge_lo: EdgeId,
-    /// This shard's window onto the fault plan's per-node crash rounds
-    /// (`None` when no plan is installed).
-    crash_rounds: Option<&'a [u64]>,
+    /// The fault plan's full per-node down windows `(down_from, down_until)`
+    /// (`None` when no plan is installed). The **whole** arrays, not a shard
+    /// slice: [`RoundContext::failed_neighbors`](crate::runtime::RoundContext::failed_neighbors)
+    /// must see neighbours that live in other shards, and the arrays are
+    /// immutable for the duration of a round, so sharing them is free.
+    down_windows: Option<(&'a [u64], &'a [u64])>,
     /// The fault clock at view creation (the round being executed).
     fault_clock: u64,
     round_stamp: u64,
@@ -763,17 +932,51 @@ impl<M: Payload> ShardView<'_, M> {
         self.inboxes[v - self.node_lo].is_empty()
     }
 
-    /// Whether node `v` has crashed (per the installed fault plan) as of the
-    /// round being executed — the sharded mirror of
-    /// [`Network::node_crashed`]. Always `false` without a fault plan.
+    /// Whether node `v` is down (crashed and not yet recovered, per the
+    /// installed fault plan) as of the round being executed — the sharded
+    /// mirror of [`Network::node_crashed`]. Always `false` without a fault
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn node_crashed(&self, v: NodeId) -> bool {
+        self.down_windows
+            .is_some_and(|(from, until)| from[v] <= self.fault_clock && self.fault_clock < until[v])
+    }
+
+    /// Whether the round being executed is exactly node `v`'s recovery
+    /// round — the sharded mirror of [`Network::node_recovered_this_round`].
+    /// Always `false` without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn node_recovered_this_round(&self, v: NodeId) -> bool {
+        self.down_windows
+            .is_some_and(|(from, until)| until[v] == self.fault_clock && from[v] < until[v])
+    }
+
+    /// Splits the borrows a [`RoundContext`](crate::runtime::RoundContext)
+    /// needs for node `v`: the node's private RNG stream (mutable) plus a
+    /// read-only neighbour-fault view — the sharded mirror of
+    /// `Network::ctx_parts`.
     ///
     /// # Panics
     ///
     /// Panics if `v` is outside this shard's node range.
-    #[must_use]
-    pub fn node_crashed(&self, v: NodeId) -> bool {
-        self.crash_rounds
-            .is_some_and(|c| c[v - self.node_lo] <= self.fault_clock)
+    pub(crate) fn ctx_parts(&mut self, v: NodeId) -> (&mut StdRng, Option<NeighborFaultView<'_>>) {
+        let faults = self
+            .down_windows
+            .map(|(down_from, down_until)| NeighborFaultView {
+                neighbors: self.graph.neighbors(v),
+                down_from,
+                down_until,
+                clock: self.fault_clock,
+            });
+        (&mut self.rngs[v - self.node_lo], faults)
     }
 
     /// Exchanges node `v`'s inbox with `scratch`, exactly like

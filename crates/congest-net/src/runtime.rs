@@ -25,7 +25,7 @@
 use rand::rngs::StdRng;
 
 use crate::error::Error;
-use crate::fault::{FaultPlan, TraceEvent};
+use crate::fault::{FaultPlan, NeighborFaultView, TraceEvent};
 use crate::graph::{Graph, NodeId, Port};
 use crate::message::Payload;
 use crate::metrics::Metrics;
@@ -54,6 +54,35 @@ pub struct RoundContext<'a> {
     pub rng: &'a mut StdRng,
     /// The value of the shared coin this round, if the network has one.
     pub shared_coin: Option<f64>,
+    /// The installed fault plan's crash schedule, for the failure-detector
+    /// queries below (`None` without a plan).
+    pub(crate) faults: Option<NeighborFaultView<'a>>,
+}
+
+impl RoundContext<'_> {
+    /// Whether the neighbour behind local `port` is currently down, per the
+    /// installed fault plan — the **perfect failure detector** the runtime
+    /// offers to fault-tolerant protocols: it reports exactly the nodes that
+    /// are down *this round* (a node inside its crash-recovery window is
+    /// reported down; from its recovery round on it is reported up again).
+    /// Always `false` without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree`.
+    #[must_use]
+    pub fn neighbor_failed(&self, port: Port) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.neighbor_failed(port))
+    }
+
+    /// The ports whose neighbours are currently down (see
+    /// [`neighbor_failed`](RoundContext::neighbor_failed)), in ascending
+    /// port order. Empty without a fault plan.
+    pub fn failed_neighbors(&self) -> impl Iterator<Item = Port> + '_ {
+        (0..self.degree).filter(|&p| self.neighbor_failed(p))
+    }
 }
 
 /// Messages queued by a node for delivery at the end of the current round.
@@ -123,11 +152,32 @@ pub trait NodeProgram: Send {
         outbox: &mut Outbox<Self::Msg>,
     );
 
+    /// Called instead of [`on_round`](NodeProgram::on_round) at the node's
+    /// recovery round, when the installed
+    /// [`FaultPlan`] has a crash-recovery window
+    /// for this node (see
+    /// [`FaultPlan::crash_recover`](crate::fault::FaultPlan::crash_recover)).
+    ///
+    /// The node rebooted: whatever this hook leaves in `self` is the state
+    /// the node resumes with, and the messages it queues in `outbox` are its
+    /// first sends. The default implementation keeps the pre-crash state and
+    /// sends nothing — protocols that model a genuine reboot should reset
+    /// their fields to the initial state here. The node's inbox is
+    /// guaranteed empty at this point: messages that would have been
+    /// observed at the recovery round were addressed to the pre-reboot
+    /// incarnation and were dropped at the barrier.
+    fn on_recover(&mut self, ctx: &mut RoundContext<'_>, outbox: &mut Outbox<Self::Msg>) {
+        let _ = (ctx, outbox);
+    }
+
     /// Whether this node has terminated. The runtime stops when every node
     /// has halted (or the round limit is reached).
     ///
-    /// A halted node must stay halted and send nothing; the runtime relies
-    /// on this to skip halted nodes whose inboxes are empty.
+    /// A halted node must send nothing and stay halted *as long as its inbox
+    /// stays empty* — the runtime relies on this to skip halted nodes whose
+    /// inboxes are empty. Receiving a message may legitimately un-halt a
+    /// node (fault-tolerant protocols use this to serve retransmission
+    /// requests from recovered neighbours).
     fn halted(&self) -> bool;
 }
 
@@ -205,6 +255,27 @@ fn run_shard_round<P: NodeProgram>(
     let node_lo = view.first_node();
     for (offset, program) in programs.iter_mut().enumerate() {
         let v = node_lo + offset;
+        // Same recovery rule as the sequential engine: at its recovery
+        // round a rebooted node runs `on_recover` instead of the ordinary
+        // callback (its inbox is empty — the barrier dropped everything
+        // addressed to the pre-crash incarnation).
+        if view.node_recovered_this_round(v) {
+            let degree = view.graph().degree(v);
+            let (rng, faults) = view.ctx_parts(v);
+            let mut ctx = RoundContext {
+                node: v,
+                degree,
+                round,
+                rng,
+                shared_coin,
+                faults,
+            };
+            program.on_recover(&mut ctx, &mut scratch.outbox);
+            for (port, msg) in scratch.outbox.msgs.drain(..) {
+                view.send_through_port(v, port, msg)?;
+            }
+            continue;
+        }
         // Same crash rule as the sequential engine: a crashed node computes
         // nothing and its inbox is kept empty by the barrier.
         if view.node_crashed(v) {
@@ -212,12 +283,14 @@ fn run_shard_round<P: NodeProgram>(
         }
         let degree = view.graph().degree(v);
         if start {
+            let (rng, faults) = view.ctx_parts(v);
             let mut ctx = RoundContext {
                 node: v,
                 degree,
                 round,
-                rng: view.rng(v),
+                rng,
                 shared_coin,
+                faults,
             };
             program.on_start(&mut ctx, &mut scratch.outbox);
         } else {
@@ -239,12 +312,14 @@ fn run_shard_round<P: NodeProgram>(
                         .map(|(_, port, msg)| (port, msg)),
                 );
             }
+            let (rng, faults) = view.ctx_parts(v);
             let mut ctx = RoundContext {
                 node: v,
                 degree,
                 round,
-                rng: view.rng(v),
+                rng,
                 shared_coin,
+                faults,
             };
             program.on_round(&mut ctx, &scratch.incoming, &mut scratch.outbox);
         }
@@ -374,18 +449,22 @@ impl<P: NodeProgram> SyncRuntime<P> {
             self.adaptive_sequential_rounds += 1;
         }
         let shared = self.shared_value();
+        // (No recovery check here: a crash-recovery window `[from, until)`
+        // needs `from < until`, so no node can recover at round 0.)
         for v in 0..self.programs.len() {
             if self.net.node_crashed(v) {
                 continue;
             }
             let degree = self.net.graph().degree(v);
             {
+                let (rng, faults) = self.net.ctx_parts(v);
                 let mut ctx = RoundContext {
                     node: v,
                     degree,
                     round: 0,
-                    rng: self.net.rng(v),
+                    rng,
                     shared_coin: shared,
+                    faults,
                 };
                 self.programs[v].on_start(&mut ctx, &mut self.outbox);
             }
@@ -422,6 +501,29 @@ impl<P: NodeProgram> SyncRuntime<P> {
         // Per-node body mirrored in `run_shard_round` (kept as two textually
         // parallel copies for hot-loop codegen; see the note there).
         for v in 0..self.programs.len() {
+            // A rebooted node runs `on_recover` instead of the ordinary
+            // callback at its recovery round (its inbox is empty — the
+            // barrier dropped everything addressed to the pre-crash
+            // incarnation).
+            if self.net.node_recovered_this_round(v) {
+                let degree = self.net.graph().degree(v);
+                {
+                    let (rng, faults) = self.net.ctx_parts(v);
+                    let mut ctx = RoundContext {
+                        node: v,
+                        degree,
+                        round: self.round,
+                        rng,
+                        shared_coin: shared,
+                        faults,
+                    };
+                    self.programs[v].on_recover(&mut ctx, &mut self.outbox);
+                }
+                if !self.outbox.is_empty() {
+                    self.flush_outbox(v)?;
+                }
+                continue;
+            }
             let inbox_empty = self.net.inbox(v).is_empty();
             // A halted node sends nothing and, with an empty inbox, observes
             // nothing: skip it without touching any buffer.
@@ -452,12 +554,14 @@ impl<P: NodeProgram> SyncRuntime<P> {
             }
             let degree = self.net.graph().degree(v);
             {
+                let (rng, faults) = self.net.ctx_parts(v);
                 let mut ctx = RoundContext {
                     node: v,
                     degree,
                     round: self.round,
-                    rng: self.net.rng(v),
+                    rng,
                     shared_coin: shared,
+                    faults,
                 };
                 self.programs[v].on_round(&mut ctx, &self.incoming, &mut self.outbox);
             }
@@ -470,16 +574,25 @@ impl<P: NodeProgram> SyncRuntime<P> {
         Ok(())
     }
 
-    /// Whether every node program has halted. A crashed node counts as
-    /// halted: it executes nothing ever again, so waiting on its program
-    /// state would spin [`run_until_halt`](SyncRuntime::run_until_halt)
-    /// through the whole round budget on every crash-stop scenario.
+    /// Whether every node program has halted. A **permanently** crashed
+    /// node counts as halted: it executes nothing ever again, so waiting on
+    /// its program state would spin
+    /// [`run_until_halt`](SyncRuntime::run_until_halt) through the whole
+    /// round budget on every crash-stop scenario. A node inside a
+    /// crash-recovery window does *not* count as halted — it will
+    /// participate again, so the run must continue at least until its
+    /// recovery round.
     #[must_use]
     pub fn all_halted(&self) -> bool {
-        self.programs
-            .iter()
-            .enumerate()
-            .all(|(v, p)| p.halted() || self.net.node_crashed(v))
+        self.programs.iter().enumerate().all(|(v, p)| {
+            if self.net.node_crashed(v) {
+                // Down now: final iff it never comes back. The pre-crash
+                // program state is irrelevant — a recovering node reboots.
+                self.net.node_permanently_down(v)
+            } else {
+                p.halted()
+            }
+        })
     }
 
     /// Consumes the runtime and returns the programs and final metrics.

@@ -2,11 +2,11 @@
 //!
 //! | Protocol | Topology | Message complexity | Paper |
 //! |---|---|---|---|
-//! | [`QuantumLe`](complete::QuantumLe) | complete graphs | `Õ(n^{1/3})` | §5.1, Alg. 1 |
-//! | [`QuantumRwLe`](mixing::QuantumRwLe) | mixing time `τ` | `Õ(τ^{5/3} n^{1/3})` | §5.2, Alg. 2 |
-//! | [`QuantumQwLe`](diameter_two::QuantumQwLe) | diameter 2 | `Õ(n^{2/3})` | §5.3, Alg. 3 |
-//! | [`QuantumGeneralLe`](general::QuantumGeneralLe) | arbitrary | `Õ(√(m·n))` | §5.4 |
-//! | [`QuantumAgreement`](agreement::QuantumAgreement) | complete + shared coin | `Õ(n^{1/5})` expected | §6, Alg. 4 |
+//! | [`QuantumLe`] | complete graphs | `Õ(n^{1/3})` | §5.1, Alg. 1 |
+//! | [`QuantumRwLe`] | mixing time `τ` | `Õ(τ^{5/3} n^{1/3})` | §5.2, Alg. 2 |
+//! | [`QuantumQwLe`] | diameter 2 | `Õ(n^{2/3})` | §5.3, Alg. 3 |
+//! | [`QuantumGeneralLe`] | arbitrary | `Õ(√(m·n))` | §5.4 |
+//! | [`QuantumAgreement`] | complete + shared coin | `Õ(n^{1/5})` expected | §6, Alg. 4 |
 
 pub mod agreement;
 pub mod complete;

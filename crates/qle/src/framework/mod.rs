@@ -4,16 +4,16 @@
 //! node `u` and parameterised by a distributed `Checking` procedure that lets
 //! `u` evaluate a function `f : X → {0, 1}` by exchanging messages:
 //!
-//! * [`distributed_grover_search`](grover::distributed_grover_search) —
+//! * [`distributed_grover_search`] —
 //!   `GroverSearch(ε, α)` (Theorem 4.1),
-//! * [`distributed_approx_count`](counting::distributed_approx_count) —
+//! * [`distributed_approx_count`] —
 //!   `ApproxCount(c, α)` (Corollary 4.3),
-//! * [`distributed_walk_search`](walksearch::distributed_walk_search) —
+//! * [`distributed_walk_search`] —
 //!   `WalkSearch(P, δ, ε, α)` (Theorem 4.4).
 //!
 //! A protocol supplies the `Checking` (and, for walk search, `Setup` and
 //! `Update`) procedures by implementing [`CheckingOracle`] /
-//! [`WalkOracle`](walksearch::WalkOracle); the framework drives the
+//! [`WalkOracle`]; the framework drives the
 //! iteration schedule of the corresponding quantum algorithm, executing the
 //! procedures on the live network inside a
 //! [`quantum scope`](congest_net::Network::quantum_scope) so that their

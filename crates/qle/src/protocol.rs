@@ -8,7 +8,7 @@
 //!   most tests use.
 //! * [`LeaderElection::run_with`] — the configurable entry point the
 //!   scenario engine drives: a [`RunOptions`] injects a
-//!   [`FaultPlan`](congest_net::FaultPlan), pins the shard count, and turns
+//!   [`FaultPlan`], pins the shard count, and turns
 //!   on the network's round-stamped event trace, which comes back in the
 //!   [`TracedRun`] alongside the ordinary report.
 //!
@@ -28,12 +28,18 @@ pub struct RunOptions {
     /// Worker shard count for runtime-driven execution (`0` = auto, the
     /// default — see [`NetworkConfig::shard_count`]).
     pub shards: usize,
-    /// Fault plan to install on the protocol's network, if any. Protocols
-    /// that drive the [`Network`] directly (rather than through per-node
-    /// state machines) keep their driver-side knowledge, so for them faults
-    /// manifest as dropped traffic in the metrics and trace rather than as
-    /// altered control flow; runtime-driven protocols additionally skip
-    /// crashed nodes.
+    /// Fault plan to install on the protocol's network, if any.
+    ///
+    /// How visible the faults are depends on how the protocol reads the
+    /// network. Runtime-driven protocols (`NodeProgram`s) are fully
+    /// inbox-driven: crashed nodes are skipped, recovery hooks fire, and
+    /// control flow reacts to exactly what was delivered. Driver-based
+    /// protocols see faults wherever they read inboxes instead of simulator
+    /// state — the GHS baseline's cluster-probe phase is inbox-driven (so
+    /// faults change which clusters merge), while the quantum subroutine
+    /// drivers remain omniscient and surface faults as dropped/delayed
+    /// traffic in the metrics and trace only (see ROADMAP for the
+    /// remaining rewrites).
     pub fault_plan: Option<FaultPlan>,
     /// Whether to record the round-stamped event trace.
     pub trace: bool,

@@ -12,7 +12,7 @@
 //!
 //! at every domain size, which is what [`success_probability`] computes and
 //! what the distributed protocols sample from. The dense
-//! [`StateVector`](crate::StateVector) simulator is used in tests to confirm
+//! [`StateVector`] simulator is used in tests to confirm
 //! the formula gate-by-gate on small domains.
 //!
 //! The BBHT schedule ([`BbhtSchedule`]) handles the unknown-`t` case exactly

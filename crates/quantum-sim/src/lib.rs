@@ -31,6 +31,10 @@
 //!
 //! # Performance architecture
 //!
+//! (`docs/ARCHITECTURE.md` in the repository root places this section in
+//! the whole-workspace narrative; the invariants stated here are the
+//! authoritative ones for this crate.)
+//!
 //! The dense simulator is the crate's hot path: amplitude-dynamics
 //! validation (Grover iterations, amplitude counting, quantum-walk mixing)
 //! is only informative when it can be pushed to large `dim`. Three design

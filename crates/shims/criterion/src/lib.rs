@@ -306,7 +306,19 @@ mod tests {
         group.warm_up_time(Duration::from_millis(1));
         group.measurement_time(Duration::from_millis(6));
         group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>());
+            // `black_box` on the loop variable keeps LLVM from const-folding
+            // (or closed-forming) the whole workload to a constant, which
+            // would legitimately measure 0ns per iteration and fail the
+            // median assertion below on hosts with a coarse monotonic clock.
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    acc = acc
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(black_box(i));
+                }
+                acc
+            });
         });
         group.finish();
         assert_eq!(c.results().len(), 1);

@@ -11,8 +11,8 @@
 //!   owns them.
 //! * Each task pointer is derived from a distinct `&mut` in the caller's
 //!   slice, so no two threads ever alias the same closure.
-//! * Workers touch a batch's [`Latch`] only *before* releasing its mutex in
-//!   [`Latch::complete`]; the caller cannot observe `remaining == 0` (and
+//! * Workers touch a batch's `Latch` only *before* releasing its mutex in
+//!   `Latch::complete`; the caller cannot observe `remaining == 0` (and
 //!   thus free the latch) until that mutex is released.
 //!
 //! Waiting callers *help*: while their batch is outstanding they pop and run

@@ -144,7 +144,7 @@ pub fn results_table(results: &[CellResult]) -> String {
     let detail = "detail";
     writeln!(
         out,
-        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6}  {detail}",
+        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6}  {detail}",
         "scenario",
         "protocol",
         "topology",
@@ -154,6 +154,7 @@ pub fn results_table(results: &[CellResult]) -> String {
         "rounds",
         "peak/rd",
         "dropped",
+        "delayed",
         "crashed",
         "ok",
     )
@@ -162,7 +163,7 @@ pub fn results_table(results: &[CellResult]) -> String {
         let m = &r.outcome.metrics;
         writeln!(
             out,
-            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6}  {}",
+            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6}  {}",
             r.cell.scenario,
             r.cell.protocol.name(),
             topology_name(r.cell.topology),
@@ -172,6 +173,7 @@ pub fn results_table(results: &[CellResult]) -> String {
             r.outcome.effective_rounds,
             m.peak_messages_per_round,
             m.dropped_messages,
+            m.delayed_messages,
             m.crashed_nodes,
             if r.outcome.ok { "yes" } else { "NO" },
             r.outcome.detail

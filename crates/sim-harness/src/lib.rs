@@ -8,6 +8,11 @@
 //!
 //! # Scenario architecture
 //!
+//! (`docs/ARCHITECTURE.md` in the repository root places this section in
+//! the whole-workspace narrative, and `docs/SCENARIO_FORMAT.md` documents
+//! the full `.scn` grammar; the invariants stated here are the
+//! authoritative ones for this crate.)
+//!
 //! The subsystem is four layers, each usable on its own:
 //!
 //! * **Specs** ([`spec`]) — [`ScenarioSpec`]: a typed builder plus a

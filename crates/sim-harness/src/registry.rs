@@ -9,9 +9,9 @@
 //! [`LeaderElection::run_with`], so every cell honours the scenario's fault
 //! plan, shard count, and trace flag.
 
-use congest_net::programs::Flood;
+use congest_net::programs::{Flood, FloodFt};
 use congest_net::topology::Family;
-use congest_net::{Graph, Metrics, NetworkConfig, SyncRuntime, TraceEvent};
+use congest_net::{Graph, Metrics, NetworkConfig, NodeProgram, SyncRuntime, TraceEvent};
 
 use classical_baselines::{CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe};
 use qle::algorithms::{QuantumLe, QuantumQwLe};
@@ -50,6 +50,10 @@ pub fn topology_name(family: Family) -> &'static str {
 pub enum ProtocolKind {
     /// Single-source flooding (runtime-driven; the pure round-engine load).
     Flood,
+    /// Fault-tolerant single-source flooding with acknowledgements,
+    /// retransmission, and crash-recovery re-requests (runtime-driven and
+    /// inbox-driven: its control flow genuinely depends on the fault plan).
+    FloodFt,
     /// Classical GHS-style tree-merging leader election (arbitrary graphs).
     GhsLe,
     /// `QuantumLE` (complete graphs, `Õ(n^{1/3})` messages).
@@ -65,8 +69,9 @@ pub enum ProtocolKind {
 }
 
 /// Every registered protocol, in registry order.
-pub const ALL_PROTOCOLS: [ProtocolKind; 7] = [
+pub const ALL_PROTOCOLS: [ProtocolKind; 8] = [
     ProtocolKind::Flood,
+    ProtocolKind::FloodFt,
     ProtocolKind::GhsLe,
     ProtocolKind::QuantumLe,
     ProtocolKind::QuantumQwLe,
@@ -81,6 +86,7 @@ impl ProtocolKind {
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::Flood => "flood",
+            ProtocolKind::FloodFt => "flood-ft",
             ProtocolKind::GhsLe => "ghs-le",
             ProtocolKind::QuantumLe => "quantum-le",
             ProtocolKind::QuantumQwLe => "quantum-qw-le",
@@ -111,7 +117,22 @@ impl ProtocolKind {
         max_rounds: u64,
     ) -> Result<CellOutcome, String> {
         match self {
-            ProtocolKind::Flood => run_flood(graph, seed, opts, max_rounds),
+            ProtocolKind::Flood => run_flood(
+                graph,
+                seed,
+                opts,
+                max_rounds,
+                |v, _| Flood::new(v == 0),
+                |p| p.has_token(),
+            ),
+            ProtocolKind::FloodFt => run_flood(
+                graph,
+                seed,
+                opts,
+                max_rounds,
+                |v, d| FloodFt::new(v == 0, d),
+                |p| p.has_token(),
+            ),
             ProtocolKind::GhsLe => run_le(&GhsLe::new(), graph, seed, opts),
             ProtocolKind::QuantumLe => run_le(&QuantumLe::new(), graph, seed, opts),
             ProtocolKind::QuantumQwLe => run_le(&QuantumQwLe::new(), graph, seed, opts),
@@ -139,16 +160,18 @@ pub struct CellOutcome {
     pub trace: Vec<TraceEvent>,
 }
 
-fn run_flood(
+fn run_flood<P: NodeProgram>(
     graph: &Graph,
     seed: u64,
     opts: &RunOptions,
     max_rounds: u64,
+    init: impl FnMut(usize, usize) -> P,
+    covered: impl Fn(&P) -> bool,
 ) -> Result<CellOutcome, String> {
     let mut runtime = SyncRuntime::new(
         graph.clone(),
         NetworkConfig::with_seed(seed).shards(opts.shards),
-        |v, _| Flood::new(v == 0),
+        init,
     );
     if opts.trace {
         runtime.enable_trace();
@@ -169,7 +192,7 @@ fn run_flood(
         .filter(|&v| runtime.network().node_crashed(v))
         .count();
     let reached = (0..n)
-        .filter(|&v| runtime.programs()[v].has_token() && !runtime.network().node_crashed(v))
+        .filter(|&v| covered(&runtime.programs()[v]) && !runtime.network().node_crashed(v))
         .count();
     let metrics = runtime.metrics();
     Ok(CellOutcome {

@@ -19,8 +19,13 @@
 //! seed = 9
 //! drop = 0.05
 //! outage = [0, 1, 2, 10]   # link 0-1 down during rounds [2, 10)
-//! crash = [3, 4]           # node 3 crashes at round 4
+//! latency = [4, 5, 3]      # link 4-5 delivers 3 rounds late
+//! crash = [3, 4]           # node 3 crashes at round 4, for good
+//! recover = [6, 2, 9]      # node 6 down during rounds [2, 9), then reboots
 //! ```
+//!
+//! `docs/SCENARIO_FORMAT.md` in the repository root documents the full
+//! grammar with one annotated example per fault kind.
 //!
 //! The format is a deliberate subset of TOML (sections, `key = value`,
 //! quoted strings, numbers, flat integer lists, `#` comments) parsed with a
@@ -35,6 +40,26 @@ use crate::registry::{parse_topology, topology_name, ProtocolKind};
 
 /// One declarative scenario: a topology sweep × seed sweep of a protocol
 /// under a fault plan.
+///
+/// ```
+/// use congest_net::{topology::Family, FaultPlan};
+/// use sim_harness::{ProtocolKind, ScenarioSpec};
+///
+/// let spec = ScenarioSpec::new("ft-chaos", Family::Cycle, ProtocolKind::FloodFt)
+///     .sizes([32, 64])
+///     .seeds([1, 2, 3])
+///     .max_rounds(500)
+///     .faults(
+///         FaultPlan::new(13)
+///             .link_latency(2, 3, 3)
+///             .crash_recover(5, 1, 9),
+///     );
+/// // 2 sizes × 3 seeds = 6 cells.
+/// assert_eq!(sim_harness::expand(&[spec.clone()]).len(), 6);
+/// // The text format round-trips exactly.
+/// let parsed = ScenarioSpec::parse_many(&spec.to_text()).unwrap();
+/// assert_eq!(parsed, vec![spec]);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Unique scenario name (used in tables and trace headers).
@@ -140,8 +165,20 @@ impl ScenarioSpec {
                 )
                 .unwrap();
             }
+            for l in self.faults.latencies() {
+                writeln!(out, "latency = [{}, {}, {}]", l.a, l.b, l.delay_rounds).unwrap();
+            }
             for c in self.faults.crashes() {
-                writeln!(out, "crash = [{}, {}]", c.node, c.round).unwrap();
+                if c.recover_round == u64::MAX {
+                    writeln!(out, "crash = [{}, {}]", c.node, c.round).unwrap();
+                } else {
+                    writeln!(
+                        out,
+                        "recover = [{}, {}, {}]",
+                        c.node, c.round, c.recover_round
+                    )
+                    .unwrap();
+                }
             }
         }
         out
@@ -195,7 +232,11 @@ struct Draft {
     fault_seed: u64,
     drop: f64,
     outages: Vec<[u64; 4]>,
-    crashes: Vec<[u64; 2]>,
+    latencies: Vec<[u64; 3]>,
+    /// Crash entries as `[node, round, recover_round]` in encounter order
+    /// (`u64::MAX` = crash-stop), so emit ∘ parse preserves the plan's
+    /// entry order exactly.
+    crashes: Vec<[u64; 3]>,
     /// Line of the `[scenario]` header, for error reporting.
     line: usize,
 }
@@ -223,8 +264,15 @@ impl Draft {
         for [a, b, from, until] in self.outages {
             faults = faults.link_outage(a as usize, b as usize, from, until);
         }
-        for [node, round] in self.crashes {
-            faults = faults.crash(node as usize, round);
+        for [a, b, delay] in self.latencies {
+            faults = faults.link_latency(a as usize, b as usize, delay);
+        }
+        for [node, round, recover_round] in self.crashes {
+            faults = if recover_round == u64::MAX {
+                faults.crash(node as usize, round)
+            } else {
+                faults.crash_recover(node as usize, round, recover_round)
+            };
         }
         let mut spec = ScenarioSpec::new(name, topology, protocol).faults(faults);
         // Absent keys fall back to the builder defaults; *explicitly* empty
@@ -362,13 +410,41 @@ impl<'a> Parser<'a> {
                     })?;
                     draft.outages.push([a, b, from, until]);
                 }
+                (Section::Faults, "latency") => {
+                    let xs = parse_int_list(value, line_no)?;
+                    let [a, b, delay] = xs[..].try_into().map_err(|_| SpecError {
+                        line: line_no,
+                        message: "latency needs [a, b, delay_rounds]".into(),
+                    })?;
+                    if delay == 0 {
+                        return Err(SpecError {
+                            line: line_no,
+                            message: "latency delay must be positive".into(),
+                        });
+                    }
+                    draft.latencies.push([a, b, delay]);
+                }
                 (Section::Faults, "crash") => {
                     let xs = parse_int_list(value, line_no)?;
                     let [node, round] = xs[..].try_into().map_err(|_| SpecError {
                         line: line_no,
                         message: "crash needs [node, round]".into(),
                     })?;
-                    draft.crashes.push([node, round]);
+                    draft.crashes.push([node, round, u64::MAX]);
+                }
+                (Section::Faults, "recover") => {
+                    let xs = parse_int_list(value, line_no)?;
+                    let [node, round, until] = xs[..].try_into().map_err(|_| SpecError {
+                        line: line_no,
+                        message: "recover needs [node, round, recover_round]".into(),
+                    })?;
+                    if until <= round {
+                        return Err(SpecError {
+                            line: line_no,
+                            message: "recover needs recover_round > round".into(),
+                        });
+                    }
+                    draft.crashes.push([node, round, until]);
                 }
                 (_, other) => return Err(err(format!("unknown key \"{other}\""))),
             }
@@ -439,15 +515,34 @@ mod tests {
                 FaultPlan::new(9)
                     .drop_probability(0.05)
                     .link_outage(0, 1, 2, 10)
-                    .crash(3, 4),
+                    .link_latency(4, 5, 3)
+                    .crash(3, 4)
+                    .crash_recover(6, 2, 9),
             )
     }
 
     #[test]
     fn to_text_parse_round_trips() {
         let spec = sample_spec();
-        let parsed = ScenarioSpec::parse_many(&spec.to_text()).unwrap();
+        let text = spec.to_text();
+        assert!(text.contains("latency = [4, 5, 3]"), "{text}");
+        assert!(text.contains("recover = [6, 2, 9]"), "{text}");
+        let parsed = ScenarioSpec::parse_many(&text).unwrap();
         assert_eq!(parsed, vec![spec]);
+    }
+
+    #[test]
+    fn malformed_latency_and_recover_stanzas_are_rejected() {
+        let base = "[scenario]\nname = \"x\"\ntopology = \"cycle\"\nprotocol = \"flood\"\n[faults]\nseed = 1\n";
+        for (stanza, needle) in [
+            ("latency = [0, 1]", "latency needs"),
+            ("latency = [0, 1, 0]", "delay must be positive"),
+            ("recover = [3, 4]", "recover needs"),
+            ("recover = [3, 9, 9]", "recover_round > round"),
+        ] {
+            let err = ScenarioSpec::parse_many(&format!("{base}{stanza}\n")).unwrap_err();
+            assert!(err.message.contains(needle), "{stanza}: {err}");
+        }
     }
 
     #[test]

@@ -34,19 +34,20 @@ pub struct BaselineCell {
 #[must_use]
 pub fn serialize(results: &[CellResult]) -> String {
     use std::fmt::Write;
-    let mut out = String::from("# sim-harness trace v1\n");
+    let mut out = String::from("# sim-harness trace v2\n");
     for r in results {
         let m = &r.outcome.metrics;
         writeln!(out, "cell {}", r.cell.id()).unwrap();
         writeln!(
             out,
-            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} crashed={} effective={} ok={}",
+            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} crashed={} effective={} ok={}",
             m.classical_messages,
             m.quantum_messages,
             m.rounds,
             m.peak_messages_per_round,
             m.total_bits,
             m.dropped_messages,
+            m.delayed_messages,
             m.crashed_nodes,
             r.outcome.effective_rounds,
             r.outcome.ok
@@ -56,6 +57,9 @@ pub fn serialize(results: &[CellResult]) -> String {
             match *event {
                 TraceEvent::NodeCrashed { round, node } => {
                     writeln!(out, "event round={round} crash node={node}").unwrap();
+                }
+                TraceEvent::NodeRecovered { round, node } => {
+                    writeln!(out, "event round={round} recover node={node}").unwrap();
                 }
                 TraceEvent::MessageDropped {
                     round,
@@ -67,6 +71,18 @@ pub fn serialize(results: &[CellResult]) -> String {
                         out,
                         "event round={round} drop from={from} to={to} cause={}",
                         cause.label()
+                    )
+                    .unwrap();
+                }
+                TraceEvent::MessageDelayed {
+                    round,
+                    from,
+                    to,
+                    delay,
+                } => {
+                    writeln!(
+                        out,
+                        "event round={round} delay from={from} to={to} rounds={delay}"
                     )
                     .unwrap();
                 }
@@ -89,6 +105,17 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
         let line_no = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            // The version marker is a comment, but an *unknown* version is
+            // a real error: failing here names the actual problem instead
+            // of surfacing it later as a missing summary key.
+            if let Some(version) = line.strip_prefix("# sim-harness trace ") {
+                if version != "v2" {
+                    return Err(format!(
+                        "trace line {line_no}: unsupported trace format {version} \
+                         (this build reads v2; re-record the baseline)"
+                    ));
+                }
+            }
             continue;
         }
         if let Some(id) = line.strip_prefix("cell ") {
@@ -118,6 +145,7 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
                 peak_messages_per_round: get("peak")?,
                 total_bits: get("bits")?,
                 dropped_messages: get("dropped")?,
+                delayed_messages: get("delayed")?,
                 crashed_nodes: get("crashed")?,
             };
             cell.effective_rounds = get("effective")?;
@@ -129,17 +157,22 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
             let round: u64 = field(rest, "round", line_no)?
                 .parse()
                 .map_err(|_| format!("trace line {line_no}: bad round"))?;
-            if rest.contains(" crash ") {
-                let node = field(rest, "node", line_no)?
+            let parse_node = |key: &str| -> Result<usize, String> {
+                field(rest, key, line_no)?
                     .parse()
-                    .map_err(|_| format!("trace line {line_no}: bad node"))?;
-                cell.events.push(TraceEvent::NodeCrashed { round, node });
+                    .map_err(|_| format!("trace line {line_no}: bad {key}"))
+            };
+            if rest.contains(" crash ") {
+                cell.events.push(TraceEvent::NodeCrashed {
+                    round,
+                    node: parse_node("node")?,
+                });
+            } else if rest.contains(" recover ") {
+                cell.events.push(TraceEvent::NodeRecovered {
+                    round,
+                    node: parse_node("node")?,
+                });
             } else if rest.contains(" drop ") {
-                let parse_node = |key: &str| -> Result<usize, String> {
-                    field(rest, key, line_no)?
-                        .parse()
-                        .map_err(|_| format!("trace line {line_no}: bad {key}"))
-                };
                 let cause = DropCause::parse(field(rest, "cause", line_no)?)
                     .ok_or_else(|| format!("trace line {line_no}: unknown drop cause"))?;
                 cell.events.push(TraceEvent::MessageDropped {
@@ -147,6 +180,16 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
                     from: parse_node("from")?,
                     to: parse_node("to")?,
                     cause,
+                });
+            } else if rest.contains(" delay ") {
+                let delay = field(rest, "rounds", line_no)?
+                    .parse()
+                    .map_err(|_| format!("trace line {line_no}: bad rounds"))?;
+                cell.events.push(TraceEvent::MessageDelayed {
+                    round,
+                    from: parse_node("from")?,
+                    to: parse_node("to")?,
+                    delay,
                 });
             } else {
                 return Err(format!("trace line {line_no}: unknown event kind"));
@@ -236,10 +279,16 @@ mod tests {
     fn faulty_results() -> Vec<CellResult> {
         let specs =
             vec![
-                ScenarioSpec::new("flood-cycle-faulty", Family::Cycle, ProtocolKind::Flood)
+                ScenarioSpec::new("flood-cycle-faulty", Family::Cycle, ProtocolKind::FloodFt)
                     .sizes([24])
                     .seeds([1, 2])
-                    .faults(FaultPlan::new(5).drop_probability(0.1).crash(3, 2)),
+                    .faults(
+                        FaultPlan::new(5)
+                            .drop_probability(0.1)
+                            .link_latency(5, 6, 2)
+                            .crash(3, 2)
+                            .crash_recover(9, 1, 12),
+                    ),
             ];
         run_matrix(&specs).unwrap()
     }
@@ -251,8 +300,24 @@ mod tests {
         let baseline = parse(&text).unwrap();
         assert_eq!(baseline.len(), results.len());
         assert!(compare(&results, &baseline).is_empty());
-        // The trace genuinely recorded fault events.
-        assert!(results.iter().any(|r| !r.outcome.trace.is_empty()));
+        // The trace genuinely recorded every event kind the extended fault
+        // model can emit, so the round-trip covers them all.
+        let events: Vec<TraceEvent> = results
+            .iter()
+            .flat_map(|r| r.outcome.trace.iter().copied())
+            .collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NodeCrashed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NodeRecovered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MessageDropped { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MessageDelayed { .. })));
     }
 
     #[test]
@@ -273,5 +338,13 @@ mod tests {
         assert!(parse("cell a\nsummary classical=1\n").is_err());
         assert!(parse("nonsense\n").is_err());
         assert!(parse("cell a\nevent round=1 warp node=2\nend\n").is_err());
+    }
+
+    #[test]
+    fn parse_names_a_version_mismatch() {
+        let err = parse("# sim-harness trace v1\ncell a\nend\n").unwrap_err();
+        assert!(err.contains("unsupported trace format v1"), "{err}");
+        // The current version marker and unrelated comments pass.
+        assert!(parse("# sim-harness trace v2\n# another comment\n").is_ok());
     }
 }

@@ -60,6 +60,24 @@ fn acceptance_specs(shards: usize) -> Vec<ScenarioSpec> {
             .sizes([48])
             .seeds([1])
             .shards(shards),
+        // The extended fault model end to end: cross-round delivery (link
+        // latency), an outage the fault-tolerant flood reroutes around, and
+        // a crash-recovery window whose reboot re-requests the token.
+        ScenarioSpec::new(
+            "flood-ft-latency-recover",
+            Family::Cycle,
+            ProtocolKind::FloodFt,
+        )
+        .sizes([32])
+        .seeds([1])
+        .max_rounds(500)
+        .shards(shards)
+        .faults(
+            FaultPlan::new(13)
+                .link_latency(2, 3, 3)
+                .link_outage(0, 1, 0, 12)
+                .crash_recover(16, 1, 20),
+        ),
     ]
 }
 
@@ -70,7 +88,7 @@ fn acceptance_specs(shards: usize) -> Vec<ScenarioSpec> {
 #[test]
 fn acceptance_matrix_replays_byte_identically_across_shard_counts() {
     let sequential = run_matrix(&acceptance_specs(1)).unwrap();
-    assert_eq!(sequential.len(), 9);
+    assert_eq!(sequential.len(), 10);
     let baseline_text = trace::serialize(&sequential);
     let baseline = trace::parse(&baseline_text).unwrap();
 
@@ -103,6 +121,25 @@ fn acceptance_matrix_replays_byte_identically_across_shard_counts() {
     assert!(total_dropped > 0, "no drops recorded");
     assert!(total_crashed > 0, "no crashes recorded");
     assert!(sequential.iter().any(|r| !r.outcome.trace.is_empty()));
+    // The extended model too: cross-round deliveries and a recovery.
+    let total_delayed: u64 = sequential
+        .iter()
+        .map(|r| r.outcome.metrics.delayed_messages)
+        .sum();
+    assert!(total_delayed > 0, "no delays recorded");
+    assert!(
+        sequential.iter().any(|r| r
+            .outcome
+            .trace
+            .iter()
+            .any(|e| { matches!(e, congest_net::TraceEvent::NodeRecovered { .. }) })),
+        "no recovery recorded"
+    );
+    // The fault-tolerant flood genuinely succeeds under the chaos plan.
+    assert!(sequential
+        .iter()
+        .filter(|r| r.cell.scenario == "flood-ft-latency-recover")
+        .all(|r| r.outcome.ok));
     // Fault-free cells stay pristine.
     assert!(sequential
         .iter()
