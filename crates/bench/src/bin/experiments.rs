@@ -17,6 +17,9 @@
 //! cargo run --release -p bench-harness --bin experiments -- --scenarios examples/scenarios \
 //!     --replay scenario-out
 //!     # re-run the matrix and assert byte-identical metrics + traces
+//! cargo run --release -p bench-harness --bin experiments -- --scorecard examples/scenarios
+//!     # resilience scorecard: every faulty scenario vs its fault-free twin,
+//!     # aggregated per protocol × fault class; writes scorecard.txt to --out
 //! ```
 
 use bench_harness::gate;
@@ -279,6 +282,68 @@ fn run_scenarios(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the resilience scorecard: `--scorecard <spec|dir> [--out <dir>]`.
+/// Every scenario with a fault plan runs as written and as its fault-free
+/// twin; the per `(protocol, fault class)` aggregation (success rate,
+/// message/round overhead vs fault-free) is printed and written — with both
+/// underlying results tables — into the output directory.
+fn run_scorecard(rest: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut out_dir = "scorecard-out".to_string();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = it.next().ok_or("--out needs a directory")?.clone();
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return Err(format!("unexpected scorecard argument \"{other}\"")),
+        }
+    }
+    let path = path.ok_or("--scorecard needs a spec file or directory")?;
+    let specs = sim_harness::load_specs(path)?;
+    let faulty = specs.iter().filter(|s| !s.faults.is_empty()).count();
+    println!(
+        "resilience scorecard: {} scenario(s) loaded, {} with fault plans \
+         (each runs against its fault-free twin), {} pool worker(s)\n",
+        specs.len(),
+        faulty,
+        rayon::current_num_threads()
+    );
+    let start = std::time::Instant::now();
+    let card = sim_harness::run_scorecard(&specs)?;
+    let table = card.table();
+    println!("{table}");
+    println!("[scorecard completed in {:.1?}]", start.elapsed());
+    let out = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    std::fs::write(out.join("scorecard.txt"), &table)
+        .map_err(|e| format!("write scorecard.txt: {e}"))?;
+    std::fs::write(
+        out.join("results.txt"),
+        sim_harness::results_table(&card.faulty),
+    )
+    .map_err(|e| format!("write results.txt: {e}"))?;
+    std::fs::write(
+        out.join("baseline.txt"),
+        sim_harness::results_table(&card.baseline),
+    )
+    .map_err(|e| format!("write baseline.txt: {e}"))?;
+    println!("wrote {out_dir}/scorecard.txt, {out_dir}/results.txt, and {out_dir}/baseline.txt");
+    Ok(())
+}
+
+/// Exit code for a scenario/scorecard error: spec-authoring errors that the
+/// registry can explain (an unknown protocol, with the registered names
+/// listed) exit 2 like other usage errors; everything else exits 1.
+fn scenario_exit_code(message: &str) -> i32 {
+    if message.contains("unknown protocol") {
+        2
+    } else {
+        1
+    }
+}
+
 /// Runs the selected experiment tables (all of them for an empty selection).
 fn run_experiments(requested: &[String]) {
     let run_all = requested.is_empty();
@@ -324,6 +389,12 @@ USAGE:
                                              (default: scenario-out)
         [--replay <dir>]                     re-run and assert byte-identical metrics + traces
                                              against <dir>/traces.txt instead of writing output
+    experiments --scorecard <spec|dir>       resilience scorecard: run every faulty scenario
+                                             against its fault-free twin and aggregate success
+                                             rate + message/round overhead per protocol x
+                                             fault class
+        [--out <dir>]                        output directory for scorecard.txt, results.txt,
+                                             and baseline.txt (default: scorecard-out)
     experiments --help                       this text
 
 ENVIRONMENT:
@@ -357,7 +428,13 @@ fn main() {
         Some("--scenarios") => {
             if let Err(message) = run_scenarios(&args[1..]) {
                 eprintln!("error: {message}");
-                std::process::exit(1);
+                std::process::exit(scenario_exit_code(&message));
+            }
+        }
+        Some("--scorecard") => {
+            if let Err(message) = run_scorecard(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(scenario_exit_code(&message));
             }
         }
         Some(flag) if flag.starts_with("--") => {

@@ -139,13 +139,31 @@
 //! the shard-invariance invariant survives cross-round delivery (pinned by
 //! the fault-plane suite's latency goldens and property tests).
 //!
+//! Beyond the benign classes, the plan models an **adversary**: Byzantine
+//! windows ([`FaultPlan::byzantine`]) in which a node's surviving outgoing
+//! messages are rewritten through the [`Payload::mutate`] hook — each
+//! message drawing independently from a dedicated, salted PRNG stream, so a
+//! lying node can *equivocate* (send different corruptions per port in the
+//! same round) — and adversarial drop scheduling
+//! ([`FaultPlan::adversarial_drops`]), which strikes up to `k` *frontier*
+//! messages per round (first uses of a directed link in the run) instead of
+//! sampling uniformly. Both are judged at the same barrier in the same
+//! delivery order, mutation draws and strike selections consume their own
+//! streams (never the drop lottery's), and mutation is the **only** code
+//! path that rewrites a payload — so adversarial runs keep the
+//! byte-identical-across-shards guarantee, and [`Metrics::mutated_messages`]
+//! plus the `MessageMutated`/`MessageEquivocated` trace events make every
+//! lie observable.
+//!
 //! Faults are **protocol-visible**, not just metric-visible:
 //! [`runtime::RoundContext::failed_neighbors`] is a perfect failure
 //! detector fed by the fault clock, and
 //! [`runtime::NodeProgram::on_recover`] is invoked (instead of the round
 //! callback) when a crash-recovery window ends, so node programs can
 //! implement genuinely fault-tolerant variants —
-//! [`programs::FloodFt`] is the reference example.
+//! [`programs::FloodFt`] is the reference example for omission faults,
+//! [`programs::FloodBft`] (checksum-tagged tokens, bounded retransmission)
+//! the one for Byzantine mutation.
 //!
 //! **Invariant:** without an installed plan, delivery takes the untouched
 //! fast path of §3 — and installing an *empty* plan is byte-identical to
@@ -189,7 +207,9 @@ pub mod topology;
 pub mod walks;
 
 pub use error::Error;
-pub use fault::{CrashPoint, DropCause, FaultPlan, LinkLatency, LinkOutage, TraceEvent};
+pub use fault::{
+    ByzantineWindow, CrashPoint, DropCause, FaultPlan, LinkLatency, LinkOutage, TraceEvent,
+};
 pub use graph::{EdgeId, Graph, NodeId, Port};
 pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};

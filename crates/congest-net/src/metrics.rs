@@ -32,6 +32,10 @@ pub struct Metrics {
     /// sent, and as dropped too if a crash catches them before their due
     /// round).
     pub delayed_messages: u64,
+    /// Messages whose payload a Byzantine window corrupted at the barrier
+    /// (always 0 without a fault plan; mutated messages still count as sent
+    /// and are delivered — corrupted — unless something else drops them).
+    pub mutated_messages: u64,
     /// Nodes whose crash round the execution has reached (monotone; counts
     /// crash *events*, so a crash-recovery node stays counted after it
     /// resumes; always 0 without a fault plan).
@@ -63,6 +67,7 @@ impl Metrics {
         self.total_bits += other.total_bits;
         self.dropped_messages += other.dropped_messages;
         self.delayed_messages += other.delayed_messages;
+        self.mutated_messages += other.mutated_messages;
         // Sub-executions of one protocol share the network's node set, so
         // the crashed count is a maximum, not a sum.
         self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
@@ -158,6 +163,11 @@ impl MetricsRecorder {
     /// link-latency fault.
     pub(crate) fn record_delay(&mut self) {
         self.totals.delayed_messages += 1;
+    }
+
+    /// Counts one payload corrupted by a Byzantine window at the barrier.
+    pub(crate) fn record_mutation(&mut self) {
+        self.totals.mutated_messages += 1;
     }
 
     /// Absorbs (and resets) one shard's per-round counters into the current
@@ -303,6 +313,7 @@ mod tests {
             total_bits: 90,
             dropped_messages: 2,
             delayed_messages: 4,
+            mutated_messages: 6,
             crashed_nodes: 3,
         };
         let b = Metrics {
@@ -313,6 +324,7 @@ mod tests {
             total_bits: 10,
             dropped_messages: 5,
             delayed_messages: 1,
+            mutated_messages: 2,
             crashed_nodes: 1,
         };
         a.absorb(&b);
@@ -323,6 +335,7 @@ mod tests {
         assert_eq!(a.total_bits, 100);
         assert_eq!(a.dropped_messages, 7);
         assert_eq!(a.delayed_messages, 5);
+        assert_eq!(a.mutated_messages, 8);
         // Crashed nodes are a shared-node-set maximum, not a sum.
         assert_eq!(a.crashed_nodes, 3);
     }

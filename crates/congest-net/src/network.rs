@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::error::Error;
-use crate::fault::{FaultPlan, FaultState, NeighborFaultView, TraceEvent, Verdict};
+use crate::fault::{DropCause, FaultPlan, FaultState, NeighborFaultView, TraceEvent, Verdict};
 use crate::graph::{EdgeId, Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
 use crate::metrics::{Metrics, MetricsRecorder, RoundReport, ShardCounters};
@@ -650,22 +650,95 @@ impl<M: Payload> Network<M> {
                 }
             }
         }
+        // Adversarial drop scheduling, phase one: scan this barrier's sends
+        // in delivery order, mark every directed link used, and collect the
+        // positions of frontier messages (first use of their link in the
+        // run); the dedicated adversary stream then picks up to k of them
+        // to strike. The scan order equals the judging order below, so the
+        // strike set is byte-identical for every shard count.
+        let strikes = if faults.adversary_active() {
+            let mut candidates = Vec::new();
+            let mut base = 0usize;
+            for queue in std::iter::once(&self.pending).chain(self.shard_pending.iter()) {
+                for (i, (from, _, to, _)) in queue.iter().enumerate() {
+                    if faults.mark_link_used(*from, *to) {
+                        candidates.push(base + i);
+                    }
+                }
+                base += queue.len();
+            }
+            faults.select_strikes(candidates)
+        } else {
+            Vec::new()
+        };
+        let mut next_strike = 0usize;
+        let mut base = 0usize;
+        // Equivocation detection: each node's sends sit contiguously in
+        // exactly one queue (outboxes fill in node order), so a second
+        // mutated payload from the sender whose message was mutated last
+        // means at least two ports got independent mutation draws this
+        // round.
+        let mut last_mutated: Option<NodeId> = None;
+        let mut equivocation_flagged = false;
         let mut pending = std::mem::take(&mut self.pending);
         let mut queue = 0usize;
         loop {
-            for (from, port, to, msg) in pending.drain(..) {
-                match faults.judge(from, to) {
-                    Verdict::Drop(cause) => {
-                        self.recorder.record_drop();
+            let queue_len = pending.len();
+            for (i, (from, port, to, msg)) in pending.drain(..).enumerate() {
+                // Phase two: a struck message is dropped before `judge`
+                // runs, so the uniform drop stream is not consumed for it.
+                let struck = next_strike < strikes.len() && strikes[next_strike] == base + i;
+                let verdict = if struck {
+                    next_strike += 1;
+                    Verdict::Drop(DropCause::Adversarial)
+                } else {
+                    faults.judge(from, to)
+                };
+                if let Verdict::Drop(cause) = verdict {
+                    self.recorder.record_drop();
+                    if self.trace_enabled {
+                        self.trace.push(TraceEvent::MessageDropped {
+                            round: faults.clock,
+                            from,
+                            to,
+                            cause,
+                        });
+                    }
+                    continue;
+                }
+                // The message survives the barrier: a Byzantine sender lies
+                // *now*, at send time — a latency-delayed copy parks the
+                // corrupted payload, and every outgoing message draws its
+                // own mutation (different ports can carry different lies).
+                let msg = match faults.mutate_payload(from, &msg) {
+                    Some(mutated) => {
+                        self.recorder.record_mutation();
                         if self.trace_enabled {
-                            self.trace.push(TraceEvent::MessageDropped {
+                            self.trace.push(TraceEvent::MessageMutated {
                                 round: faults.clock,
                                 from,
                                 to,
-                                cause,
                             });
                         }
+                        if last_mutated == Some(from) {
+                            if !equivocation_flagged {
+                                equivocation_flagged = true;
+                                if self.trace_enabled {
+                                    self.trace.push(TraceEvent::MessageEquivocated {
+                                        round: faults.clock,
+                                        node: from,
+                                    });
+                                }
+                            }
+                        } else {
+                            last_mutated = Some(from);
+                            equivocation_flagged = false;
+                        }
+                        mutated
                     }
+                    None => msg,
+                };
+                match verdict {
                     Verdict::Delay(delay) => {
                         self.recorder.record_delay();
                         if self.trace_enabled {
@@ -685,7 +758,7 @@ impl<M: Payload> Network<M> {
                             msg,
                         });
                     }
-                    Verdict::Deliver => {
+                    _ => {
                         if self.inboxes[to].is_empty() {
                             self.dirty_inboxes.push(to);
                         }
@@ -694,6 +767,7 @@ impl<M: Payload> Network<M> {
                     }
                 }
             }
+            base += queue_len;
             // Rotate the drained buffer back, then judge the shard queues in
             // shard order — the same merge order as the fault-free path.
             if queue == 0 {

@@ -144,7 +144,7 @@ pub fn results_table(results: &[CellResult]) -> String {
     let detail = "detail";
     writeln!(
         out,
-        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6}  {detail}",
+        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>6}  {detail}",
         "scenario",
         "protocol",
         "topology",
@@ -155,6 +155,7 @@ pub fn results_table(results: &[CellResult]) -> String {
         "peak/rd",
         "dropped",
         "delayed",
+        "mutated",
         "crashed",
         "ok",
     )
@@ -163,7 +164,7 @@ pub fn results_table(results: &[CellResult]) -> String {
         let m = &r.outcome.metrics;
         writeln!(
             out,
-            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6}  {}",
+            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>6}  {}",
             r.cell.scenario,
             r.cell.protocol.name(),
             topology_name(r.cell.topology),
@@ -174,6 +175,7 @@ pub fn results_table(results: &[CellResult]) -> String {
             m.peak_messages_per_round,
             m.dropped_messages,
             m.delayed_messages,
+            m.mutated_messages,
             m.crashed_nodes,
             if r.outcome.ok { "yes" } else { "NO" },
             r.outcome.detail

@@ -34,6 +34,10 @@
 //!   round-stamped fault events plus its full [`congest_net::Metrics`];
 //!   [`trace::serialize`] writes the line-oriented trace file and
 //!   [`trace::compare`] re-verifies a fresh run against it.
+//! * **Scorecard** ([`scorecard`]) — [`run_scorecard`] runs every faulty
+//!   scenario next to its fault-free twin and aggregates success rate and
+//!   message/round overhead per `(protocol, fault class)` — the resilience
+//!   benchmark surfaced by `experiments --scorecard`.
 //!
 //! # Determinism and replay invariants
 //!
@@ -78,11 +82,13 @@
 
 pub mod engine;
 pub mod registry;
+pub mod scorecard;
 pub mod spec;
 pub mod trace;
 
 pub use engine::{expand, results_table, run_cell, run_cells, run_matrix, Cell, CellResult};
 pub use registry::{parse_topology, topology_name, CellOutcome, ProtocolKind, ALL_PROTOCOLS};
+pub use scorecard::{fault_class, fault_free_twin, run_scorecard, Scorecard, ScorecardRow};
 pub use spec::{ScenarioSpec, SpecError};
 
 use std::path::Path;

@@ -9,7 +9,7 @@
 //! [`LeaderElection::run_with`], so every cell honours the scenario's fault
 //! plan, shard count, and trace flag.
 
-use congest_net::programs::{Flood, FloodFt};
+use congest_net::programs::{Flood, FloodBft, FloodFt};
 use congest_net::topology::Family;
 use congest_net::{Graph, Metrics, NetworkConfig, NodeProgram, SyncRuntime, TraceEvent};
 
@@ -54,6 +54,10 @@ pub enum ProtocolKind {
     /// retransmission, and crash-recovery re-requests (runtime-driven and
     /// inbox-driven: its control flow genuinely depends on the fault plan).
     FloodFt,
+    /// Byzantine-resilient single-source flooding: checksum-tagged tokens
+    /// detect payload mutation, bounded retransmission outlasts Byzantine
+    /// windows (runtime-driven; the mutation/adversary reference protocol).
+    FloodBft,
     /// Classical GHS-style tree-merging leader election (arbitrary graphs).
     GhsLe,
     /// `QuantumLE` (complete graphs, `Õ(n^{1/3})` messages).
@@ -69,9 +73,10 @@ pub enum ProtocolKind {
 }
 
 /// Every registered protocol, in registry order.
-pub const ALL_PROTOCOLS: [ProtocolKind; 8] = [
+pub const ALL_PROTOCOLS: [ProtocolKind; 9] = [
     ProtocolKind::Flood,
     ProtocolKind::FloodFt,
+    ProtocolKind::FloodBft,
     ProtocolKind::GhsLe,
     ProtocolKind::QuantumLe,
     ProtocolKind::QuantumQwLe,
@@ -87,6 +92,7 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Flood => "flood",
             ProtocolKind::FloodFt => "flood-ft",
+            ProtocolKind::FloodBft => "flood-bft",
             ProtocolKind::GhsLe => "ghs-le",
             ProtocolKind::QuantumLe => "quantum-le",
             ProtocolKind::QuantumQwLe => "quantum-qw-le",
@@ -131,6 +137,14 @@ impl ProtocolKind {
                 opts,
                 max_rounds,
                 |v, d| FloodFt::new(v == 0, d),
+                |p| p.has_token(),
+            ),
+            ProtocolKind::FloodBft => run_flood(
+                graph,
+                seed,
+                opts,
+                max_rounds,
+                |v, d| FloodBft::new(v == 0, d),
                 |p| p.has_token(),
             ),
             ProtocolKind::GhsLe => run_le(&GhsLe::new(), graph, seed, opts),

@@ -22,6 +22,8 @@
 //! latency = [4, 5, 3]      # link 4-5 delivers 3 rounds late
 //! crash = [3, 4]           # node 3 crashes at round 4, for good
 //! recover = [6, 2, 9]      # node 6 down during rounds [2, 9), then reboots
+//! byzantine = [2, 0, 6]    # node 2 lies (mutates payloads) in rounds [0, 6)
+//! adversary = 2            # strike up to 2 frontier messages per round
 //! ```
 //!
 //! `docs/SCENARIO_FORMAT.md` in the repository root documents the full
@@ -36,7 +38,7 @@
 use congest_net::topology::Family;
 use congest_net::FaultPlan;
 
-use crate::registry::{parse_topology, topology_name, ProtocolKind};
+use crate::registry::{parse_topology, topology_name, ProtocolKind, ALL_PROTOCOLS};
 
 /// One declarative scenario: a topology sweep × seed sweep of a protocol
 /// under a fault plan.
@@ -180,6 +182,22 @@ impl ScenarioSpec {
                     .unwrap();
                 }
             }
+            for w in self.faults.byzantines() {
+                writeln!(
+                    out,
+                    "byzantine = [{}, {}, {}]",
+                    w.node, w.from_round, w.until_round
+                )
+                .unwrap();
+            }
+            if self.faults.adversarial_drops_per_round() > 0 {
+                writeln!(
+                    out,
+                    "adversary = {}",
+                    self.faults.adversarial_drops_per_round()
+                )
+                .unwrap();
+            }
         }
         out
     }
@@ -237,6 +255,11 @@ struct Draft {
     /// (`u64::MAX` = crash-stop), so emit ∘ parse preserves the plan's
     /// entry order exactly.
     crashes: Vec<[u64; 3]>,
+    /// Byzantine windows as `[node, from_round, until_round]` in encounter
+    /// order.
+    byzantines: Vec<[u64; 3]>,
+    /// Adversarial frontier drops per round (0 = no adversary).
+    adversary: u64,
     /// Line of the `[scenario]` header, for error reporting.
     line: usize,
 }
@@ -258,8 +281,14 @@ impl Draft {
         let protocol_name = self
             .protocol
             .ok_or_else(|| err(format!("scenario \"{name}\" is missing `protocol`")))?;
-        let protocol = ProtocolKind::parse(&protocol_name)
-            .ok_or_else(|| err(format!("unknown protocol \"{protocol_name}\"")))?;
+        let protocol = ProtocolKind::parse(&protocol_name).ok_or_else(|| {
+            // List the registry so growth is discoverable from the CLI.
+            let known: Vec<&str> = ALL_PROTOCOLS.iter().map(|p| p.name()).collect();
+            err(format!(
+                "unknown protocol \"{protocol_name}\" (registered: {})",
+                known.join(", ")
+            ))
+        })?;
         let mut faults = FaultPlan::new(self.fault_seed).drop_probability(self.drop);
         for [a, b, from, until] in self.outages {
             faults = faults.link_outage(a as usize, b as usize, from, until);
@@ -273,6 +302,12 @@ impl Draft {
             } else {
                 faults.crash_recover(node as usize, round, recover_round)
             };
+        }
+        for [node, from, until] in self.byzantines {
+            faults = faults.byzantine(node as usize, from, until);
+        }
+        if self.adversary > 0 {
+            faults = faults.adversarial_drops(self.adversary);
         }
         let mut spec = ScenarioSpec::new(name, topology, protocol).faults(faults);
         // Absent keys fall back to the builder defaults; *explicitly* empty
@@ -446,6 +481,23 @@ impl<'a> Parser<'a> {
                     }
                     draft.crashes.push([node, round, until]);
                 }
+                (Section::Faults, "byzantine") => {
+                    let xs = parse_int_list(value, line_no)?;
+                    let [node, from, until] = xs[..].try_into().map_err(|_| SpecError {
+                        line: line_no,
+                        message: "byzantine needs [node, from_round, until_round]".into(),
+                    })?;
+                    if until <= from {
+                        return Err(SpecError {
+                            line: line_no,
+                            message: "byzantine needs until_round > from_round".into(),
+                        });
+                    }
+                    draft.byzantines.push([node, from, until]);
+                }
+                (Section::Faults, "adversary") => {
+                    draft.adversary = parse_int(value, line_no)?;
+                }
                 (_, other) => return Err(err(format!("unknown key \"{other}\""))),
             }
         }
@@ -517,7 +569,9 @@ mod tests {
                     .link_outage(0, 1, 2, 10)
                     .link_latency(4, 5, 3)
                     .crash(3, 4)
-                    .crash_recover(6, 2, 9),
+                    .crash_recover(6, 2, 9)
+                    .byzantine(2, 1, 6)
+                    .adversarial_drops(2),
             )
     }
 
@@ -527,6 +581,8 @@ mod tests {
         let text = spec.to_text();
         assert!(text.contains("latency = [4, 5, 3]"), "{text}");
         assert!(text.contains("recover = [6, 2, 9]"), "{text}");
+        assert!(text.contains("byzantine = [2, 1, 6]"), "{text}");
+        assert!(text.contains("adversary = 2"), "{text}");
         let parsed = ScenarioSpec::parse_many(&text).unwrap();
         assert_eq!(parsed, vec![spec]);
     }
@@ -539,9 +595,28 @@ mod tests {
             ("latency = [0, 1, 0]", "delay must be positive"),
             ("recover = [3, 4]", "recover needs"),
             ("recover = [3, 9, 9]", "recover_round > round"),
+            ("byzantine = [2, 4]", "byzantine needs"),
+            ("byzantine = [2, 6, 6]", "until_round > from_round"),
         ] {
             let err = ScenarioSpec::parse_many(&format!("{base}{stanza}\n")).unwrap_err();
             assert!(err.message.contains(needle), "{stanza}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_errors_list_the_registry() {
+        let bad = "[scenario]\nname = \"x\"\ntopology = \"cycle\"\nprotocol = \"flood-3000\"\n";
+        let err = ScenarioSpec::parse_many(bad).unwrap_err();
+        assert!(
+            err.message.contains("unknown protocol \"flood-3000\""),
+            "{err}"
+        );
+        for p in ALL_PROTOCOLS {
+            assert!(
+                err.message.contains(p.name()),
+                "missing {}: {err}",
+                p.name()
+            );
         }
     }
 

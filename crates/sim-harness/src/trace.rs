@@ -34,13 +34,13 @@ pub struct BaselineCell {
 #[must_use]
 pub fn serialize(results: &[CellResult]) -> String {
     use std::fmt::Write;
-    let mut out = String::from("# sim-harness trace v2\n");
+    let mut out = String::from("# sim-harness trace v3\n");
     for r in results {
         let m = &r.outcome.metrics;
         writeln!(out, "cell {}", r.cell.id()).unwrap();
         writeln!(
             out,
-            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} crashed={} effective={} ok={}",
+            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} mutated={} crashed={} effective={} ok={}",
             m.classical_messages,
             m.quantum_messages,
             m.rounds,
@@ -48,6 +48,7 @@ pub fn serialize(results: &[CellResult]) -> String {
             m.total_bits,
             m.dropped_messages,
             m.delayed_messages,
+            m.mutated_messages,
             m.crashed_nodes,
             r.outcome.effective_rounds,
             r.outcome.ok
@@ -86,6 +87,12 @@ pub fn serialize(results: &[CellResult]) -> String {
                     )
                     .unwrap();
                 }
+                TraceEvent::MessageMutated { round, from, to } => {
+                    writeln!(out, "event round={round} mutate from={from} to={to}").unwrap();
+                }
+                TraceEvent::MessageEquivocated { round, node } => {
+                    writeln!(out, "event round={round} equivocate node={node}").unwrap();
+                }
             }
         }
         out.push_str("end\n");
@@ -109,10 +116,10 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
             // a real error: failing here names the actual problem instead
             // of surfacing it later as a missing summary key.
             if let Some(version) = line.strip_prefix("# sim-harness trace ") {
-                if version != "v2" {
+                if version != "v3" {
                     return Err(format!(
                         "trace line {line_no}: unsupported trace format {version} \
-                         (this build reads v2; re-record the baseline)"
+                         (this build reads v3; re-record the baseline)"
                     ));
                 }
             }
@@ -146,6 +153,7 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
                 total_bits: get("bits")?,
                 dropped_messages: get("dropped")?,
                 delayed_messages: get("delayed")?,
+                mutated_messages: get("mutated")?,
                 crashed_nodes: get("crashed")?,
             };
             cell.effective_rounds = get("effective")?;
@@ -190,6 +198,17 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
                     from: parse_node("from")?,
                     to: parse_node("to")?,
                     delay,
+                });
+            } else if rest.contains(" mutate ") {
+                cell.events.push(TraceEvent::MessageMutated {
+                    round,
+                    from: parse_node("from")?,
+                    to: parse_node("to")?,
+                });
+            } else if rest.contains(" equivocate ") {
+                cell.events.push(TraceEvent::MessageEquivocated {
+                    round,
+                    node: parse_node("node")?,
                 });
             } else {
                 return Err(format!("trace line {line_no}: unknown event kind"));
@@ -277,19 +296,27 @@ mod tests {
     use congest_net::FaultPlan;
 
     fn faulty_results() -> Vec<CellResult> {
-        let specs =
-            vec![
-                ScenarioSpec::new("flood-cycle-faulty", Family::Cycle, ProtocolKind::FloodFt)
-                    .sizes([24])
-                    .seeds([1, 2])
-                    .faults(
-                        FaultPlan::new(5)
-                            .drop_probability(0.1)
-                            .link_latency(5, 6, 2)
-                            .crash(3, 2)
-                            .crash_recover(9, 1, 12),
-                    ),
-            ];
+        let specs = vec![
+            ScenarioSpec::new("flood-cycle-faulty", Family::Cycle, ProtocolKind::FloodFt)
+                .sizes([24])
+                .seeds([1, 2])
+                .faults(
+                    FaultPlan::new(5)
+                        .drop_probability(0.1)
+                        .link_latency(5, 6, 2)
+                        .crash(3, 2)
+                        .crash_recover(9, 1, 12),
+                ),
+            ScenarioSpec::new(
+                "bft-cycle-adversarial",
+                Family::Cycle,
+                ProtocolKind::FloodBft,
+            )
+            .sizes([16])
+            .seeds([1])
+            .max_rounds(400)
+            .faults(FaultPlan::new(21).byzantine(0, 0, 5).adversarial_drops(1)),
+        ];
         run_matrix(&specs).unwrap()
     }
 
@@ -318,6 +345,19 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TraceEvent::MessageDelayed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MessageMutated { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MessageEquivocated { .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::MessageDropped {
+                cause: DropCause::Adversarial,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -344,7 +384,11 @@ mod tests {
     fn parse_names_a_version_mismatch() {
         let err = parse("# sim-harness trace v1\ncell a\nend\n").unwrap_err();
         assert!(err.contains("unsupported trace format v1"), "{err}");
+        // A v2 baseline predates the mutated counter and the adversarial
+        // event kinds: it must be re-recorded, not half-parsed.
+        let err = parse("# sim-harness trace v2\ncell a\nend\n").unwrap_err();
+        assert!(err.contains("this build reads v3"), "{err}");
         // The current version marker and unrelated comments pass.
-        assert!(parse("# sim-harness trace v2\n# another comment\n").is_ok());
+        assert!(parse("# sim-harness trace v3\n# another comment\n").is_ok());
     }
 }

@@ -197,6 +197,61 @@ fn committed_example_specs_run_and_replay() {
     assert_eq!(table.lines().count(), results.len() + 1);
 }
 
+/// The scorecard's baseline column is exactly the standalone fault-free
+/// run of each faulty scenario's twin — and the committed `byzantine.scn`
+/// file pins this externally: its fault-free `flood-bft-cycle` scenario has
+/// the same shape as the `flood-bft-byzantine` twin, so the scorecard's
+/// derived baseline must agree with the standalone fault-free golden cells
+/// metric-for-metric.
+#[test]
+fn scorecard_baseline_matches_the_standalone_fault_free_run() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios/byzantine.scn");
+    let specs = sim_harness::load_specs(&path).unwrap();
+    let card = sim_harness::run_scorecard(&specs).unwrap();
+
+    // Baseline column == run_matrix of the fault-free twins, byte-for-byte.
+    let twins: Vec<ScenarioSpec> = specs
+        .iter()
+        .filter(|s| !s.faults.is_empty())
+        .map(sim_harness::fault_free_twin)
+        .collect();
+    let standalone = run_matrix(&twins).unwrap();
+    assert_eq!(card.baseline.len(), card.faulty.len());
+    assert_eq!(
+        trace::serialize(&card.baseline),
+        trace::serialize(&standalone)
+    );
+
+    // The committed fault-free scenario is the visible twin of the Byzantine
+    // cells: same topology/protocol/sizes/seeds, so per-seed metrics match.
+    let golden = run_matrix(
+        &specs
+            .iter()
+            .filter(|s| s.name == "flood-bft-cycle")
+            .cloned()
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    for twin in card
+        .baseline
+        .iter()
+        .filter(|r| r.cell.scenario == "flood-bft-byzantine")
+    {
+        let pinned = golden
+            .iter()
+            .find(|g| g.cell.seed == twin.cell.seed && g.cell.n == twin.cell.n)
+            .expect("flood-bft-cycle covers every flood-bft-byzantine cell");
+        assert_eq!(twin.outcome.metrics, pinned.outcome.metrics);
+        assert_eq!(
+            twin.outcome.effective_rounds,
+            pinned.outcome.effective_rounds
+        );
+        assert_eq!(twin.outcome.ok, pinned.outcome.ok);
+        assert_eq!(twin.outcome.metrics.mutated_messages, 0);
+    }
+}
+
 /// Builder specs survive the text round-trip, so a builder-driven matrix
 /// can be saved as `.scn` files and reloaded identically.
 #[test]
