@@ -69,11 +69,23 @@ fn run_network_bench() {
         network_bench::bench_shards()
     );
     let threshold = gate::speedup_threshold("BENCH_NETWORK_MIN_SPEEDUP");
-    let (records, aggregate) = gate::measure_best_of(threshold, || {
+    let (mut records, aggregate) = gate::measure_best_of(threshold, || {
         let records = network_bench::measure_all(n, runs);
         let aggregate = flood_aggregate(&records).unwrap_or(0.0);
         (records, aggregate)
     });
+    // The large-n tier (implicit structured topologies at 2^20 nodes) runs
+    // once, outside the gate's re-measure loop — it feeds no speedup ratio,
+    // only absolute throughput records. Skippable for quick local iterations
+    // with BENCH_LARGE_N=0; CI always runs it.
+    let large_n = std::env::var("BENCH_LARGE_N").map_or(true, |v| v != "0");
+    if large_n {
+        println!(
+            "\nlarge-n tier (n = {}, implicit backends, 2 timed runs each)...",
+            network_bench::LARGE_N
+        );
+        records.extend(network_bench::measure_large(2));
+    }
     println!(
         "{:<10} {:<8} {:<16} {:>10} {:>12} {:>14} {:>14}",
         "workload", "engine", "topology", "rounds", "messages", "ns/run", "ns/round"
@@ -405,6 +417,8 @@ ENVIRONMENT:
                                      and sharded rounds (default: available cores)
     BENCH_SHARDS=<k>                 shard count for the csr-mt bench records
                                      (default 4; --bench-network only)
+    BENCH_LARGE_N=0                  skip the million-node implicit tier
+                                     (--bench-network only; CI always runs it)
     BENCH_NETWORK_MIN_SPEEDUP=<x>    fail --bench-network if the aggregate
                                      csr-vs-legacy flood speedup drops below x
                                      (CI sets 3.0; unset = record only)

@@ -80,7 +80,7 @@ impl LeaderElection for CprDiameterTwoLe {
         let mut max_heard = vec![0u64; n];
         for c in &candidates {
             max_heard[c.node] = max_heard[c.node].max(c.rank);
-            for &w in graph.neighbors(c.node) {
+            for w in graph.neighbors(c.node) {
                 net.send(c.node, w, CprMessage::Rank(c.rank))?;
                 max_heard[w] = max_heard[w].max(c.rank);
             }
@@ -91,7 +91,7 @@ impl LeaderElection for CprDiameterTwoLe {
         // back to each candidate that contacted it.
         for c in &candidates {
             let mut highest_reply = c.rank;
-            for &w in graph.neighbors(c.node) {
+            for w in graph.neighbors(c.node) {
                 net.send(w, c.node, CprMessage::MaxSeen(max_heard[w]))?;
                 highest_reply = highest_reply.max(max_heard[w]);
             }

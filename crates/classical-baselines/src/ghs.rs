@@ -134,7 +134,7 @@ impl LeaderElection for GhsLe {
                 if net.node_crashed(v) {
                     continue;
                 }
-                for &w in graph.neighbors(v) {
+                for w in graph.neighbors(v) {
                     net.send(v, w, GhsMessage::ClusterQuery(cluster))?;
                 }
             }

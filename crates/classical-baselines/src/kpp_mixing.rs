@@ -104,7 +104,7 @@ impl LeaderElection for KppMixingLe {
                     }
                     let degree = net.graph().degree(here);
                     let port = net.rng(here).gen_range(0..degree);
-                    let next = net.graph().neighbors(here)[port];
+                    let next = net.graph().neighbor(here, port);
                     net.send(here, next, KppWalkMessage::Token(c.rank))?;
                     net.advance_round();
                     here = next;

@@ -82,10 +82,12 @@
 //! crash rounds stay aligned with protocol round numbers for the quantum
 //! subroutines too.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::graph::{NodeId, Port};
+use crate::graph::{Graph, NodeId, Port};
 use crate::message::Payload;
 use crate::metrics::MetricsRecorder;
 
@@ -498,8 +500,11 @@ pub(crate) enum Verdict {
 /// node programs can observe which of their neighbours are currently down.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct NeighborFaultView<'a> {
-    /// The querying node's neighbour list (indexed by port).
-    pub(crate) neighbors: &'a [NodeId],
+    /// The topology, for port → neighbour resolution (O(1) on both graph
+    /// backends; implicit families have no neighbour slice to borrow).
+    pub(crate) graph: &'a Graph,
+    /// The querying node.
+    pub(crate) node: NodeId,
     /// Per-node first down round (`u64::MAX` = never crashes).
     pub(crate) down_from: &'a [u64],
     /// Per-node recovery round (`u64::MAX` = crash-stop).
@@ -511,7 +516,7 @@ pub(crate) struct NeighborFaultView<'a> {
 impl NeighborFaultView<'_> {
     /// Whether the neighbour behind `port` is down at the current round.
     pub(crate) fn neighbor_failed(&self, port: Port) -> bool {
-        let u = self.neighbors[port];
+        let u = self.graph.neighbor(self.node, port);
         self.down_from[u] <= self.clock && self.clock < self.down_until[u]
     }
 }
@@ -555,11 +560,11 @@ pub(crate) struct FaultState {
     adversary_k: usize,
     /// Dedicated adversary stream; `Some` iff `adversary_k > 0`.
     adversary_rng: Option<StdRng>,
-    /// Directed links that have carried at least one judged send, row-major
-    /// `from * n + to`; allocated only when the adversary is configured.
-    used_links: Vec<bool>,
-    /// Node count, for indexing `used_links`.
-    n: usize,
+    /// Directed links that have carried at least one judged send. A hash
+    /// set keeps this O(active links) instead of the former O(n²) bitmap —
+    /// at a million nodes the bitmap alone would be a terabyte. Never
+    /// iterated, so its internal order cannot affect determinism.
+    used_links: HashSet<(NodeId, NodeId)>,
     /// Next delivery-order sequence number for the cross-round heap.
     next_seq: u64,
     /// The fault clock: the round whose sends the next barrier judges.
@@ -619,12 +624,7 @@ impl FaultState {
             adversary_k,
             adversary_rng: (adversary_k > 0)
                 .then(|| StdRng::seed_from_u64(plan.seed ^ ADVERSARY_STREAM_SALT)),
-            used_links: if adversary_k > 0 {
-                vec![false; n * n]
-            } else {
-                Vec::new()
-            },
-            n,
+            used_links: HashSet::new(),
             down_from,
             down_until,
             crash_events,
@@ -720,8 +720,7 @@ impl FaultState {
     /// Marks the directed link `from → to` used and reports whether this
     /// was its first use of the run (the message is on the frontier).
     pub(crate) fn mark_link_used(&mut self, from: NodeId, to: NodeId) -> bool {
-        let slot = &mut self.used_links[from * self.n + to];
-        !std::mem::replace(slot, true)
+        self.used_links.insert((from, to))
     }
 
     /// Chooses up to `adversary_k` of `candidates` (frontier message
@@ -1007,9 +1006,11 @@ mod tests {
         let plan = FaultPlan::new(0).crash_recover(2, 1, 3);
         let state = FaultState::new(&plan, 4);
         let (down_from, down_until) = state.down_windows();
-        let neighbors = [1usize, 2, 3];
+        // Node 0 of K_4 sees [1, 2, 3] behind ports [0, 1, 2].
+        let graph = crate::topology::complete(4).unwrap();
         let view = |clock| NeighborFaultView {
-            neighbors: &neighbors,
+            graph: &graph,
+            node: 0,
             down_from,
             down_until,
             clock,

@@ -1,33 +1,46 @@
-//! Undirected graphs with the KT0 port numbering used by the CONGEST model,
-//! stored in CSR (compressed sparse row) form.
+//! Undirected graphs with the KT0 port numbering used by the CONGEST model.
 //!
 //! Each node `v` has `deg(v)` ports numbered `0..deg(v)`; port `p` of `v` is
 //! connected to exactly one port `p'` of exactly one neighbour `u`, and the
 //! two ends of an edge know nothing about each other beyond the port number
 //! (clean network / KT0 assumption of the paper, Section 2.1).
 //!
-//! # Representation
+//! # Representation: two backends, one contract
 //!
-//! The graph is three flat arrays:
+//! A [`Graph`] is either **materialized** (CSR) or **implicit** (closed
+//! form). Both answer the same queries with *identical* results — the same
+//! neighbour order, the same port numbering, the same edge-id layout — so
+//! everything downstream (round engines, fault plane, protocols, traces) is
+//! backend-agnostic and fault-free runs are byte-identical across backends.
+//!
+//! **CSR backend** (random graphs, ad-hoc edge lists): three flat arrays —
 //!
 //! * `offsets` (`n + 1` entries): node `v`'s neighbours occupy
 //!   `neighbors[offsets[v]..offsets[v + 1]]`,
 //! * `neighbors` (`2m` entries): the flat adjacency, sorted by neighbour id
 //!   within each node's segment — so a node's *port numbering* is its index
-//!   into this segment, exactly as in the old nested-`Vec` representation,
+//!   into this segment,
 //! * `rev_port` (`2m` entries): the **reverse-port table**. For the directed
 //!   edge slot `e = offsets[v] + p` describing `v →(port p)→ u`,
 //!   `rev_port[e]` is the port of `u` whose slot points back at `v`.
 //!
-//! Every directed edge therefore has a stable integer identity
-//! ([`Graph::edge_id`], in `0..2m`) which the [`Network`](crate::Network)
-//! uses for O(1) arrival-port resolution and round-stamped CONGEST
-//! enforcement without hashing. The invariants, checked by the constructor
-//! and exercised by property tests, are:
+//! **Implicit backend** (structured families: complete, star, cycle,
+//! hypercube, torus): no adjacency is stored at all. `neighbors`, `edge_id`,
+//! `reverse_port`, and `shard_boundaries` are computed on the fly from the
+//! family's closed-form port map, chosen to reproduce the CSR
+//! sorted-neighbour numbering exactly. Graph memory is O(1), so a
+//! million-node `complete` — ~4 TB as CSR — costs a few machine words.
 //!
-//! * `neighbors[offsets[u] + rev_port[e]] == v` for every slot `e` of `v`,
+//! Every directed edge has a stable integer identity ([`Graph::edge_id`], in
+//! `0..2m`, laid out as `first_edge_id(v) + port`) which the
+//! [`Network`](crate::Network) uses for O(1) arrival-port resolution and
+//! round-stamped CONGEST enforcement without hashing. The invariants,
+//! checked by the CSR constructor and pinned by property tests on both
+//! backends, are:
+//!
+//! * `neighbor(u, reverse_port(e)) == v` for every slot `e` of `v`,
 //! * `rev_port[reverse_edge(e)] == port of e` (the table is an involution),
-//! * each segment is strictly increasing (no duplicate edges, no self-loops).
+//! * each neighbour list is strictly increasing (no duplicates, no loops).
 
 use std::collections::VecDeque;
 
@@ -44,15 +57,267 @@ pub type NodeId = usize;
 /// A port of a node: an index into that node's adjacency list, in `0..deg(v)`.
 pub type Port = usize;
 
-/// Identifier of a *directed* edge slot, in `0..2m`: the flat CSR index
-/// `offsets[v] + port`. The two directions of an undirected edge have two
-/// distinct ids, related by [`Graph::reverse_edge`].
+/// Identifier of a *directed* edge slot, in `0..2m`: the flat index
+/// `first_edge_id(v) + port`. The two directions of an undirected edge have
+/// two distinct ids, related by [`Graph::reverse_edge`].
 pub type EdgeId = usize;
 
-/// An undirected graph with port numbering, in CSR form.
+/// A structured family whose adjacency is a closed form: the port map is
+/// computed on demand instead of stored, and is defined to agree exactly
+/// with the sorted-neighbour CSR numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ImplicitFamily {
+    /// `K_n`, `n >= 2`: every pair adjacent.
+    Complete { n: usize },
+    /// Star with centre `0` and leaves `1..n`, `n >= 2`.
+    Star { n: usize },
+    /// Cycle `0 — 1 — … — n-1 — 0`, `n >= 3`.
+    Cycle { n: usize },
+    /// Hypercube `Q_d` on `2^d` nodes, `1 <= d < usize::BITS`.
+    Hypercube { dims: u32 },
+    /// `rows × cols` torus with wrap-around, both sides `>= 3` (smaller
+    /// sides collapse wrap edges and stay on the CSR backend).
+    Torus { rows: usize, cols: usize },
+}
+
+impl ImplicitFamily {
+    fn node_count(self) -> usize {
+        match self {
+            ImplicitFamily::Complete { n }
+            | ImplicitFamily::Star { n }
+            | ImplicitFamily::Cycle { n } => n,
+            ImplicitFamily::Hypercube { dims } => 1usize << dims,
+            ImplicitFamily::Torus { rows, cols } => rows * cols,
+        }
+    }
+
+    fn directed_edge_count(self) -> usize {
+        match self {
+            ImplicitFamily::Complete { n } => n * (n - 1),
+            ImplicitFamily::Star { n } => 2 * (n - 1),
+            ImplicitFamily::Cycle { n } => 2 * n,
+            ImplicitFamily::Hypercube { dims } => (dims as usize) << dims,
+            ImplicitFamily::Torus { rows, cols } => 4 * rows * cols,
+        }
+    }
+
+    fn degree(self, v: NodeId) -> usize {
+        match self {
+            ImplicitFamily::Complete { n } => n - 1,
+            ImplicitFamily::Star { n } => {
+                if v == 0 {
+                    n - 1
+                } else {
+                    1
+                }
+            }
+            ImplicitFamily::Cycle { .. } => 2,
+            ImplicitFamily::Hypercube { dims } => dims as usize,
+            ImplicitFamily::Torus { .. } => 4,
+        }
+    }
+
+    /// `Σ_{u < v} deg(u)` — the CSR offset the family never stores. Defined
+    /// for `v = n` too (yields `2m`), exactly like `offsets[n]`.
+    fn first_edge_id(self, v: NodeId) -> EdgeId {
+        match self {
+            ImplicitFamily::Complete { n } => v * (n - 1),
+            ImplicitFamily::Star { n } => {
+                if v == 0 {
+                    0
+                } else {
+                    n - 2 + v
+                }
+            }
+            ImplicitFamily::Cycle { .. } => 2 * v,
+            ImplicitFamily::Hypercube { dims } => v * dims as usize,
+            ImplicitFamily::Torus { .. } => 4 * v,
+        }
+    }
+
+    /// The neighbour behind port `p` of `v`, in sorted-neighbour order —
+    /// the closed form of `neighbors[offsets[v] + p]`.
+    fn neighbor(self, v: NodeId, p: Port) -> NodeId {
+        debug_assert!(p < self.degree(v), "port {p} out of range for node {v}");
+        match self {
+            // K_n: neighbours of v are 0..v then v+1..n; port p skips v.
+            ImplicitFamily::Complete { .. } => {
+                if p < v {
+                    p
+                } else {
+                    p + 1
+                }
+            }
+            // Star: the centre's sorted leaves are 1..n; a leaf sees only 0.
+            ImplicitFamily::Star { .. } => {
+                if v == 0 {
+                    p + 1
+                } else {
+                    0
+                }
+            }
+            // Cycle endpoints wrap, so their sorted pair is not (v-1, v+1).
+            ImplicitFamily::Cycle { n } => match (v, p) {
+                (0, 0) => 1,
+                (0, _) => n - 1,
+                (v, 0) if v == n - 1 => 0,
+                (v, _) if v == n - 1 => n - 2,
+                (v, 0) => v - 1,
+                (v, _) => v + 1,
+            },
+            // Q_d: flipping a *set* bit decreases v, a *clear* bit increases
+            // it, so sorted order is set bits by descending position, then
+            // clear bits by ascending position.
+            ImplicitFamily::Hypercube { dims } => {
+                let set = v.count_ones() as usize;
+                if p < set {
+                    let mut k = set - 1 - p;
+                    let mut x = v;
+                    loop {
+                        let b = x.trailing_zeros();
+                        if k == 0 {
+                            return v ^ (1usize << b);
+                        }
+                        x &= x - 1;
+                        k -= 1;
+                    }
+                } else {
+                    let mut k = p - set;
+                    for b in 0..dims {
+                        if v & (1usize << b) == 0 {
+                            if k == 0 {
+                                return v | (1usize << b);
+                            }
+                            k -= 1;
+                        }
+                    }
+                    unreachable!("port {p} out of range for node {v}")
+                }
+            }
+            ImplicitFamily::Torus { rows, cols } => torus_sorted_neighbors(rows, cols, v)[p],
+        }
+    }
+
+    /// The port of `v` that leads to `u`, if adjacent — the closed form of
+    /// the CSR binary search.
+    fn port_to(self, v: NodeId, u: NodeId) -> Option<Port> {
+        let n = self.node_count();
+        if v >= n || u >= n || u == v {
+            return None;
+        }
+        match self {
+            ImplicitFamily::Complete { .. } => Some(if u < v { u } else { u - 1 }),
+            ImplicitFamily::Star { .. } => match (v, u) {
+                (0, u) => Some(u - 1),
+                (_, 0) => Some(0),
+                _ => None,
+            },
+            ImplicitFamily::Cycle { n } => {
+                let prev = if v == 0 { n - 1 } else { v - 1 };
+                let next = if v == n - 1 { 0 } else { v + 1 };
+                // Sorted pair: min(prev, next) is port 0. n >= 3 keeps them
+                // distinct.
+                if u == prev.min(next) {
+                    Some(0)
+                } else if u == prev.max(next) {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+            ImplicitFamily::Hypercube { .. } => {
+                let diff = v ^ u;
+                if !diff.is_power_of_two() {
+                    return None;
+                }
+                let b = diff.trailing_zeros();
+                if u < v {
+                    // u clears bit b of v: sorted position = count of set
+                    // bits of v strictly above b (descending order).
+                    Some((v >> (b + 1)).count_ones() as usize)
+                } else {
+                    // u sets bit b of v: after all set-bit neighbours, in
+                    // ascending clear-bit order.
+                    let below = (v & ((1usize << b) - 1)).count_ones() as usize;
+                    Some(v.count_ones() as usize + (b as usize - below))
+                }
+            }
+            ImplicitFamily::Torus { rows, cols } => torus_sorted_neighbors(rows, cols, v)
+                .iter()
+                .position(|&w| w == u),
+        }
+    }
+
+    /// Eccentricity — every family here is vertex-symmetric enough for a
+    /// closed form.
+    fn eccentricity(self, v: NodeId) -> usize {
+        match self {
+            ImplicitFamily::Complete { .. } => 1,
+            ImplicitFamily::Star { n } => {
+                if n == 2 || v == 0 {
+                    1
+                } else {
+                    2
+                }
+            }
+            ImplicitFamily::Cycle { n } => n / 2,
+            ImplicitFamily::Hypercube { dims } => dims as usize,
+            ImplicitFamily::Torus { rows, cols } => rows / 2 + cols / 2,
+        }
+    }
+
+    fn diameter(self) -> usize {
+        match self {
+            ImplicitFamily::Complete { .. } => 1,
+            ImplicitFamily::Star { n } => {
+                if n == 2 {
+                    1
+                } else {
+                    2
+                }
+            }
+            ImplicitFamily::Cycle { n } => n / 2,
+            ImplicitFamily::Hypercube { dims } => dims as usize,
+            ImplicitFamily::Torus { rows, cols } => rows / 2 + cols / 2,
+        }
+    }
+}
+
+/// The four torus neighbours of `v`, sorted ascending (the CSR port order).
+/// Both sides are `>= 3`, so the four are pairwise distinct.
+fn torus_sorted_neighbors(rows: usize, cols: usize, v: NodeId) -> [NodeId; 4] {
+    let (r, c) = (v / cols, v % cols);
+    let mut a = [
+        ((r + rows - 1) % rows) * cols + c,
+        ((r + 1) % rows) * cols + c,
+        r * cols + (c + cols - 1) % cols,
+        r * cols + (c + 1) % cols,
+    ];
+    a.sort_unstable();
+    a
+}
+
+/// Storage behind a [`Graph`]: materialized CSR arrays or an implicit
+/// closed-form family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Backend {
+    Csr {
+        /// CSR row offsets; `offsets[n]` is the directed edge count `2m`.
+        offsets: Vec<usize>,
+        /// Flat adjacency, sorted within each node's segment.
+        neighbors: Vec<NodeId>,
+        /// Reverse-port table: `rev_port[offsets[v] + p]` is the port of
+        /// `neighbors[offsets[v] + p]` that leads back to `v`.
+        rev_port: Vec<Port>,
+    },
+    Implicit(ImplicitFamily),
+}
+
+/// An undirected graph with port numbering — CSR-materialized or computed
+/// from a closed form, behind one backend-agnostic API.
 ///
 /// The adjacency segment of each node is sorted by neighbour id, so port
-/// numbers are deterministic for a given edge set.
+/// numbers are deterministic for a given edge set, on both backends.
 ///
 /// # Example
 ///
@@ -66,25 +331,113 @@ pub type EdgeId = usize;
 /// assert!(g.is_connected());
 /// assert_eq!(g.diameter(), 2);
 ///
-/// // CSR directed-edge identities: port 0 of node 0 leads to node 1, and
-/// // the reverse-port table names the port of 1 that leads back to 0.
+/// // Directed edge identities: port 0 of node 0 leads to node 1, and the
+/// // reverse port names the port of 1 that leads back to 0.
 /// let e = g.edge_id(0, 0);
 /// assert_eq!(g.edge_target(e), 1);
-/// assert_eq!(g.neighbors(1)[g.reverse_port(e)], 0);
+/// assert_eq!(g.neighbor(1, g.reverse_port(e)), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
-    /// CSR row offsets; `offsets[n]` is the directed edge count `2m`.
-    offsets: Vec<usize>,
-    /// Flat adjacency, sorted within each node's segment.
-    neighbors: Vec<NodeId>,
-    /// Reverse-port table: `rev_port[offsets[v] + p]` is the port of
-    /// `neighbors[offsets[v] + p]` that leads back to `v`.
-    rev_port: Vec<Port>,
+    backend: Backend,
 }
 
+/// Iterator over a node's neighbours in port order, returned by
+/// [`Graph::neighbors`].
+///
+/// On the CSR backend this walks the node's sorted segment; on the implicit
+/// backend each step evaluates the family's closed-form port map. Either
+/// way, item `i` (counting from the front) is the neighbour behind port `i`.
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    repr: NeighborsRepr<'a>,
+    node: NodeId,
+    front: Port,
+    back: Port,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NeighborsRepr<'a> {
+    /// The node's full CSR segment (indexed by port, not yet advanced).
+    Slice(&'a [NodeId]),
+    Implicit(ImplicitFamily),
+}
+
+impl Neighbors<'_> {
+    /// Number of neighbours not yet yielded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.back - self.front
+    }
+
+    /// Whether all neighbours have been yielded (or the node is isolated).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.front == self.back
+    }
+
+    /// Collects the remaining neighbours into a `Vec`, in port order.
+    #[must_use]
+    pub fn to_vec(self) -> Vec<NodeId> {
+        self.collect()
+    }
+
+    fn at(&self, p: Port) -> NodeId {
+        match self.repr {
+            NeighborsRepr::Slice(seg) => seg[p],
+            NeighborsRepr::Implicit(family) => family.neighbor(self.node, p),
+        }
+    }
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        (self.front < self.back).then(|| {
+            let u = self.at(self.front);
+            self.front += 1;
+            u
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len(), Some(self.len()))
+    }
+}
+
+impl DoubleEndedIterator for Neighbors<'_> {
+    fn next_back(&mut self) -> Option<NodeId> {
+        (self.front < self.back).then(|| {
+            self.back -= 1;
+            self.at(self.back)
+        })
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+impl PartialEq for Graph {
+    /// Semantic equality: same node count and same adjacency (hence same
+    /// port numbering), regardless of backend. Same-backend comparisons are
+    /// structural; mixed comparisons walk the adjacency.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.backend, &other.backend) {
+            (Backend::Csr { .. }, Backend::Csr { .. })
+            | (Backend::Implicit(_), Backend::Implicit(_)) => self.backend == other.backend,
+            _ => {
+                self.node_count() == other.node_count()
+                    && self.directed_edge_count() == other.directed_edge_count()
+                    && (0..self.node_count()).all(|v| self.neighbors(v).eq(other.neighbors(v)))
+            }
+        }
+    }
+}
+
+impl Eq for Graph {}
+
 impl Graph {
-    /// Builds a graph on `n` nodes from an edge list.
+    /// Builds a materialized (CSR) graph on `n` nodes from an edge list.
     ///
     /// Duplicate edges and self-loops are rejected.
     ///
@@ -149,29 +502,69 @@ impl Graph {
             }
         }
         Ok(Graph {
-            offsets,
-            neighbors,
-            rev_port,
+            backend: Backend::Csr {
+                offsets,
+                neighbors,
+                rev_port,
+            },
         })
+    }
+
+    /// Wraps an implicit family; validation (size floors, side lengths) is
+    /// the topology constructors' responsibility.
+    pub(crate) fn from_implicit(family: ImplicitFamily) -> Self {
+        Graph {
+            backend: Backend::Implicit(family),
+        }
+    }
+
+    /// Whether this graph computes its adjacency from a closed form (O(1)
+    /// graph memory) rather than storing CSR arrays.
+    #[must_use]
+    pub fn is_implicit(&self) -> bool {
+        matches!(self.backend, Backend::Implicit(_))
+    }
+
+    /// A materialized (CSR) copy of this graph with the identical adjacency,
+    /// port numbering, and edge-id layout. On a CSR graph this is a plain
+    /// clone. Intended for equivalence tests and for algorithms that want
+    /// slice access; do not call on huge implicit graphs (it allocates the
+    /// full O(E) arrays being avoided).
+    #[must_use]
+    pub fn materialize(&self) -> Graph {
+        match &self.backend {
+            Backend::Csr { .. } => self.clone(),
+            Backend::Implicit(_) => {
+                let edges: Vec<(NodeId, NodeId)> = self.edges().collect();
+                Graph::from_edges(self.node_count(), &edges)
+                    .expect("implicit adjacency is a valid edge set")
+            }
+        }
     }
 
     /// Number of nodes `n`.
     #[must_use]
+    #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        match &self.backend {
+            Backend::Csr { offsets, .. } => offsets.len() - 1,
+            Backend::Implicit(family) => family.node_count(),
+        }
     }
 
     /// Number of undirected edges `m`.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.neighbors.len() / 2
+        self.directed_edge_count() / 2
     }
 
-    /// Number of *directed* edge slots, `2m` — the length of the CSR arrays
-    /// and the domain of [`EdgeId`].
+    /// Number of *directed* edge slots, `2m` — the domain of [`EdgeId`].
     #[must_use]
     pub fn directed_edge_count(&self) -> usize {
-        self.neighbors.len()
+        match &self.backend {
+            Backend::Csr { neighbors, .. } => neighbors.len(),
+            Backend::Implicit(family) => family.directed_edge_count(),
+        }
     }
 
     /// Degree of node `v`.
@@ -180,45 +573,103 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     #[must_use]
+    #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v + 1] - self.offsets[v]
+        match &self.backend {
+            Backend::Csr { offsets, .. } => offsets[v + 1] - offsets[v],
+            Backend::Implicit(family) => {
+                assert!(v < family.node_count(), "node {v} out of range");
+                family.degree(v)
+            }
+        }
     }
 
-    /// The neighbours of `v`, in increasing order (port order).
+    /// The neighbours of `v` in increasing order (port order), as an
+    /// iterator: item `p` is the neighbour behind port `p`. O(1) to create
+    /// on both backends; use [`Graph::neighbor`] for single-port lookups.
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
     #[must_use]
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        match &self.backend {
+            Backend::Csr {
+                offsets, neighbors, ..
+            } => Neighbors {
+                repr: NeighborsRepr::Slice(&neighbors[offsets[v]..offsets[v + 1]]),
+                node: v,
+                front: 0,
+                back: offsets[v + 1] - offsets[v],
+            },
+            Backend::Implicit(family) => {
+                assert!(v < family.node_count(), "node {v} out of range");
+                Neighbors {
+                    repr: NeighborsRepr::Implicit(*family),
+                    node: v,
+                    front: 0,
+                    back: family.degree(v),
+                }
+            }
+        }
     }
 
-    /// The directed edge id of `v`'s port `p`: the flat CSR slot
-    /// `offsets[v] + p`. O(1).
+    /// The neighbour of `v` behind port `p`. O(1) on both backends — this is
+    /// the hot-path lookup (`neighbors[offsets[v] + p]` on CSR, the closed
+    /// form on implicit families).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `p >= deg(v)`.
+    #[must_use]
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, p: Port) -> NodeId {
+        match &self.backend {
+            Backend::Csr {
+                offsets, neighbors, ..
+            } => {
+                assert!(p < offsets[v + 1] - offsets[v], "port {p} out of range");
+                neighbors[offsets[v] + p]
+            }
+            Backend::Implicit(family) => {
+                assert!(v < family.node_count(), "node {v} out of range");
+                assert!(p < family.degree(v), "port {p} out of range for node {v}");
+                family.neighbor(v, p)
+            }
+        }
+    }
+
+    /// The directed edge id of `v`'s port `p`: `first_edge_id(v) + p`. O(1).
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `p >= deg(v)`; `v >= n` panics always.
     #[must_use]
+    #[inline]
     pub fn edge_id(&self, v: NodeId, p: Port) -> EdgeId {
         debug_assert!(p < self.degree(v), "port {p} out of range for node {v}");
-        self.offsets[v] + p
+        self.first_edge_id(v) + p
     }
 
-    /// The first directed edge slot of node `v`, i.e. the CSR offset
-    /// `offsets[v]`; `v = n` is allowed and yields `2m`. Together with
-    /// [`edge_id`](Graph::edge_id) this makes `first_edge_id(v)..first_edge_id(v + 1)`
-    /// the edge-id range owned by `v` — the contiguity that lets the sharded
-    /// round engine hand each shard a disjoint slice of the per-edge stamp
-    /// table.
+    /// The first directed edge slot of node `v`; `v = n` is allowed and
+    /// yields `2m`. Together with [`edge_id`](Graph::edge_id) this makes
+    /// `first_edge_id(v)..first_edge_id(v + 1)` the edge-id range owned by
+    /// `v` — the contiguity that lets the sharded round engine hand each
+    /// shard a disjoint node range with a disjoint edge-id range.
     ///
     /// # Panics
     ///
     /// Panics if `v > n`.
     #[must_use]
+    #[inline]
     pub fn first_edge_id(&self, v: NodeId) -> EdgeId {
-        self.offsets[v]
+        match &self.backend {
+            Backend::Csr { offsets, .. } => offsets[v],
+            Backend::Implicit(family) => {
+                assert!(v <= family.node_count(), "node {v} out of range");
+                family.first_edge_id(v)
+            }
+        }
     }
 
     /// Partitions the nodes into `shards` contiguous ranges balanced by
@@ -226,10 +677,12 @@ impl Graph {
     /// sends plus deliveries, i.e. to degree sums, not node counts).
     ///
     /// Returns `k + 1` fenceposts `b_0 = 0 < b_1 < … < b_k = n`; shard `s`
-    /// owns nodes `b_s..b_{s+1}` and (by CSR layout) the contiguous directed
-    /// edge ids `first_edge_id(b_s)..first_edge_id(b_{s+1})`. The effective
-    /// shard count `k` is `shards` clamped to `1..=n`, so every shard is
-    /// non-empty. Deterministic: depends only on the graph.
+    /// owns nodes `b_s..b_{s+1}` and (by the edge-id layout) the contiguous
+    /// directed edge ids `first_edge_id(b_s)..first_edge_id(b_{s+1})`. The
+    /// effective shard count `k` is `shards` clamped to `1..=n`, so every
+    /// shard is non-empty. Deterministic: depends only on the graph — and
+    /// identical across backends, because both compute the same
+    /// partition point of the same offset sequence.
     #[must_use]
     pub fn shard_boundaries(&self, shards: usize) -> Vec<usize> {
         let n = self.node_count();
@@ -241,10 +694,25 @@ impl Graph {
             let target = total * s / k;
             // Smallest cut with at least `target` directed edges below it,
             // clamped so that every shard keeps at least one node.
-            let cut = self
-                .offsets
-                .partition_point(|&o| o < target)
-                .clamp(bounds[s - 1] + 1, n - (k - s));
+            let cut = match &self.backend {
+                Backend::Csr { offsets, .. } => offsets.partition_point(|&o| o < target),
+                Backend::Implicit(family) => {
+                    // partition_point over the implied offsets 0..=n: the
+                    // count of v with first_edge_id(v) < target, found by
+                    // binary search on the monotone closed form.
+                    let (mut lo, mut hi) = (0usize, n + 1);
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        if family.first_edge_id(mid) < target {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    lo
+                }
+            }
+            .clamp(bounds[s - 1] + 1, n - (k - s));
             bounds.push(cut);
         }
         bounds.push(n);
@@ -258,8 +726,15 @@ impl Graph {
     ///
     /// Panics if `e >= 2m`.
     #[must_use]
+    #[inline]
     pub fn edge_target(&self, e: EdgeId) -> NodeId {
-        self.neighbors[e]
+        match &self.backend {
+            Backend::Csr { neighbors, .. } => neighbors[e],
+            Backend::Implicit(family) => {
+                let (v, p) = implicit_edge_source(*family, e);
+                family.neighbor(v, p)
+            }
+        }
     }
 
     /// The reverse port of a directed edge slot: for `e = edge_id(v, p)`
@@ -272,7 +747,110 @@ impl Graph {
     /// Panics if `e >= 2m`.
     #[must_use]
     pub fn reverse_port(&self, e: EdgeId) -> Port {
-        self.rev_port[e]
+        match &self.backend {
+            Backend::Csr { rev_port, .. } => rev_port[e],
+            Backend::Implicit(family) => {
+                let (v, p) = implicit_edge_source(*family, e);
+                let u = family.neighbor(v, p);
+                family.port_to(u, v).expect("asymmetric implicit adjacency")
+            }
+        }
+    }
+
+    /// The reverse port of `v`'s port `p` without forming the [`EdgeId`]:
+    /// the arrival port at `neighbor(v, p)` for a message sent by `v` on
+    /// `p`. O(1) on both backends — the send path uses this so implicit
+    /// families never pay an edge-id division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `p >= deg(v)`.
+    #[must_use]
+    #[inline]
+    pub fn reverse_port_at(&self, v: NodeId, p: Port) -> Port {
+        match &self.backend {
+            Backend::Csr {
+                offsets, rev_port, ..
+            } => {
+                debug_assert!(p < offsets[v + 1] - offsets[v]);
+                rev_port[offsets[v] + p]
+            }
+            Backend::Implicit(family) => {
+                let u = self.neighbor(v, p);
+                family.port_to(u, v).expect("asymmetric implicit adjacency")
+            }
+        }
+    }
+
+    /// One-dispatch lookup for the hot send path: the target node and
+    /// arrival port of `v`'s port `p`, or `Err(deg(v))` when `p` is out of
+    /// range — so a validated send costs exactly one backend match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub(crate) fn checked_delivery(&self, v: NodeId, p: Port) -> Result<(NodeId, Port), usize> {
+        match &self.backend {
+            Backend::Csr {
+                offsets,
+                neighbors,
+                rev_port,
+            } => {
+                let lo = offsets[v];
+                let degree = offsets[v + 1] - lo;
+                if p >= degree {
+                    return Err(degree);
+                }
+                let idx = lo + p;
+                Ok((neighbors[idx], rev_port[idx]))
+            }
+            Backend::Implicit(family) => {
+                assert!(v < family.node_count(), "node {v} out of range");
+                let degree = family.degree(v);
+                if p >= degree {
+                    return Err(degree);
+                }
+                let u = family.neighbor(v, p);
+                Ok((
+                    u,
+                    family.port_to(u, v).expect("asymmetric implicit adjacency"),
+                ))
+            }
+        }
+    }
+
+    /// The delivery slot of `v`'s port `p`: the target node together with
+    /// the arrival port there, resolved in **one** backend dispatch. The
+    /// hot send path uses this so a send costs a single indexed pair of
+    /// loads on CSR (shared offset computation) and a single closed-form
+    /// evaluation pair on implicit backends — instead of separate
+    /// `neighbor` + `reverse_port_at` calls.
+    ///
+    /// Callers must have validated `v < n` and `p < deg(v)` (every send
+    /// entry point does); only a debug assert re-checks, keeping the
+    /// release hot path to the two loads.
+    #[must_use]
+    #[inline]
+    pub(crate) fn delivery_slot(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        match &self.backend {
+            Backend::Csr {
+                offsets,
+                neighbors,
+                rev_port,
+            } => {
+                debug_assert!(p < offsets[v + 1] - offsets[v], "port {p} out of range");
+                let idx = offsets[v] + p;
+                (neighbors[idx], rev_port[idx])
+            }
+            Backend::Implicit(family) => {
+                let u = family.neighbor(v, p);
+                (
+                    u,
+                    family.port_to(u, v).expect("asymmetric implicit adjacency"),
+                )
+            }
+        }
     }
 
     /// The opposite directed slot of `e`: if `e` describes `v → u`, the
@@ -283,7 +861,19 @@ impl Graph {
     /// Panics if `e >= 2m`.
     #[must_use]
     pub fn reverse_edge(&self, e: EdgeId) -> EdgeId {
-        self.offsets[self.neighbors[e]] + self.rev_port[e]
+        match &self.backend {
+            Backend::Csr {
+                offsets,
+                neighbors,
+                rev_port,
+            } => offsets[neighbors[e]] + rev_port[e],
+            Backend::Implicit(family) => {
+                let (v, p) = implicit_edge_source(*family, e);
+                let u = family.neighbor(v, p);
+                let back = family.port_to(u, v).expect("asymmetric implicit adjacency");
+                family.first_edge_id(u) + back
+            }
+        }
     }
 
     /// The neighbour of `v` reached through port `p`.
@@ -306,39 +896,50 @@ impl Graph {
                 degree: self.degree(v),
             });
         }
-        Ok(self.neighbors[self.offsets[v] + p])
+        Ok(self.neighbor(v, p))
     }
 
     /// The port of `v` that leads to `u`, if `u` is adjacent to `v`.
     ///
-    /// O(log deg(v)) — binary search in `v`'s sorted segment. Hot paths that
-    /// already hold an [`EdgeId`] should use [`reverse_port`](Graph::reverse_port)
-    /// instead, which is O(1).
+    /// O(log deg(v)) on CSR (binary search in the sorted segment), O(1) on
+    /// implicit families. Hot paths that already hold a port should use
+    /// [`reverse_port_at`](Graph::reverse_port_at) instead.
     #[must_use]
     pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
-        if v >= self.node_count() {
-            return None;
+        match &self.backend {
+            Backend::Csr {
+                offsets, neighbors, ..
+            } => {
+                if v >= offsets.len() - 1 {
+                    return None;
+                }
+                neighbors[offsets[v]..offsets[v + 1]].binary_search(&u).ok()
+            }
+            Backend::Implicit(family) => family.port_to(v, u),
         }
-        self.neighbors(v).binary_search(&u).ok()
     }
 
     /// Whether `u` and `v` are adjacent.
     #[must_use]
     pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
-        u < self.node_count() && self.neighbors(u).binary_search(&v).is_ok()
+        self.port_to(u, v).is_some()
     }
 
     /// Iterator over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count()).flat_map(|u| {
+        (0..self.node_count()).flat_map(move |u| {
             self.neighbors(u)
-                .iter()
-                .filter(move |&&v| u < v)
-                .map(move |&v| (u, v))
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
     /// Breadth-first distances from `source` (`usize::MAX` for unreachable nodes).
+    ///
+    /// Allocates O(n); on implicit families the adjacency itself stays
+    /// un-materialized, but large-n callers should still prefer the O(1)
+    /// closed-form [`diameter`](Graph::diameter)/[`eccentricity`](Graph::eccentricity)
+    /// where a distance vector is not actually needed.
     ///
     /// # Panics
     ///
@@ -351,7 +952,7 @@ impl Graph {
         dist[source] = 0;
         queue.push_back(source);
         while let Some(v) = queue.pop_front() {
-            for &u in self.neighbors(v) {
+            for u in self.neighbors(v) {
                 if dist[u] == usize::MAX {
                     dist[u] = dist[v] + 1;
                     queue.push_back(u);
@@ -361,36 +962,53 @@ impl Graph {
         dist
     }
 
-    /// Whether the graph is connected.
+    /// Whether the graph is connected. O(1) on implicit families (connected
+    /// by construction); BFS on CSR.
     #[must_use]
     pub fn is_connected(&self) -> bool {
-        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+        match &self.backend {
+            Backend::Csr { .. } => self.bfs_distances(0).iter().all(|&d| d != usize::MAX),
+            Backend::Implicit(_) => true,
+        }
     }
 
     /// The diameter (largest finite BFS distance). Returns `usize::MAX` for a
     /// disconnected graph.
     ///
-    /// This is an `O(n · m)` exact computation intended for the modest network
-    /// sizes used in tests and experiments.
+    /// O(1) closed form on implicit families. On CSR this is an `O(n · m)`
+    /// exact computation intended for the modest network sizes used in tests
+    /// and experiments — large-n result paths must not call it on CSR
+    /// graphs (the bench code guards this with an explicit size cutoff).
     #[must_use]
     pub fn diameter(&self) -> usize {
-        let mut best = 0;
-        for v in 0..self.node_count() {
-            let dist = self.bfs_distances(v);
-            let far = dist.iter().copied().max().unwrap_or(0);
-            if far == usize::MAX {
-                return usize::MAX;
+        match &self.backend {
+            Backend::Csr { .. } => {
+                let mut best = 0;
+                for v in 0..self.node_count() {
+                    let dist = self.bfs_distances(v);
+                    let far = dist.iter().copied().max().unwrap_or(0);
+                    if far == usize::MAX {
+                        return usize::MAX;
+                    }
+                    best = best.max(far);
+                }
+                best
             }
-            best = best.max(far);
+            Backend::Implicit(family) => family.diameter(),
         }
-        best
     }
 
     /// Eccentricity of a single node (largest BFS distance from it), or
-    /// `usize::MAX` if some node is unreachable.
+    /// `usize::MAX` if some node is unreachable. O(1) on implicit families.
     #[must_use]
     pub fn eccentricity(&self, v: NodeId) -> usize {
-        self.bfs_distances(v).iter().copied().max().unwrap_or(0)
+        match &self.backend {
+            Backend::Csr { .. } => self.bfs_distances(v).iter().copied().max().unwrap_or(0),
+            Backend::Implicit(family) => {
+                assert!(v < family.node_count(), "node {v} out of range");
+                family.eccentricity(v)
+            }
+        }
     }
 
     /// Sum of `sqrt(deg(v))` over all nodes; appears in the message bound of
@@ -427,6 +1045,27 @@ impl Graph {
     }
 }
 
+/// Recovers `(source node, port)` from a directed edge id on an implicit
+/// family — a division for the constant-degree families, piecewise for the
+/// star. (The round engine avoids this entirely by carrying ports; only the
+/// edge-id-facing API pays it.)
+fn implicit_edge_source(family: ImplicitFamily, e: EdgeId) -> (NodeId, Port) {
+    assert!(e < family.directed_edge_count(), "edge id {e} out of range");
+    match family {
+        ImplicitFamily::Complete { n } => (e / (n - 1), e % (n - 1)),
+        ImplicitFamily::Star { n } => {
+            if e < n - 1 {
+                (0, e)
+            } else {
+                (e - (n - 2), 0)
+            }
+        }
+        ImplicitFamily::Cycle { .. } => (e / 2, e % 2),
+        ImplicitFamily::Hypercube { dims } => (e / dims as usize, e % dims as usize),
+        ImplicitFamily::Torus { .. } => (e / 4, e % 4),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +1073,26 @@ mod tests {
     fn path_graph(n: usize) -> Graph {
         let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
         Graph::from_edges(n, &edges).unwrap()
+    }
+
+    /// Every implicit family instance the unit tests sweep, including the
+    /// degenerate floors (K_2, star_2, C_3, Q_1, 3×3 torus) and odd sizes.
+    fn implicit_zoo() -> Vec<Graph> {
+        let mut zoo = Vec::new();
+        for n in [2usize, 3, 5, 8, 17] {
+            zoo.push(Graph::from_implicit(ImplicitFamily::Complete { n }));
+            zoo.push(Graph::from_implicit(ImplicitFamily::Star { n }));
+        }
+        for n in [3usize, 4, 7, 16] {
+            zoo.push(Graph::from_implicit(ImplicitFamily::Cycle { n }));
+        }
+        for dims in [1u32, 2, 3, 5] {
+            zoo.push(Graph::from_implicit(ImplicitFamily::Hypercube { dims }));
+        }
+        for (rows, cols) in [(3usize, 3usize), (3, 5), (4, 3), (5, 7)] {
+            zoo.push(Graph::from_implicit(ImplicitFamily::Torus { rows, cols }));
+        }
+        zoo
     }
 
     #[test]
@@ -462,7 +1121,7 @@ mod tests {
     #[test]
     fn ports_are_sorted_and_symmetric() {
         let g = Graph::from_edges(5, &[(0, 3), (0, 1), (0, 4), (1, 2)]).unwrap();
-        assert_eq!(g.neighbors(0), &[1, 3, 4]);
+        assert_eq!(g.neighbors(0).to_vec(), vec![1, 3, 4]);
         assert_eq!(g.neighbor_through_port(0, 1).unwrap(), 3);
         assert_eq!(g.port_to(3, 0), Some(0));
         assert_eq!(g.port_to(0, 2), None);
@@ -547,9 +1206,11 @@ mod tests {
                 let e = g.edge_id(v, p);
                 let u = g.edge_target(e);
                 // The reverse port points back at v...
-                assert_eq!(g.neighbors(u)[g.reverse_port(e)], v);
-                // ...and agrees with the binary-search path.
+                assert_eq!(g.neighbor(u, g.reverse_port(e)), v);
+                // ...and agrees with the binary-search path and the
+                // port-level lookup.
                 assert_eq!(g.port_to(u, v), Some(g.reverse_port(e)));
+                assert_eq!(g.reverse_port_at(v, p), g.reverse_port(e));
                 // reverse_edge is an involution.
                 assert_eq!(g.reverse_edge(g.reverse_edge(e)), e);
             }
@@ -569,7 +1230,7 @@ mod tests {
                 assert_eq!(*bounds.first().unwrap(), 0);
                 assert_eq!(*bounds.last().unwrap(), n);
                 assert!(bounds.windows(2).all(|w| w[0] < w[1]), "empty shard");
-                // Edge ranges tile the CSR domain.
+                // Edge ranges tile the directed-edge domain.
                 let edges: usize = bounds
                     .windows(2)
                     .map(|w| g.first_edge_id(w[1]) - g.first_edge_id(w[0]))
@@ -601,5 +1262,106 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn implicit_families_match_their_materialization_exactly() {
+        // The whole backend contract in one sweep: adjacency, port
+        // numbering, edge-id layout, reverse ports, and shard boundaries of
+        // every implicit instance agree with an independently constructed
+        // CSR graph over the same edge set.
+        for g in implicit_zoo() {
+            assert!(g.is_implicit());
+            let csr = g.materialize();
+            assert!(!csr.is_implicit());
+            assert_eq!(g.node_count(), csr.node_count());
+            assert_eq!(g.directed_edge_count(), csr.directed_edge_count());
+            assert_eq!(g, csr, "semantic equality across backends");
+            for v in 0..g.node_count() {
+                assert_eq!(g.degree(v), csr.degree(v), "degree({v})");
+                assert_eq!(g.first_edge_id(v), csr.first_edge_id(v));
+                assert_eq!(
+                    g.neighbors(v).to_vec(),
+                    csr.neighbors(v).to_vec(),
+                    "neighbors({v})"
+                );
+                for p in 0..g.degree(v) {
+                    let e = g.edge_id(v, p);
+                    assert_eq!(e, csr.edge_id(v, p));
+                    assert_eq!(g.edge_target(e), csr.edge_target(e));
+                    assert_eq!(g.reverse_port(e), csr.reverse_port(e));
+                    assert_eq!(g.reverse_port_at(v, p), csr.reverse_port_at(v, p));
+                    assert_eq!(g.reverse_edge(e), csr.reverse_edge(e));
+                }
+                for u in 0..g.node_count() {
+                    assert_eq!(g.port_to(v, u), csr.port_to(v, u), "port_to({v}, {u})");
+                }
+            }
+            assert_eq!(g.first_edge_id(g.node_count()), g.directed_edge_count());
+            for k in [1usize, 2, 3, 4, 7, 64] {
+                assert_eq!(
+                    g.shard_boundaries(k),
+                    csr.shard_boundaries(k),
+                    "shard_boundaries({k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_closed_form_metrics_match_bfs() {
+        for g in implicit_zoo() {
+            let csr = g.materialize();
+            assert!(g.is_connected());
+            assert_eq!(g.diameter(), csr.diameter(), "diameter");
+            for v in 0..g.node_count() {
+                assert_eq!(g.eccentricity(v), csr.eccentricity(v), "eccentricity({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_reverse_ports_are_involutions() {
+        for g in implicit_zoo() {
+            for v in 0..g.node_count() {
+                for p in 0..g.degree(v) {
+                    let e = g.edge_id(v, p);
+                    let u = g.edge_target(e);
+                    assert_eq!(g.neighbor(u, g.reverse_port(e)), v);
+                    assert_eq!(g.reverse_edge(g.reverse_edge(e)), e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_graph_memory_is_constant() {
+        // The point of the backend: a graph whose CSR arrays would need
+        // ~2^40 slots is a couple of machine words.
+        let g = Graph::from_implicit(ImplicitFamily::Complete { n: 1 << 20 });
+        assert_eq!(g.node_count(), 1 << 20);
+        assert_eq!(g.directed_edge_count(), (1 << 20) * ((1 << 20) - 1));
+        assert_eq!(std::mem::size_of::<Graph>(), std::mem::size_of::<Backend>());
+        // Spot-check the closed forms deep into the id space.
+        let v = 999_983usize;
+        assert_eq!(g.degree(v), (1 << 20) - 1);
+        assert_eq!(g.neighbor(v, 0), 0);
+        assert_eq!(g.neighbor(v, v), v + 1);
+        assert_eq!(g.port_to(v, 12), Some(12));
+        assert_eq!(g.reverse_port_at(v, 12), v - 1);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn neighbors_iterator_is_double_ended_and_exact() {
+        let g = Graph::from_implicit(ImplicitFamily::Hypercube { dims: 4 });
+        let forward: Vec<_> = g.neighbors(11).collect();
+        let mut backward: Vec<_> = g.neighbors(11).rev().collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        assert_eq!(g.neighbors(11).len(), g.degree(11));
+        let mut it = g.neighbors(11);
+        it.next();
+        assert_eq!(it.len(), g.degree(11) - 1);
     }
 }

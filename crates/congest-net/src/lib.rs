@@ -33,31 +33,40 @@
 //! **zero heap allocation** and no hashing. Three design decisions carry
 //! this, and each comes with an invariant the rest of the crate relies on:
 //!
-//! ## 1. CSR graph with a reverse-port table
+//! ## 1. Dual-backend graph with a closed-form reverse-port map
 //!
-//! [`Graph`] stores adjacency as flat `offsets` / `neighbors` arrays
-//! (compressed sparse row). Each directed edge slot `offsets[v] + p` is a
-//! stable integer [`EdgeId`], and a precomputed `rev_port` table maps every
-//! slot to the *receiving* port on the other side.
+//! [`Graph`] hides one of two adjacency backends behind a single API.
+//! Random/irregular topologies store flat `offsets` / `neighbors` arrays
+//! (compressed sparse row) plus a precomputed `rev_port` table. Structured
+//! families (complete, star, cycle, hypercube, torus) store only their
+//! *parameters* and compute `neighbor(v, p)`, `edge_id(v, p)` and
+//! `reverse_port` from closed forms — a million-node `K_n` is a few bytes,
+//! not the ~8 TiB its CSR adjacency would occupy. [`Graph::materialize`]
+//! produces the CSR twin with the identical neighbour order, port numbering
+//! and edge-id layout, so fault-free runs are byte-identical across backends.
 //!
 //! **Invariant:** for every edge id `e = edge_id(v, p)` with target `u`,
-//! `neighbors(u)[reverse_port(e)] == v`, and
-//! `reverse_edge(reverse_edge(e)) == e`. Consequently the arrival port of a
-//! message is an O(1) array read at send time; nothing on the delivery path
-//! ever scans or searches an adjacency list. (`port_to(v, u)` for arbitrary
-//! pairs remains an `O(log deg)` binary search and is off the hot path.)
+//! `neighbor(u, reverse_port(e)) == v`, and
+//! `reverse_edge(reverse_edge(e)) == e` — on *both* backends. Consequently
+//! the arrival port of a message is an O(1) lookup (array read or closed
+//! form) at send time; nothing on the delivery path ever scans or searches
+//! an adjacency list. (`port_to(v, u)` for arbitrary pairs remains
+//! `O(log deg)` / `O(1)` and is off the hot path.)
 //!
-//! ## 2. Round-stamped edge usage
+//! ## 2. Round-stamped edge usage, paged lazily per node
 //!
-//! The CONGEST one-message-per-directed-edge rule is enforced by a
-//! `Vec<u64>` of *round stamps* indexed by [`EdgeId`]: an edge is busy iff
-//! `edge_stamp[e] == round_stamp`. Advancing a round just increments
-//! `round_stamp`.
+//! The CONGEST one-message-per-directed-edge rule is enforced by per-node
+//! *stamp pages*: node `v`'s page holds `deg(v)` round stamps, one per port,
+//! and a port is busy iff its stamp equals the current `round_stamp`. Pages
+//! are allocated on a node's **first send** — a node that never sends costs
+//! one null pointer, so the data plane carries O(n + active) stamp state
+//! instead of the former O(E) flat array (terabytes on an implicit `K_n`).
+//! Advancing a round just increments `round_stamp`.
 //!
 //! **Invariant:** `round_stamp` is strictly monotone (`advance_round` adds 1,
 //! `skip_rounds(r)` adds `r`), so a stamp written in an earlier round can
-//! never compare equal again — stale entries need no clearing, and
-//! enforcement is one load + compare + store, with no `HashSet` in sight.
+//! never compare equal again — stale pages need no clearing, and enforcement
+//! is one load + compare + store, with no `HashSet` in sight.
 //!
 //! ## 3. Double-buffered inboxes and outboxes
 //!
@@ -210,7 +219,7 @@ pub use error::Error;
 pub use fault::{
     ByzantineWindow, CrashPoint, DropCause, FaultPlan, LinkLatency, LinkOutage, TraceEvent,
 };
-pub use graph::{EdgeId, Graph, NodeId, Port};
+pub use graph::{EdgeId, Graph, Neighbors, NodeId, Port};
 pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};
 pub use network::{Delivery, Network, NetworkConfig, ShardView};

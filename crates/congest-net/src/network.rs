@@ -9,15 +9,20 @@
 //!   per-node inbox buffers that are cleared (capacity kept) rather than
 //!   reallocated, with a dirty list so a round costs O(messages delivered),
 //!   not O(n).
-//! * The CONGEST one-message-per-directed-edge rule is enforced by a
-//!   **round-stamped** `Vec<u64>` indexed by the graph's directed
-//!   [`EdgeId`]s: an edge is busy iff its stamp equals
-//!   the current round stamp, so there is no hashing and nothing to clear
-//!   between rounds.
-//! * The arrival port of every message is resolved at *send* time through the
-//!   CSR graph's O(1) reverse-port table, so receivers (and the
+//! * The CONGEST one-message-per-directed-edge rule is enforced by
+//!   **round-stamped** per-node pages, allocated lazily on a node's first
+//!   send: port `p` of node `v` is busy iff its stamp equals the current
+//!   round stamp, so there is no hashing and nothing to clear between
+//!   rounds — and nodes that never transmit never pay for stamps at all
+//!   (the former eager `Vec<u64>` over all directed edge ids was O(E),
+//!   which at a million-node complete graph is a terabyte).
+//! * The arrival port of every message is resolved at *send* time — an O(1)
+//!   reverse-port table read on the CSR backend, an O(1) closed form on
+//!   implicit topologies — so receivers (and the
 //!   [`SyncRuntime`](crate::runtime::SyncRuntime)) never scan adjacency
-//!   lists.
+//!   lists. The whole send path carries `(node, port)` pairs and never
+//!   materialises an [`EdgeId`](crate::graph::EdgeId), which on implicit
+//!   backends would cost a division to decode.
 
 use std::collections::BinaryHeap;
 
@@ -26,7 +31,7 @@ use rand::{Rng, RngCore, SeedableRng};
 
 use crate::error::Error;
 use crate::fault::{DropCause, FaultPlan, FaultState, NeighborFaultView, TraceEvent, Verdict};
-use crate::graph::{EdgeId, Graph, NodeId, Port};
+use crate::graph::{Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
 use crate::metrics::{Metrics, MetricsRecorder, RoundReport, ShardCounters};
 
@@ -184,11 +189,13 @@ pub struct Network<M: Payload> {
     /// what was touched, keeping each round `O(messages delivered)` instead
     /// of `O(n)`).
     dirty_inboxes: Vec<NodeId>,
-    /// Round stamp per directed edge id; `edge_stamp[e] == round_stamp`
-    /// means the edge already carries a message this round. Monotone stamps
-    /// make clearing unnecessary. Only consulted when CONGEST enforcement is
-    /// on.
-    edge_stamp: Vec<u64>,
+    /// Per-node round-stamp pages, allocated lazily on a node's first send;
+    /// `edge_stamp[v][p] == round_stamp` means port `p` of `v` already
+    /// carries a message this round, and an empty page means `v` has never
+    /// sent. Keeps round state O(n + Σ deg over senders) instead of O(E) —
+    /// essential for implicit million-node topologies. Monotone stamps make
+    /// clearing unnecessary. Only consulted when CONGEST enforcement is on.
+    edge_stamp: Vec<Box<[u64]>>,
     /// The current round's stamp; starts at 1 so the zero-initialised
     /// `edge_stamp` means "never used".
     round_stamp: u64,
@@ -253,7 +260,7 @@ impl<M: Payload> Network<M> {
         Network {
             inboxes: vec![Vec::new(); n],
             dirty_inboxes: Vec::new(),
-            edge_stamp: vec![0; graph.directed_edge_count()],
+            edge_stamp: (0..n).map(|_| Box::default()).collect(),
             round_stamp: 1,
             graph,
             config,
@@ -372,7 +379,8 @@ impl<M: Payload> Network<M> {
         let faults = self.faults.as_ref().map(|f| {
             let (down_from, down_until) = f.down_windows();
             NeighborFaultView {
-                neighbors: self.graph.neighbors(v),
+                graph: &self.graph,
+                node: v,
                 down_from,
                 down_until,
                 clock: f.clock,
@@ -450,10 +458,29 @@ impl<M: Payload> Network<M> {
         }
     }
 
-    /// The hot send path: every send funnels here with a resolved directed
-    /// edge slot, where CONGEST enforcement is an O(1) stamp compare and the
-    /// arrival port an O(1) reverse-port lookup.
-    fn send_on_edge(&mut self, from: NodeId, edge: EdgeId, msg: M) -> Result<(), Error> {
+    /// The hot send path: every send funnels here with a resolved
+    /// `(from, port)` pair, where CONGEST enforcement is an O(1) stamp
+    /// compare against the sender's (lazily allocated) stamp page and the
+    /// arrival port an O(1) reverse-port lookup — closed-form on implicit
+    /// backends, table read on CSR. Carrying ports instead of edge ids keeps
+    /// implicit topologies off the edge-id decode (division) path entirely.
+    fn send_on_port(&mut self, from: NodeId, port: Port, msg: M) -> Result<(), Error> {
+        let (to, arrival) = self.graph.delivery_slot(from, port);
+        self.send_resolved(from, port, to, arrival, msg)
+    }
+
+    /// The tail of every send once the delivery slot is known: budget
+    /// check, stamp, meter, queue. Split out so `send_through_port` can
+    /// resolve the slot and validate the port in a single graph dispatch.
+    #[inline]
+    fn send_resolved(
+        &mut self,
+        from: NodeId,
+        port: Port,
+        to: NodeId,
+        arrival: Port,
+        msg: M,
+    ) -> Result<(), Error> {
         let bits = msg.size_bits();
         if self.config.enforce_congest {
             if bits > self.budget_bits {
@@ -462,22 +489,17 @@ impl<M: Payload> Network<M> {
                     budget: self.budget_bits,
                 });
             }
-            let stamp = &mut self.edge_stamp[edge];
-            if *stamp == self.round_stamp {
-                return Err(Error::EdgeBusy {
-                    from,
-                    to: self.graph.edge_target(edge),
-                });
+            if !try_stamp(
+                &mut self.edge_stamp[from],
+                || self.graph.degree(from),
+                port,
+                self.round_stamp,
+            ) {
+                return Err(Error::EdgeBusy { from, to });
             }
-            *stamp = self.round_stamp;
         }
         self.recorder.record_send(bits);
-        self.pending.push((
-            from,
-            self.graph.reverse_port(edge),
-            self.graph.edge_target(edge),
-            msg,
-        ));
+        self.pending.push((from, arrival, to, msg));
         Ok(())
     }
 
@@ -506,7 +528,7 @@ impl<M: Payload> Network<M> {
         let Some(port) = self.graph.port_to(from, to) else {
             return Err(Error::NotAdjacent { from, to });
         };
-        self.send_on_edge(from, self.graph.edge_id(from, port), msg)
+        self.send_on_port(from, port, msg)
     }
 
     /// Sends `msg` from `from` through its local port `port` (KT0
@@ -522,17 +544,22 @@ impl<M: Payload> Network<M> {
                 n: self.graph.node_count(),
             });
         }
-        if port >= self.graph.degree(from) {
-            return Err(Error::PortOutOfRange {
+        match self.graph.checked_delivery(from, port) {
+            Ok((to, arrival)) => self.send_resolved(from, port, to, arrival, msg),
+            Err(degree) => Err(Error::PortOutOfRange {
                 node: from,
                 port,
-                degree: self.graph.degree(from),
-            });
+                degree,
+            }),
         }
-        self.send_on_edge(from, self.graph.edge_id(from, port), msg)
     }
 
-    /// Sends `msg` from `v` to every neighbour of `v`, without allocating.
+    /// Sends `msg` from `v` to every neighbour of `v`, without allocating
+    /// (beyond `v`'s stamp page on its first ever send).
+    ///
+    /// The budget check and the stamp-page lookup are hoisted out of the
+    /// per-port loop — on high-degree nodes (the star hub, any node of
+    /// `K_n`) this is the hottest loop in the crate.
     ///
     /// # Errors
     ///
@@ -544,8 +571,33 @@ impl<M: Payload> Network<M> {
                 n: self.graph.node_count(),
             });
         }
-        for port in 0..self.graph.degree(v) {
-            self.send_on_edge(v, self.graph.edge_id(v, port), msg.clone())?;
+        let degree = self.graph.degree(v);
+        let bits = msg.size_bits();
+        let enforce = self.config.enforce_congest;
+        if enforce {
+            if bits > self.budget_bits {
+                return Err(Error::MessageTooLarge {
+                    bits,
+                    budget: self.budget_bits,
+                });
+            }
+            let page = &mut self.edge_stamp[v];
+            if page.is_empty() {
+                *page = vec![0u64; degree].into_boxed_slice();
+            }
+        }
+        let page = &mut self.edge_stamp[v];
+        for port in 0..degree {
+            let (to, arrival) = self.graph.delivery_slot(v, port);
+            if enforce {
+                let stamp = &mut page[port];
+                if *stamp == self.round_stamp {
+                    return Err(Error::EdgeBusy { from: v, to });
+                }
+                *stamp = self.round_stamp;
+            }
+            self.recorder.record_send(bits);
+            self.pending.push((v, arrival, to, msg.clone()));
         }
         Ok(())
     }
@@ -889,13 +941,13 @@ impl<M: Payload> Network<M> {
     /// Splits the network's per-node and per-edge state into `k` disjoint
     /// [`ShardView`]s, one per shard, for one round of parallel execution.
     ///
-    /// Each view covers a contiguous node range and — because CSR edge ids
-    /// are grouped by source node — a contiguous, disjoint slice of the
-    /// round-stamped edge table, so CONGEST edge-busy enforcement needs no
-    /// cross-shard synchronisation: a shard only ever sends from its own
-    /// nodes, whose outgoing directed edges it exclusively owns. Views queue
-    /// sends into per-shard outboxes that the next
-    /// [`advance_round`](Network::advance_round) merges deterministically.
+    /// Each view covers a contiguous node range and therefore a contiguous,
+    /// disjoint slice of the per-node round-stamp pages, so CONGEST
+    /// edge-busy enforcement needs no cross-shard synchronisation: a shard
+    /// only ever sends from its own nodes, whose outgoing directed edges it
+    /// exclusively owns. Views queue sends into per-shard outboxes that the
+    /// next [`advance_round`](Network::advance_round) merges
+    /// deterministically.
     ///
     /// The caller must not touch the network until every view is dropped
     /// (the borrow checker enforces this), and must call `advance_round` to
@@ -917,17 +969,15 @@ impl<M: Payload> Network<M> {
         let mut views = Vec::with_capacity(shards);
         for s in 0..shards {
             let (node_lo, node_hi) = (boundaries[s], boundaries[s + 1]);
-            let (edge_lo, edge_hi) = (graph.first_edge_id(node_lo), graph.first_edge_id(node_hi));
             let (shard_inboxes, rest) = inboxes.split_at_mut(node_hi - node_lo);
             inboxes = rest;
-            let (shard_stamps, rest) = stamps.split_at_mut(edge_hi - edge_lo);
+            let (shard_stamps, rest) = stamps.split_at_mut(node_hi - node_lo);
             stamps = rest;
             let (shard_rngs, rest) = rngs.split_at_mut(node_hi - node_lo);
             rngs = rest;
             views.push(ShardView {
                 graph,
                 node_lo,
-                edge_lo,
                 down_windows,
                 fault_clock,
                 round_stamp: self.round_stamp,
@@ -947,15 +997,13 @@ impl<M: Payload> Network<M> {
 
 /// One shard's exclusive, thread-safe window onto the network for a single
 /// round of sharded execution: the shard's inboxes, private RNG streams, the
-/// stamp slice for its nodes' outgoing directed edges, and its own outbox
-/// queue and send counters. Produced by [`Network::shard_views`].
+/// round-stamp pages for its nodes' outgoing directed edges, and its own
+/// outbox queue and send counters. Produced by [`Network::shard_views`].
 #[derive(Debug)]
 pub struct ShardView<'a, M: Payload> {
     graph: &'a Graph,
     /// First node owned by this shard.
     node_lo: NodeId,
-    /// First directed edge id owned by this shard (`first_edge_id(node_lo)`).
-    edge_lo: EdgeId,
     /// The fault plan's full per-node down windows `(down_from, down_until)`
     /// (`None` when no plan is installed). The **whole** arrays, not a shard
     /// slice: [`RoundContext::failed_neighbors`](crate::runtime::RoundContext::failed_neighbors)
@@ -971,7 +1019,9 @@ pub struct ShardView<'a, M: Payload> {
     /// from the recorder at view creation).
     quantum: bool,
     inboxes: &'a mut [Vec<Delivery<M>>],
-    edge_stamp: &'a mut [u64],
+    /// This shard's nodes' lazily allocated stamp pages, indexed by
+    /// `v - node_lo` and then by port.
+    edge_stamp: &'a mut [Box<[u64]>],
     rngs: &'a mut [StdRng],
     pending: &'a mut Vec<(NodeId, Port, NodeId, M)>,
     counters: &'a mut ShardCounters,
@@ -1045,7 +1095,8 @@ impl<M: Payload> ShardView<'_, M> {
         let faults = self
             .down_windows
             .map(|(down_from, down_until)| NeighborFaultView {
-                neighbors: self.graph.neighbors(v),
+                graph: self.graph,
+                node: v,
                 down_from,
                 down_until,
                 clock: self.fault_clock,
@@ -1099,14 +1150,16 @@ impl<M: Payload> ShardView<'_, M> {
             "node {from} outside shard starting at {}",
             self.node_lo
         );
-        if port >= self.graph.degree(from) {
-            return Err(Error::PortOutOfRange {
-                node: from,
-                port,
-                degree: self.graph.degree(from),
-            });
-        }
-        let edge = self.graph.edge_id(from, port);
+        let (to, arrival) = match self.graph.checked_delivery(from, port) {
+            Ok(slot) => slot,
+            Err(degree) => {
+                return Err(Error::PortOutOfRange {
+                    node: from,
+                    port,
+                    degree,
+                })
+            }
+        };
         let bits = msg.size_bits();
         if self.enforce_congest {
             if bits > self.budget_bits {
@@ -1115,24 +1168,43 @@ impl<M: Payload> ShardView<'_, M> {
                     budget: self.budget_bits,
                 });
             }
-            let stamp = &mut self.edge_stamp[edge - self.edge_lo];
-            if *stamp == self.round_stamp {
-                return Err(Error::EdgeBusy {
-                    from,
-                    to: self.graph.edge_target(edge),
-                });
+            if !try_stamp(
+                &mut self.edge_stamp[from - self.node_lo],
+                || self.graph.degree(from),
+                port,
+                self.round_stamp,
+            ) {
+                return Err(Error::EdgeBusy { from, to });
             }
-            *stamp = self.round_stamp;
         }
         self.counters.record_send(bits, self.quantum);
-        self.pending.push((
-            from,
-            self.graph.reverse_port(edge),
-            self.graph.edge_target(edge),
-            msg,
-        ));
+        self.pending.push((from, arrival, to, msg));
         Ok(())
     }
+}
+
+/// Stamps `(sender page, port)` for the current round, allocating the page
+/// (one `u64` per port) on the node's first ever send. Returns `false` iff
+/// the directed edge already carried a message this round. Shared by the
+/// sequential and sharded send paths so both enforce CONGEST identically.
+/// The degree is a closure so the steady-state path (page already
+/// allocated) never pays the backend dispatch for it.
+#[inline]
+fn try_stamp(
+    page: &mut Box<[u64]>,
+    degree: impl FnOnce() -> usize,
+    port: Port,
+    round_stamp: u64,
+) -> bool {
+    if page.is_empty() {
+        *page = vec![0u64; degree()].into_boxed_slice();
+    }
+    let stamp = &mut page[port];
+    if *stamp == round_stamp {
+        return false;
+    }
+    *stamp = round_stamp;
+    true
 }
 
 #[cfg(test)]

@@ -1,9 +1,12 @@
 //! Elementary topologies: complete graphs, stars, cycles, and paths.
 
 use crate::error::Error;
-use crate::graph::Graph;
+use crate::graph::{Graph, ImplicitFamily};
 
 /// The complete graph `K_n` (diameter 1), the topology of Sections 5.1 and 6.
+///
+/// Implicit backend: the adjacency is a closed form, so graph memory is O(1)
+/// even at millions of nodes (the CSR arrays would be O(n²)).
 ///
 /// # Errors
 ///
@@ -14,17 +17,13 @@ pub fn complete(n: usize) -> Result<Graph, Error> {
             reason: format!("complete graph needs n >= 2, got {n}"),
         });
     }
-    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            edges.push((u, v));
-        }
-    }
-    Graph::from_edges(n, &edges)
+    Ok(Graph::from_implicit(ImplicitFamily::Complete { n }))
 }
 
 /// The star graph with centre `0` and `n - 1` leaves, used in the worked
 /// example of Appendix B.2.
+///
+/// Implicit backend: O(1) graph memory at any size.
 ///
 /// # Errors
 ///
@@ -35,11 +34,12 @@ pub fn star(n: usize) -> Result<Graph, Error> {
             reason: format!("star graph needs n >= 2, got {n}"),
         });
     }
-    let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
-    Graph::from_edges(n, &edges)
+    Ok(Graph::from_implicit(ImplicitFamily::Star { n }))
 }
 
 /// The cycle `C_n`.
+///
+/// Implicit backend: O(1) graph memory at any size.
 ///
 /// # Errors
 ///
@@ -50,8 +50,7 @@ pub fn cycle(n: usize) -> Result<Graph, Error> {
             reason: format!("cycle needs n >= 3, got {n}"),
         });
     }
-    let edges: Vec<_> = (0..n).map(|v| (v, (v + 1) % n)).collect();
-    Graph::from_edges(n, &edges)
+    Ok(Graph::from_implicit(ImplicitFamily::Cycle { n }))
 }
 
 /// The path `P_n`.

@@ -166,10 +166,9 @@ mod tests {
         assert!(!g.are_adjacent(left_node, right_node));
         let common: Vec<_> = g
             .neighbors(left_node)
-            .iter()
-            .filter(|v| g.are_adjacent(**v, right_node))
+            .filter(|&v| g.are_adjacent(v, right_node))
             .collect();
-        assert_eq!(common, vec![&0]);
+        assert_eq!(common, vec![0]);
         assert!(shared_hub_pair(2).is_err());
     }
 }

@@ -7,9 +7,12 @@
 //! `QuantumRWLE`.
 
 use crate::error::Error;
-use crate::graph::Graph;
+use crate::graph::{Graph, ImplicitFamily};
 
 /// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+///
+/// Implicit backend: the bit-flip adjacency is a closed form, so graph
+/// memory is O(1) (the CSR arrays would be O(n · d)).
 ///
 /// # Errors
 ///
@@ -25,20 +28,14 @@ pub fn hypercube(d: u32) -> Result<Graph, Error> {
             reason: format!("hypercube dimension {d} too large"),
         });
     }
-    let n = 1usize << d;
-    let mut edges = Vec::with_capacity(n * d as usize / 2);
-    for v in 0..n {
-        for bit in 0..d {
-            let u = v ^ (1usize << bit);
-            if v < u {
-                edges.push((v, u));
-            }
-        }
-    }
-    Graph::from_edges(n, &edges)
+    Ok(Graph::from_implicit(ImplicitFamily::Hypercube { dims: d }))
 }
 
 /// The `rows × cols` two-dimensional torus (wrap-around grid).
+///
+/// Implicit backend (O(1) graph memory) when both sides are `>= 3`; a side
+/// of exactly 2 collapses its duplicate wrap edge, which breaks the
+/// constant-degree closed form, so those degenerate tori stay on CSR.
 ///
 /// # Errors
 ///
@@ -50,6 +47,9 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, Error> {
         return Err(Error::InvalidTopology {
             reason: format!("torus sides must be >= 2, got {rows}x{cols}"),
         });
+    }
+    if rows >= 3 && cols >= 3 {
+        return Ok(Graph::from_implicit(ImplicitFamily::Torus { rows, cols }));
     }
     let n = rows * cols;
     let idx = |r: usize, c: usize| r * cols + c;

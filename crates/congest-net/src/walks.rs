@@ -25,8 +25,7 @@ use crate::graph::{Graph, NodeId};
 /// `n >= 2`).
 #[must_use]
 pub fn walk_step(graph: &Graph, v: NodeId, rng: &mut StdRng) -> NodeId {
-    let neighbors = graph.neighbors(v);
-    neighbors[rng.gen_range(0..neighbors.len())]
+    graph.neighbor(v, rng.gen_range(0..graph.degree(v)))
 }
 
 /// Runs a `length`-step simple random walk from `start`, returning the full
@@ -58,8 +57,8 @@ pub fn walk_from_choices(graph: &Graph, start: NodeId, choices: &[u64]) -> Vec<N
     let mut here = start;
     path.push(here);
     for &c in choices {
-        let neighbors = graph.neighbors(here);
-        here = neighbors[(c % neighbors.len() as u64) as usize];
+        let degree = graph.degree(here);
+        here = graph.neighbor(here, (c % degree as u64) as usize);
         path.push(here);
     }
     path
@@ -166,8 +165,8 @@ pub fn total_variation_mixing_time(graph: &Graph, epsilon: f64, max_t: usize) ->
 /// allocation).
 fn apply_lazy_walk_into(graph: &Graph, f: &[f64], out: &mut [f64]) {
     for v in 0..graph.node_count() {
-        let neighbors = graph.neighbors(v);
-        let avg: f64 = neighbors.iter().map(|&u| f[u]).sum::<f64>() / neighbors.len() as f64;
+        let degree = graph.degree(v);
+        let avg: f64 = graph.neighbors(v).map(|u| f[u]).sum::<f64>() / degree as f64;
         out[v] = 0.5 * f[v] + 0.5 * avg;
     }
 }
@@ -182,9 +181,8 @@ fn apply_lazy_walk_distribution_into(graph: &Graph, dist: &[f64], out: &mut [f64
             continue;
         }
         out[v] += 0.5 * mass;
-        let neighbors = graph.neighbors(v);
-        let share = 0.5 * mass / neighbors.len() as f64;
-        for &u in neighbors {
+        let share = 0.5 * mass / graph.degree(v) as f64;
+        for u in graph.neighbors(v) {
             out[u] += share;
         }
     }

@@ -106,8 +106,10 @@ impl WalkCheckOracle<'_> {
         let mut here = self.candidate.node;
         for &c in choices {
             if c % 2 == 1 {
-                let neighbors = self.graph.neighbors(here);
-                here = neighbors[((c / 2) % neighbors.len() as u64) as usize];
+                let degree = self.graph.degree(here);
+                here = self
+                    .graph
+                    .neighbor(here, ((c / 2) % degree as u64) as usize);
                 path.push(here);
             }
         }
@@ -210,9 +212,8 @@ fn walk_hit_probability(
                 continue;
             }
             next[v] += 0.5 * mass;
-            let neighbors = graph.neighbors(v);
-            let share = 0.5 * mass / neighbors.len() as f64;
-            for &u in neighbors {
+            let share = 0.5 * mass / graph.degree(v) as f64;
+            for u in graph.neighbors(v) {
                 next[u] += share;
             }
         }
@@ -314,7 +315,7 @@ impl LeaderElection for QuantumRwLe {
                     }
                     let degree = net.graph().degree(here);
                     let port = net.rng(here).gen_range(0..degree);
-                    let next = net.graph().neighbors(here)[port];
+                    let next = net.graph().neighbor(here, port);
                     let steps_left = (walk_length - step - 1) as u32;
                     net.send(
                         here,

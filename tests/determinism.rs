@@ -148,6 +148,59 @@ fn flood_golden_is_invariant_across_shard_counts() {
 }
 
 #[test]
+fn flood_and_ghs_are_byte_identical_across_graph_backends() {
+    // The structured topology constructors now return *implicit* graphs
+    // (closed-form adjacency, O(1) memory); `materialize()` produces the CSR
+    // twin with the identical neighbour order, port numbering, and edge-id
+    // layout. A fault-free run must be byte-identical between the two
+    // backends — same metrics, same per-round history, same RNG streams —
+    // at every shard count. (The golden tests above already pin the
+    // implicit backend against values captured on the CSR engine; this test
+    // makes the cross-backend claim explicit and covers the history too.)
+    let implicit = topology::hypercube(6).unwrap();
+    assert!(implicit.is_implicit());
+    let csr = implicit.materialize();
+    assert!(!csr.is_implicit());
+    for shards in [1usize, 4] {
+        let run = |graph: &congest_net::Graph| {
+            let mut runtime = SyncRuntime::new(
+                graph.clone(),
+                NetworkConfig::with_seed(9)
+                    .shards(shards)
+                    .track_history(true),
+                |v, _| Flood::new(v == 0),
+            );
+            let rounds = runtime.run_until_halt(10_000).unwrap();
+            let history = runtime.network().round_history().to_vec();
+            (rounds, runtime.metrics(), history)
+        };
+        let (rounds, metrics, history) = run(&implicit);
+        assert_eq!(
+            (rounds, metrics, history.clone()),
+            run(&csr),
+            "flood diverged between backends at {shards} shards"
+        );
+        // And both reproduce the sequential golden.
+        assert_eq!((rounds, metrics.classical_messages), (7, 384));
+        assert_eq!(history.len(), 7);
+    }
+    // GHS (driver-based, message-heavy) on the smallest torus: the implicit
+    // and materialized runs must agree in full.
+    let torus = topology::torus(4, 4).unwrap();
+    assert!(torus.is_implicit());
+    let torus_csr = torus.materialize();
+    let protocol = GhsLe::new();
+    let a = protocol.run(&torus, 5).unwrap();
+    let b = protocol.run(&torus_csr, 5).unwrap();
+    assert_eq!(
+        a.cost.metrics, b.cost.metrics,
+        "GHS diverged between backends"
+    );
+    assert_eq!(a.outcome, b.outcome);
+    assert!(a.succeeded());
+}
+
+#[test]
 fn golden_runs_survive_forced_sharding_env() {
     // CI runs the whole suite with CONGEST_SHARDS=4; this test makes the
     // invariant explicit in-process: with the environment override forcing

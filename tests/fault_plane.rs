@@ -164,10 +164,10 @@ proptest! {
         let graph = topology::erdos_renyi_connected(n, 0.25, seed).unwrap();
         let plan = FaultPlan::new(seed)
             .drop_probability(0.05)
-            .link_latency(0, graph.neighbors(0)[0], 1 + (seed % 4))
-            .link_latency(1, graph.neighbors(1)[0], 2)
+            .link_latency(0, graph.neighbor(0, 0), 1 + (seed % 4))
+            .link_latency(1, graph.neighbor(1, 0), 2)
             .crash_recover(n / 2, 2, 6 + (seed % 5))
-            .link_outage(0, graph.neighbors(0)[0], 1, 3);
+            .link_outage(0, graph.neighbor(0, 0), 1, 3);
         let run = |shards: usize| {
             let mut runtime = SyncRuntime::new(
                 graph.clone(),
@@ -206,7 +206,7 @@ proptest! {
         let plan = FaultPlan::new(seed)
             .drop_probability(0.1)
             .crash(n / 2, 2)
-            .link_outage(0, graph.neighbors(0)[0], 1, 3);
+            .link_outage(0, graph.neighbor(0, 0), 1, 3);
         let sequential = flood_run(&graph, seed, 1, Some(&plan));
         let sharded = flood_run(&graph, seed, shards, Some(&plan));
         prop_assert_eq!(sharded, sequential, "shards = {}", shards);
@@ -636,7 +636,7 @@ fn crash_recovery_runs_on_recover_and_rejoins() {
 fn ghs_survives_every_latency_alignment() {
     let graph = topology::erdos_renyi_connected(24, 0.2, 3).unwrap();
     for a in 0..3usize {
-        let w = graph.neighbors(a)[0];
+        let w = graph.neighbor(a, 0);
         for delay in 1..40u64 {
             let opts = RunOptions {
                 shards: 0,

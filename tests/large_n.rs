@@ -1,0 +1,191 @@
+//! The million-node acceptance tests for the implicit-topology data plane:
+//! structured families at `n = 2^20` must run real protocol workloads with
+//! peak graph + round-state memory **O(n + active)** — not the O(E) (for
+//! `K_n`: terabytes) that materialized CSR adjacency would cost.
+//!
+//! A byte-tracking global allocator wraps the system allocator. Unlike the
+//! count-only tracker in `zero_alloc.rs`, this one keeps **thread-local**
+//! current/peak byte counters, so the concurrently running tests in this
+//! binary measure only their own thread's allocations (the sequential round
+//! engine with `shards(1)` allocates exclusively on the driving thread).
+//!
+//! The ceilings below are per-node budgets with headroom (roughly 2× the
+//! measured footprint), not tight pins: they exist to catch a reintroduced
+//! O(E) or O(n · deg) buffer, which overshoots by orders of magnitude, while
+//! staying robust to allocator and shim-library drift.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use congest_net::programs::Flood;
+use congest_net::{topology, Network, NetworkConfig, SyncRuntime};
+
+struct ByteTracker;
+
+thread_local! {
+    /// Only allocations on a thread that opted in are tracked, so the test
+    /// harness's own threads (output capture, timers) and sibling tests
+    /// cannot pollute a measurement window.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    /// Net bytes currently allocated by this thread since tracking started.
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// High-water mark of [`CURRENT`].
+    static PEAK: Cell<u64> = const { Cell::new(0) };
+}
+
+fn track_alloc(bytes: u64) {
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        let _ = CURRENT.try_with(|c| {
+            let now = c.get() + bytes;
+            c.set(now);
+            let _ = PEAK.try_with(|p| p.set(p.get().max(now)));
+        });
+    }
+}
+
+fn track_dealloc(bytes: u64) {
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        // Saturating: frees of allocations made before tracking started
+        // must not underflow the net counter.
+        let _ = CURRENT.try_with(|c| c.set(c.get().saturating_sub(bytes)));
+    }
+}
+
+unsafe impl GlobalAlloc for ByteTracker {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size() as u64);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track_dealloc(layout.size() as u64);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        track_alloc(new_size as u64);
+        track_dealloc(layout.size() as u64);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: ByteTracker = ByteTracker;
+
+/// Runs `body` with byte tracking on, returning `(result, peak_bytes)`.
+fn measured<R>(body: impl FnOnce() -> R) -> (R, u64) {
+    TRACKING.with(|t| t.set(true));
+    CURRENT.with(|c| c.set(0));
+    PEAK.with(|p| p.set(0));
+    let out = body();
+    TRACKING.with(|t| t.set(false));
+    (out, PEAK.with(Cell::get))
+}
+
+const MILLION: usize = 1 << 20;
+
+/// A maximal-degree broadcast on the *complete* graph at 2^20 nodes: the
+/// topology whose CSR adjacency alone would be ~8 TiB (2^40 directed edges).
+/// The implicit backend makes the graph O(1) and the round O(n + messages):
+/// one stamp page for the sender, one pending entry and one inbox slot per
+/// recipient.
+#[test]
+fn million_node_complete_broadcast_stays_lean() {
+    let ((), peak) = measured(|| {
+        let graph = topology::complete(MILLION).unwrap();
+        assert_eq!(graph.degree(0), MILLION - 1);
+        let mut net: Network<u64> = Network::new(graph, NetworkConfig::with_seed(7));
+        net.broadcast(0, 42).unwrap();
+        net.advance_round();
+        assert_eq!(net.metrics().classical_messages, (MILLION - 1) as u64);
+        // Spot-check delivery at both ends of the id range (checking all n
+        // inboxes is O(n) and fine, but adds nothing).
+        assert_eq!(net.inbox(1), &[(0, 0, 42)]);
+        assert_eq!(net.inbox(MILLION - 1), &[(0, 0, 42)]);
+    });
+    // Budget: ~250 B/node covers the per-node state (inbox Vec headers +
+    // one-message buffers, RNG streams, stamp-page pointers, dirty list)
+    // plus the sender's one full stamp page and the pending buffer. An
+    // O(E) = O(n²) buffer would need terabytes and trips this instantly.
+    let budget = 250 * MILLION as u64;
+    assert!(
+        peak <= budget,
+        "peak {peak} bytes exceeds O(n + active) budget {budget}"
+    );
+}
+
+/// A full fault-oblivious flood over the *star* at 2^20 nodes, driven by the
+/// real round engine (`SyncRuntime`, sequential path): covers every node,
+/// and peak memory stays linear in n even though the centre's stamp page and
+/// the two full-traffic rounds are maximal.
+#[test]
+fn million_node_star_flood_covers_and_stays_lean() {
+    let (runtime, peak) = measured(|| {
+        let graph = topology::star(MILLION).unwrap();
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(3).shards(1), |v, _| {
+            Flood::new(v == 0)
+        });
+        let rounds = runtime.run_until_halt(64).unwrap();
+        // Centre → all leaves, leaves ack-broadcast back, everyone halts.
+        assert!(rounds <= 8, "star flood took {rounds} rounds");
+        runtime
+    });
+    let covered = (0..MILLION)
+        .filter(|&v| runtime.programs()[v].has_token())
+        .count();
+    assert_eq!(covered, MILLION, "flood must reach every node");
+    assert!(
+        runtime.metrics().classical_messages >= 2 * (MILLION as u64 - 1),
+        "token out plus echo back"
+    );
+    // Budget: ~400 B/node — per-node program + inbox + RNG + outbox scratch
+    // and both directions' stamp pages (star has m = n − 1, so O(m) traffic
+    // is O(n) here by construction).
+    let budget = 400 * MILLION as u64;
+    assert!(
+        peak <= budget,
+        "peak {peak} bytes exceeds O(n + active) budget {budget}"
+    );
+}
+
+/// A full flood over the 20-dimensional hypercube: 2^20 nodes, ~10.5M
+/// undirected edges, every directed edge eventually active — the heavyweight
+/// tier exercised in CI's release-mode large-n smoke job (`--include-ignored`).
+/// Here "active" genuinely is Θ(E), so the budget scales with the traffic,
+/// not the node count; the point pinned is that *graph* storage stays O(1)
+/// and nothing quadratic sneaks in.
+#[test]
+#[ignore = "heavyweight (tens of millions of messages); CI runs it in release"]
+fn million_node_hypercube_flood_completes() {
+    let (runtime, peak) = measured(|| {
+        let graph = topology::hypercube(20).unwrap();
+        let mut runtime = SyncRuntime::new(graph, NetworkConfig::with_seed(5).shards(1), |v, _| {
+            Flood::new(v == 0)
+        });
+        let rounds = runtime.run_until_halt(64).unwrap();
+        assert!(
+            (20..=24).contains(&rounds),
+            "hypercube flood took {rounds} rounds (diameter 20)"
+        );
+        runtime
+    });
+    let covered = (0..MILLION)
+        .filter(|&v| runtime.programs()[v].has_token())
+        .count();
+    assert_eq!(covered, MILLION, "flood must reach every node");
+    // Each covered node broadcasts once — 2E sends — plus at most one extra
+    // announcement round from the source.
+    let messages = runtime.metrics().classical_messages;
+    assert!(
+        (20 * MILLION as u64..=20 * MILLION as u64 + 40).contains(&messages),
+        "unexpected message count {messages}"
+    );
+    // Budget: stamp pages (8 B × 20 per node) + peak-round pending/inbox
+    // buffers (a diameter-step frontier's sends), comfortably linear in the
+    // active edge set. 2 KiB/node ≈ 2 GiB total with headroom.
+    let budget = 2048 * MILLION as u64;
+    assert!(
+        peak <= budget,
+        "peak {peak} bytes exceeds O(n + active) budget {budget}"
+    );
+}

@@ -46,7 +46,7 @@ proptest! {
             let degree_sum: usize = (0..g.node_count()).map(|v| g.degree(v)).sum();
             prop_assert_eq!(degree_sum, 2 * g.edge_count());
             for v in 0..g.node_count() {
-                for (port, &u) in g.neighbors(v).iter().enumerate() {
+                for (port, u) in g.neighbors(v).enumerate() {
                     prop_assert_eq!(g.neighbor_through_port(v, port).unwrap(), u);
                     prop_assert!(g.are_adjacent(u, v));
                 }
@@ -190,7 +190,7 @@ proptest! {
         for v in 0..g.node_count() {
             // Naive scan over v's neighbour list.
             let scan_port = |target: usize| -> Option<usize> {
-                g.neighbors(v).iter().position(|&u| u == target)
+                g.neighbors(v).position(|u| u == target)
             };
             for u in 0..g.node_count() {
                 prop_assert_eq!(g.port_to(v, u), scan_port(u));
@@ -228,6 +228,51 @@ proptest! {
             (rounds, runtime.metrics(), history)
         };
         prop_assert_eq!(run(shards), run(1));
+    }
+
+    /// Every implicit structured family is indistinguishable from its
+    /// materialized CSR twin through the public `Graph` API: same neighbour
+    /// order, same edge-id layout, `edge_id ∘ reverse_port` round-trips, and
+    /// identical shard tilings — the contract that makes runs byte-identical
+    /// across backends. Sizes include the odd and degenerate ends (K_2, the
+    /// two-node star, C_3, Q_1, the smallest 3×3 torus).
+    #[test]
+    fn implicit_backends_match_materialized_csr(
+        n in 2usize..40,
+        d in 1u32..7,
+        shards in 1usize..9,
+    ) {
+        let graphs: Vec<Graph> = vec![
+            topology::complete(n).unwrap(),
+            topology::star(n).unwrap(),
+            topology::cycle(n.max(3)).unwrap(),
+            topology::hypercube(d).unwrap(),
+            topology::torus(n.clamp(3, 9), (n / 2).clamp(3, 9)).unwrap(),
+        ];
+        for g in graphs {
+            prop_assert!(g.is_implicit());
+            let csr = g.materialize();
+            prop_assert!(!csr.is_implicit());
+            let nodes = g.node_count();
+            prop_assert_eq!(nodes, csr.node_count());
+            prop_assert_eq!(g.edge_count(), csr.edge_count());
+            for v in 0..nodes {
+                prop_assert_eq!(g.degree(v), csr.degree(v));
+                prop_assert_eq!(g.neighbors(v).to_vec(), csr.neighbors(v).to_vec());
+                for p in 0..g.degree(v) {
+                    let e = g.edge_id(v, p);
+                    prop_assert_eq!(e, csr.edge_id(v, p));
+                    let u = g.edge_target(e);
+                    prop_assert_eq!(u, csr.edge_target(e));
+                    let rp = g.reverse_port(e);
+                    prop_assert_eq!(rp, csr.reverse_port(e));
+                    prop_assert_eq!(rp, g.reverse_port_at(v, p));
+                    // Round-trip: the reverse port leads straight back.
+                    prop_assert_eq!(g.edge_target(g.edge_id(u, rp)), v);
+                }
+            }
+            prop_assert_eq!(g.shard_boundaries(shards), csr.shard_boundaries(shards));
+        }
     }
 
     /// Shard boundaries always tile the node and edge ranges, for random
