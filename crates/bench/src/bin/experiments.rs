@@ -427,7 +427,11 @@ ENVIRONMENT:
                                      (CI sets 1.3; unset = record only)
 
 Scenario cells honour CONGEST_SHARDS; traces recorded at one shard count replay
-byte-identically at any other (the deterministic barrier-merge invariant)."
+byte-identically at any other (the deterministic barrier-merge invariant).
+Specs may mix round-mode and event-mode scenarios in one matrix: `mode =
+\"event\"` plus a `scheduler = [name, bound, seed]` stanza runs its cells on
+the discrete-event engine under that scheduler adversary (see
+docs/EXECUTION_MODELS.md); replay covers both modes."
     );
 }
 

@@ -482,6 +482,22 @@ pub enum TraceEvent {
         /// The equivocating node.
         node: NodeId,
     },
+    /// A message was parked on the event heap by the scheduler adversary of
+    /// the event-driven execution mode (see the [`event`](crate::event)
+    /// module). Like `MessageDelayed` but chosen by the scheduler's policy
+    /// rather than a fault-plan latency; the two never tally the same
+    /// message (a fault-delayed message keeps its fault delay).
+    MessageScheduled {
+        /// The send round of the scheduled message.
+        round: u64,
+        /// The sending node.
+        from: NodeId,
+        /// The intended recipient.
+        to: NodeId,
+        /// Extra delivery delay in ticks beyond the normal next-round
+        /// delivery.
+        delay: u64,
+    },
 }
 
 /// The fate of one judged message.
@@ -565,8 +581,6 @@ pub(crate) struct FaultState {
     /// at a million nodes the bitmap alone would be a terabyte. Never
     /// iterated, so its internal order cannot affect determinism.
     used_links: HashSet<(NodeId, NodeId)>,
-    /// Next delivery-order sequence number for the cross-round heap.
-    next_seq: u64,
     /// The fault clock: the round whose sends the next barrier judges.
     /// Starts at 0 (the runtime's start-up round) and advances with every
     /// barrier and every skipped round.
@@ -643,7 +657,6 @@ impl FaultState {
                 .filter(|l| l.a < n && l.b < n)
                 .copied()
                 .collect(),
-            next_seq: 0,
             clock: 0,
         }
     }
@@ -684,13 +697,6 @@ impl FaultState {
     /// inbox.
     pub(crate) fn unreachable_at(&self, v: NodeId, round: u64) -> bool {
         self.down_from[v] <= round && round <= self.down_until[v]
-    }
-
-    /// The next delivery-order sequence number for the cross-round heap.
-    pub(crate) fn take_seq(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        seq
     }
 
     /// Whether `v` is inside a Byzantine window at round `round`.
@@ -952,8 +958,6 @@ mod tests {
         assert_eq!(state.judge(0, 1), Verdict::Delay(3));
         assert_eq!(state.judge(1, 0), Verdict::Delay(3));
         assert_eq!(state.judge(1, 2), Verdict::Deliver);
-        assert_eq!(state.take_seq(), 0);
-        assert_eq!(state.take_seq(), 1);
     }
 
     #[test]

@@ -178,6 +178,28 @@
 //! fast path of §3 — and installing an *empty* plan is byte-identical to
 //! installing none (pinned by the workspace fault-plane suite).
 //!
+//! ## 6. The event-driven execution mode for partial synchrony
+//!
+//! Beside the round-synchronous engine, the [`event`] module provides a
+//! deterministic **discrete-event** mode: an [`EventRuntime`] drives the
+//! same unmodified [`NodeProgram`]s while a scheduler adversary
+//! ([`SchedulerSpec`], installed via [`Network::set_scheduler`]) chooses a
+//! delivery delay in `0..=bound` for every message — at the barrier, in
+//! delivery order, from a dedicated salted PRNG stream, generalising the
+//! latency heap of §5 into a global event heap keyed by `(due time, seq)`.
+//! Under the `synchronous` scheduler the event engine reproduces the round
+//! engine **byte-for-byte** (metrics and history), which is what keeps the
+//! two models comparable; the full execution-model contract — clock
+//! semantics, the scheduler catalogue, the equivalence theorem, and the
+//! replay guarantee — lives in `docs/EXECUTION_MODELS.md` in the
+//! repository root.
+//!
+//! **Invariant:** scheduler decisions are made only at the barrier in
+//! delivery order and consume only the scheduler's own stream, so an
+//! event-mode run is byte-identical for every shard count and replays
+//! exactly, like every other execution (pinned by the workspace
+//! `event_mode` suite).
+//!
 //! `docs/ARCHITECTURE.md` in the repository root consolidates this section
 //! with the scenario-engine and state-vector architecture notes into one
 //! narrative; treat the invariants stated here as the authoritative ones
@@ -205,6 +227,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod event;
 pub mod fault;
 pub mod graph;
 pub mod message;
@@ -216,6 +239,7 @@ pub mod topology;
 pub mod walks;
 
 pub use error::Error;
+pub use event::{EventRuntime, ExecMode, SchedulerKind, SchedulerSpec};
 pub use fault::{
     ByzantineWindow, CrashPoint, DropCause, FaultPlan, LinkLatency, LinkOutage, TraceEvent,
 };

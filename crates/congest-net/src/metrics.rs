@@ -32,6 +32,12 @@ pub struct Metrics {
     /// sent, and as dropped too if a crash catches them before their due
     /// round).
     pub delayed_messages: u64,
+    /// Messages parked on the event heap by the scheduler adversary of the
+    /// event-driven execution mode (always 0 without an installed
+    /// scheduler — and 0 under the synchronous scheduler, which never
+    /// skews; scheduled messages still count as sent and are delivered at
+    /// their due tick unless a crash catches them first).
+    pub scheduled_messages: u64,
     /// Messages whose payload a Byzantine window corrupted at the barrier
     /// (always 0 without a fault plan; mutated messages still count as sent
     /// and are delivered — corrupted — unless something else drops them).
@@ -67,6 +73,7 @@ impl Metrics {
         self.total_bits += other.total_bits;
         self.dropped_messages += other.dropped_messages;
         self.delayed_messages += other.delayed_messages;
+        self.scheduled_messages += other.scheduled_messages;
         self.mutated_messages += other.mutated_messages;
         // Sub-executions of one protocol share the network's node set, so
         // the crashed count is a maximum, not a sum.
@@ -163,6 +170,12 @@ impl MetricsRecorder {
     /// link-latency fault.
     pub(crate) fn record_delay(&mut self) {
         self.totals.delayed_messages += 1;
+    }
+
+    /// Counts one message parked on the event heap by the scheduler
+    /// adversary of the event-driven execution mode.
+    pub(crate) fn record_scheduled(&mut self) {
+        self.totals.scheduled_messages += 1;
     }
 
     /// Counts one payload corrupted by a Byzantine window at the barrier.
@@ -313,6 +326,7 @@ mod tests {
             total_bits: 90,
             dropped_messages: 2,
             delayed_messages: 4,
+            scheduled_messages: 2,
             mutated_messages: 6,
             crashed_nodes: 3,
         };
@@ -324,6 +338,7 @@ mod tests {
             total_bits: 10,
             dropped_messages: 5,
             delayed_messages: 1,
+            scheduled_messages: 3,
             mutated_messages: 2,
             crashed_nodes: 1,
         };
@@ -335,6 +350,7 @@ mod tests {
         assert_eq!(a.total_bits, 100);
         assert_eq!(a.dropped_messages, 7);
         assert_eq!(a.delayed_messages, 5);
+        assert_eq!(a.scheduled_messages, 5);
         assert_eq!(a.mutated_messages, 8);
         // Crashed nodes are a shared-node-set maximum, not a sum.
         assert_eq!(a.crashed_nodes, 3);

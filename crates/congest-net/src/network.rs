@@ -30,6 +30,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::error::Error;
+use crate::event::{SchedulerSpec, SchedulerState};
 use crate::fault::{DropCause, FaultPlan, FaultState, NeighborFaultView, TraceEvent, Verdict};
 use crate::graph::{Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
@@ -216,11 +217,19 @@ pub struct Network<M: Payload> {
     /// [`FaultPlan`](crate::fault::FaultPlan) is installed; `None` (the
     /// default) keeps delivery on the pristine fault-free path.
     faults: Option<FaultState>,
-    /// Messages parked by link-latency faults, keyed by
-    /// `(due fault-clock, delivery-order seq)` and drained at the barrier
-    /// whose clock reaches their due value. Always empty without latency
-    /// faults.
+    /// The scheduler adversary of the event-driven execution mode,
+    /// instantiated when a [`SchedulerSpec`] is installed; `None` (the
+    /// default) keeps delivery on the round-synchronous path.
+    scheduler: Option<SchedulerState>,
+    /// The global event heap: messages parked by link-latency faults or
+    /// scheduler skew, keyed by `(due clock, delivery-order seq)` and
+    /// drained at the barrier whose clock reaches their due value. Always
+    /// empty without latency faults or a scheduler.
     delayed: BinaryHeap<DelayedMsg<M>>,
+    /// Next delivery-order sequence number for the event heap. One counter
+    /// serves both fault delays and scheduler skews, so cross-round drain
+    /// order is a single total order assigned in delivery order.
+    delayed_seq: u64,
     /// Whether the trace sink records events (off by default; when off the
     /// sink is never touched).
     trace_enabled: bool,
@@ -273,7 +282,9 @@ impl<M: Payload> Network<M> {
             shard_pending: (0..shards).map(|_| Vec::new()).collect(),
             shard_counters: vec![ShardCounters::default(); shards],
             faults: None,
+            scheduler: None,
             delayed: BinaryHeap::new(),
+            delayed_seq: 0,
             trace_enabled: false,
             trace: Vec::new(),
             delivered_last_round: 0,
@@ -297,6 +308,37 @@ impl<M: Payload> Network<M> {
     #[must_use]
     pub fn fault_plan_active(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Installs a scheduler adversary, switching delivery to the
+    /// discrete-event execution mode (see the [`event`](crate::event)
+    /// module and `docs/EXECUTION_MODELS.md`).
+    ///
+    /// Must be installed before the first round: the scheduler clock starts
+    /// at 0 and advances with every barrier. The scheduler is consulted at
+    /// the delivery barrier, in delivery order, for every message the fault
+    /// plane delivers (fault-delayed messages keep their fault latency),
+    /// and draws only from its own dedicated salted stream — so an
+    /// event-mode run is exactly as deterministic and shard-invariant as a
+    /// round-mode one. Installing the
+    /// [`synchronous`](crate::SchedulerSpec::synchronous) scheduler is
+    /// byte-identical to installing none.
+    pub fn set_scheduler(&mut self, spec: &SchedulerSpec) {
+        self.scheduler = Some(SchedulerState::new(spec));
+    }
+
+    /// Whether a scheduler adversary is installed.
+    #[must_use]
+    pub fn scheduler_active(&self) -> bool {
+        self.scheduler.is_some()
+    }
+
+    /// Total delivery delay the installed scheduler has imposed so far, in
+    /// ticks summed over messages (0 without a scheduler — and 0 under the
+    /// synchronous policy, which never skews).
+    #[must_use]
+    pub fn total_scheduler_skew(&self) -> u64 {
+        self.scheduler.as_ref().map_or(0, |s| s.total_skew)
     }
 
     /// Turns on the trace sink: from now on, fault events are recorded with
@@ -620,8 +662,8 @@ impl<M: Payload> Network<M> {
         for v in self.dirty_inboxes.drain(..) {
             self.inboxes[v].clear();
         }
-        if self.faults.is_some() {
-            self.deliver_with_faults();
+        if self.faults.is_some() || self.scheduler.is_some() {
+            self.deliver_slow();
         } else {
             let mut delivered = 0usize;
             for (from, port, to, msg) in self.pending.drain(..) {
@@ -651,27 +693,45 @@ impl<M: Payload> Network<M> {
         if let Some(faults) = self.faults.as_mut() {
             faults.clock += 1;
         }
+        if let Some(scheduler) = self.scheduler.as_mut() {
+            scheduler.clock += 1;
+        }
         self.recorder.finish_round(self.config.track_round_history);
     }
 
-    /// The fault-checked delivery path: identical to the fast loops in
+    /// The slow delivery path, taken when a fault plane and/or a scheduler
+    /// adversary is installed: identical to the fast loops in
     /// [`advance_round`](Network::advance_round) except that every message is
-    /// judged by the installed [`FaultState`] — in delivery order, which is
-    /// byte-identical for every shard count, so fault decisions (and the
-    /// dedicated drop PRNG stream) are too. Kept out of line so the
-    /// fault-free hot path pays one branch for the whole feature.
+    /// judged by the installed [`FaultState`] and then skewed by the
+    /// installed [`SchedulerState`] — both in delivery order, which is
+    /// byte-identical for every shard count, so fault decisions, scheduler
+    /// decisions, and their dedicated PRNG streams are too. Kept out of
+    /// line so the plain hot path pays one branch for the whole feature.
     ///
-    /// Latency-delayed messages that matured (their due clock reached,
-    /// possibly jumped over by [`skip_rounds`](Network::skip_rounds)) are
-    /// delivered **first**, in `(due, seq)` order — they were sent in
-    /// earlier rounds — then this round's pending messages are judged.
+    /// Delayed messages that matured (their due clock reached, possibly
+    /// jumped over by [`skip_rounds`](Network::skip_rounds)) are delivered
+    /// **first**, in `(due, seq)` order — they were sent in earlier
+    /// rounds — then this round's pending messages are judged. Matured
+    /// messages are not re-skewed: each message meets the scheduler exactly
+    /// once, and a fault-latency verdict keeps its fault delay (no double
+    /// skew).
     #[inline(never)]
-    fn deliver_with_faults(&mut self) {
-        let mut faults = self.faults.take().expect("fault state present");
-        faults.emit_transitions(&mut self.recorder, &mut self.trace, self.trace_enabled);
+    fn deliver_slow(&mut self) {
+        let mut faults = self.faults.take();
+        let mut scheduler = self.scheduler.take();
+        // The fault and scheduler clocks advance in lockstep (barriers and
+        // skipped rounds), so whichever is present names the current time.
+        let clock = match (&faults, &scheduler) {
+            (Some(f), _) => f.clock,
+            (None, Some(s)) => s.clock,
+            (None, None) => unreachable!("slow path without faults or scheduler"),
+        };
+        if let Some(faults) = faults.as_mut() {
+            faults.emit_transitions(&mut self.recorder, &mut self.trace, self.trace_enabled);
+        }
         let mut delivered = 0usize;
         while let Some(entry) = self.delayed.peek() {
-            if entry.due > faults.clock {
+            if entry.due > clock {
                 break;
             }
             let DelayedMsg {
@@ -681,12 +741,12 @@ impl<M: Payload> Network<M> {
                 msg,
                 ..
             } = self.delayed.pop().expect("peeked entry present");
-            match faults.judge_delayed(to) {
+            match faults.as_mut().and_then(|f| f.judge_delayed(to)) {
                 Some(cause) => {
                     self.recorder.record_drop();
                     if self.trace_enabled {
                         self.trace.push(TraceEvent::MessageDropped {
-                            round: faults.clock,
+                            round: clock,
                             from,
                             to,
                             cause,
@@ -708,20 +768,21 @@ impl<M: Payload> Network<M> {
         // run); the dedicated adversary stream then picks up to k of them
         // to strike. The scan order equals the judging order below, so the
         // strike set is byte-identical for every shard count.
-        let strikes = if faults.adversary_active() {
-            let mut candidates = Vec::new();
-            let mut base = 0usize;
-            for queue in std::iter::once(&self.pending).chain(self.shard_pending.iter()) {
-                for (i, (from, _, to, _)) in queue.iter().enumerate() {
-                    if faults.mark_link_used(*from, *to) {
-                        candidates.push(base + i);
+        let strikes = match faults.as_mut() {
+            Some(faults) if faults.adversary_active() => {
+                let mut candidates = Vec::new();
+                let mut base = 0usize;
+                for queue in std::iter::once(&self.pending).chain(self.shard_pending.iter()) {
+                    for (i, (from, _, to, _)) in queue.iter().enumerate() {
+                        if faults.mark_link_used(*from, *to) {
+                            candidates.push(base + i);
+                        }
                     }
+                    base += queue.len();
                 }
-                base += queue.len();
+                faults.select_strikes(candidates)
             }
-            faults.select_strikes(candidates)
-        } else {
-            Vec::new()
+            _ => Vec::new(),
         };
         let mut next_strike = 0usize;
         let mut base = 0usize;
@@ -744,13 +805,16 @@ impl<M: Payload> Network<M> {
                     next_strike += 1;
                     Verdict::Drop(DropCause::Adversarial)
                 } else {
-                    faults.judge(from, to)
+                    match faults.as_mut() {
+                        Some(faults) => faults.judge(from, to),
+                        None => Verdict::Deliver,
+                    }
                 };
                 if let Verdict::Drop(cause) = verdict {
                     self.recorder.record_drop();
                     if self.trace_enabled {
                         self.trace.push(TraceEvent::MessageDropped {
-                            round: faults.clock,
+                            round: clock,
                             from,
                             to,
                             cause,
@@ -762,12 +826,12 @@ impl<M: Payload> Network<M> {
                 // *now*, at send time — a latency-delayed copy parks the
                 // corrupted payload, and every outgoing message draws its
                 // own mutation (different ports can carry different lies).
-                let msg = match faults.mutate_payload(from, &msg) {
+                let msg = match faults.as_mut().and_then(|f| f.mutate_payload(from, &msg)) {
                     Some(mutated) => {
                         self.recorder.record_mutation();
                         if self.trace_enabled {
                             self.trace.push(TraceEvent::MessageMutated {
-                                round: faults.clock,
+                                round: clock,
                                 from,
                                 to,
                             });
@@ -777,7 +841,7 @@ impl<M: Payload> Network<M> {
                                 equivocation_flagged = true;
                                 if self.trace_enabled {
                                     self.trace.push(TraceEvent::MessageEquivocated {
-                                        round: faults.clock,
+                                        round: clock,
                                         node: from,
                                     });
                                 }
@@ -795,15 +859,17 @@ impl<M: Payload> Network<M> {
                         self.recorder.record_delay();
                         if self.trace_enabled {
                             self.trace.push(TraceEvent::MessageDelayed {
-                                round: faults.clock,
+                                round: clock,
                                 from,
                                 to,
                                 delay,
                             });
                         }
+                        let seq = self.delayed_seq;
+                        self.delayed_seq += 1;
                         self.delayed.push(DelayedMsg {
-                            due: faults.clock + delay,
-                            seq: faults.take_seq(),
+                            due: clock + delay,
+                            seq,
                             from,
                             port,
                             to,
@@ -811,11 +877,39 @@ impl<M: Payload> Network<M> {
                         });
                     }
                     _ => {
-                        if self.inboxes[to].is_empty() {
-                            self.dirty_inboxes.push(to);
+                        // The fault plane delivers this message; the
+                        // scheduler adversary now chooses how long the
+                        // network holds it. `0` — the synchronous policy's
+                        // only answer — delivers at this barrier, exactly
+                        // like the round engine.
+                        let skew = scheduler.as_mut().map_or(0, SchedulerState::delay);
+                        if skew > 0 {
+                            self.recorder.record_scheduled();
+                            if self.trace_enabled {
+                                self.trace.push(TraceEvent::MessageScheduled {
+                                    round: clock,
+                                    from,
+                                    to,
+                                    delay: skew,
+                                });
+                            }
+                            let seq = self.delayed_seq;
+                            self.delayed_seq += 1;
+                            self.delayed.push(DelayedMsg {
+                                due: clock + skew,
+                                seq,
+                                from,
+                                port,
+                                to,
+                                msg,
+                            });
+                        } else {
+                            if self.inboxes[to].is_empty() {
+                                self.dirty_inboxes.push(to);
+                            }
+                            self.inboxes[to].push((from, port, msg));
+                            delivered += 1;
                         }
-                        self.inboxes[to].push((from, port, msg));
-                        delivered += 1;
                     }
                 }
             }
@@ -834,7 +928,8 @@ impl<M: Payload> Network<M> {
             queue += 1;
         }
         self.delivered_last_round = delivered;
-        self.faults = Some(faults);
+        self.faults = faults;
+        self.scheduler = scheduler;
     }
 
     /// Advances the round clock by `rounds` rounds in which no messages are
@@ -858,6 +953,11 @@ impl<M: Payload> Network<M> {
             // docs), so skipping past it means the node resumes silently
             // with its pre-crash state.
             faults.clock += rounds;
+        }
+        if let Some(scheduler) = self.scheduler.as_mut() {
+            // Keep the scheduler clock in lockstep with the round stamp so
+            // scheduler-parked messages mature (late) at the next barrier.
+            scheduler.clock += rounds;
         }
         self.recorder.record_idle_rounds(rounds);
     }

@@ -92,8 +92,15 @@ pub struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Outbox { msgs: Vec::new() }
+    }
+
+    /// The queued `(port, message)` pairs, for the crate's runtimes to
+    /// drain (swapped against a scratch buffer so the network can be
+    /// borrowed mutably while flushing).
+    pub(crate) fn msgs_mut(&mut self) -> &mut Vec<(Port, M)> {
+        &mut self.msgs
     }
 
     /// Queues `msg` to be sent through `port`.

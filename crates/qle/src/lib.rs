@@ -70,4 +70,7 @@ pub use config::{AlphaChoice, KChoice};
 pub use error::Error;
 pub use problems::{AgreementDecision, AgreementOutcome, LeaderElectionOutcome, NodeStatus};
 pub use protocol::{Agreement, LeaderElection, RunOptions, TracedRun};
+// Re-exported so scenario-level callers can spell execution modes without
+// depending on `congest_net` directly.
+pub use congest_net::{ExecMode, SchedulerKind, SchedulerSpec};
 pub use report::{AgreementRun, CostSummary, LeaderElectionRun};

@@ -15,7 +15,7 @@
 //! `run` is a provided method delegating to `run_with` with default options,
 //! so the two can never diverge.
 
-use congest_net::{FaultPlan, Graph, Network, NetworkConfig, Payload, TraceEvent};
+use congest_net::{ExecMode, FaultPlan, Graph, Network, NetworkConfig, Payload, TraceEvent};
 
 use crate::error::Error;
 use crate::report::{AgreementRun, LeaderElectionRun};
@@ -43,6 +43,28 @@ pub struct RunOptions {
     pub fault_plan: Option<FaultPlan>,
     /// Whether to record the round-stamped event trace.
     pub trace: bool,
+    /// Which execution engine drives the run: the round-synchronous engine
+    /// (the default) or the discrete-event engine under a scheduler
+    /// adversary (see `congest_net`'s `event` module and
+    /// `docs/EXECUTION_MODELS.md`).
+    ///
+    /// For runtime-driven protocols the scenario registry dispatches on
+    /// this to pick `SyncRuntime` vs `EventRuntime`; for driver-based
+    /// protocols the scheduler installed by
+    /// [`network_with`](RunOptions::network_with) skews their delivery
+    /// directly.
+    ///
+    /// ```
+    /// use congest_net::{ExecMode, SchedulerSpec};
+    /// use qle::RunOptions;
+    ///
+    /// let opts = RunOptions {
+    ///     mode: ExecMode::Event(SchedulerSpec::latency_skew(3, 7)),
+    ///     ..RunOptions::default()
+    /// };
+    /// assert_ne!(opts.mode, ExecMode::Round);
+    /// ```
+    pub mode: ExecMode,
 }
 
 impl RunOptions {
@@ -63,6 +85,9 @@ impl RunOptions {
         }
         if let Some(plan) = &self.fault_plan {
             net.set_fault_plan(plan);
+        }
+        if let ExecMode::Event(spec) = self.mode {
+            net.set_scheduler(&spec);
         }
         net
     }

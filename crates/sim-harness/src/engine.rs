@@ -9,7 +9,7 @@
 //! seed-order-deterministic merge discipline the experiment sweeps use.
 
 use congest_net::topology::Family;
-use congest_net::FaultPlan;
+use congest_net::{ExecMode, FaultPlan};
 use qle::RunOptions;
 use rayon::prelude::*;
 
@@ -36,20 +36,38 @@ pub struct Cell {
     pub max_rounds: u64,
     /// The scenario's fault plan.
     pub faults: FaultPlan,
+    /// The scenario's execution mode (round engine or event engine under a
+    /// scheduler adversary).
+    pub mode: ExecMode,
 }
 
 impl Cell {
     /// A compact identity string, used in trace headers and error messages.
+    /// Round-mode cells keep the historical five-field form; event-mode
+    /// cells append the scheduler so baselines recorded under different
+    /// adversaries can never be confused.
     #[must_use]
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{} protocol={} topology={} n={} seed={}",
             self.scenario,
             self.protocol.name(),
             topology_name(self.topology),
             self.n,
             self.seed
-        )
+        );
+        if let ExecMode::Event(sched) = self.mode {
+            use std::fmt::Write;
+            write!(
+                id,
+                " mode=event scheduler={},{},{}",
+                sched.kind.name(),
+                sched.bound,
+                sched.seed
+            )
+            .unwrap();
+        }
+        id
     }
 }
 
@@ -79,6 +97,7 @@ pub fn expand(specs: &[ScenarioSpec]) -> Vec<Cell> {
                     shards: spec.shards,
                     max_rounds: spec.max_rounds,
                     faults: spec.faults.clone(),
+                    mode: spec.mode,
                 });
             }
         }
@@ -103,6 +122,7 @@ pub fn run_cell(cell: &Cell) -> Result<CellResult, String> {
         shards: cell.shards,
         fault_plan: (!cell.faults.is_empty()).then(|| cell.faults.clone()),
         trace: true,
+        mode: cell.mode,
     };
     let outcome = cell
         .protocol
@@ -144,7 +164,7 @@ pub fn results_table(results: &[CellResult]) -> String {
     let detail = "detail";
     writeln!(
         out,
-        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>6}  {detail}",
+        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}  {detail}",
         "scenario",
         "protocol",
         "topology",
@@ -155,6 +175,7 @@ pub fn results_table(results: &[CellResult]) -> String {
         "peak/rd",
         "dropped",
         "delayed",
+        "sched",
         "mutated",
         "crashed",
         "ok",
@@ -164,7 +185,7 @@ pub fn results_table(results: &[CellResult]) -> String {
         let m = &r.outcome.metrics;
         writeln!(
             out,
-            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>6}  {}",
+            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}  {}",
             r.cell.scenario,
             r.cell.protocol.name(),
             topology_name(r.cell.topology),
@@ -175,6 +196,7 @@ pub fn results_table(results: &[CellResult]) -> String {
             m.peak_messages_per_round,
             m.dropped_messages,
             m.delayed_messages,
+            m.scheduled_messages,
             m.mutated_messages,
             m.crashed_nodes,
             if r.outcome.ok { "yes" } else { "NO" },

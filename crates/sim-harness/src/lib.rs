@@ -18,7 +18,10 @@
 //! * **Specs** ([`spec`]) — [`ScenarioSpec`]: a typed builder plus a
 //!   TOML-ish text format (`[scenario]` / `[faults]` sections, parsed with
 //!   no new dependencies). A spec is a *matrix generator*: `sizes × seeds`
-//!   cells of one `(topology, protocol, fault plan)` combination.
+//!   cells of one `(topology, protocol, fault plan, execution mode)`
+//!   combination — `mode = "event"` plus a `scheduler = [name, bound,
+//!   seed]` stanza selects the discrete-event engine
+//!   (`docs/EXECUTION_MODELS.md`).
 //! * **Registries** ([`registry`]) — every topology name resolves to a
 //!   [`congest_net::topology::Family`] (cycle, torus, complete,
 //!   expander/random-regular, star, hypercube) and every protocol name to a

@@ -4,14 +4,18 @@
 //! Topologies resolve to [`Family`] values (cycle, torus, complete,
 //! expander/random-regular, star, hypercube — with the expander degree as a
 //! parameter). Protocols are the [`ProtocolKind`] enum: the `Flood`
-//! reference program driven through the sharded [`SyncRuntime`], and the
-//! leader-election protocols (quantum and classical) driven through
+//! reference program driven through the sharded [`SyncRuntime`] (or the
+//! discrete-event [`EventRuntime`] when the scenario says `mode = "event"`),
+//! and the leader-election protocols (quantum and classical) driven through
 //! [`LeaderElection::run_with`], so every cell honours the scenario's fault
-//! plan, shard count, and trace flag.
+//! plan, shard count, trace flag, and execution mode.
 
 use congest_net::programs::{Flood, FloodBft, FloodFt};
 use congest_net::topology::Family;
-use congest_net::{Graph, Metrics, NetworkConfig, NodeProgram, SyncRuntime, TraceEvent};
+use congest_net::{
+    EventRuntime, ExecMode, Graph, Metrics, Network, NetworkConfig, NodeProgram, SyncRuntime,
+    TraceEvent,
+};
 
 use classical_baselines::{CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe};
 use qle::algorithms::{QuantumLe, QuantumQwLe};
@@ -182,40 +186,80 @@ fn run_flood<P: NodeProgram>(
     init: impl FnMut(usize, usize) -> P,
     covered: impl Fn(&P) -> bool,
 ) -> Result<CellOutcome, String> {
-    let mut runtime = SyncRuntime::new(
-        graph.clone(),
-        NetworkConfig::with_seed(seed).shards(opts.shards),
-        init,
-    );
-    if opts.trace {
-        runtime.enable_trace();
+    let config = NetworkConfig::with_seed(seed).shards(opts.shards);
+    match opts.mode {
+        ExecMode::Round => {
+            let mut runtime = SyncRuntime::new(graph.clone(), config, init);
+            if opts.trace {
+                runtime.enable_trace();
+            }
+            if let Some(plan) = &opts.fault_plan {
+                runtime.set_fault_plan(plan);
+            }
+            let rounds = runtime
+                .run_until_halt(max_rounds)
+                .map_err(|e| e.to_string())?;
+            let trace = runtime.take_trace();
+            let metrics = runtime.metrics();
+            Ok(flood_outcome(
+                runtime.network(),
+                runtime.programs(),
+                covered,
+                rounds,
+                metrics,
+                trace,
+            ))
+        }
+        ExecMode::Event(scheduler) => {
+            let mut runtime = EventRuntime::new(graph.clone(), config, scheduler, init);
+            if opts.trace {
+                runtime.enable_trace();
+            }
+            if let Some(plan) = &opts.fault_plan {
+                runtime.set_fault_plan(plan);
+            }
+            let time = runtime.run(max_rounds).map_err(|e| e.to_string())?;
+            let trace = runtime.take_trace();
+            let metrics = runtime.metrics();
+            Ok(flood_outcome(
+                runtime.network(),
+                runtime.programs(),
+                covered,
+                time,
+                metrics,
+                trace,
+            ))
+        }
     }
-    if let Some(plan) = &opts.fault_plan {
-        runtime.set_fault_plan(plan);
-    }
-    let rounds = runtime
-        .run_until_halt(max_rounds)
-        .map_err(|e| e.to_string())?;
-    let n = graph.node_count();
+}
+
+/// Derives the flood coverage verdict from a finished runtime's state
+/// (shared by the round and event engines).
+fn flood_outcome<P: NodeProgram>(
+    net: &Network<P::Msg>,
+    programs: &[P],
+    covered: impl Fn(&P) -> bool,
+    rounds: u64,
+    metrics: Metrics,
+    trace: Vec<TraceEvent>,
+) -> CellOutcome {
+    let n = programs.len();
     // `node_crashed` is the forward-looking view (also what the runtime's
     // halting check uses); derive both coverage numbers from it so the ok
     // flag and the detail arithmetic can never disagree (the metrics
     // column counts crash *events* observed at barriers, which can lag by
     // one round at termination).
-    let crashed = (0..n)
-        .filter(|&v| runtime.network().node_crashed(v))
-        .count();
+    let crashed = (0..n).filter(|&v| net.node_crashed(v)).count();
     let reached = (0..n)
-        .filter(|&v| covered(&runtime.programs()[v]) && !runtime.network().node_crashed(v))
+        .filter(|&v| covered(&programs[v]) && !net.node_crashed(v))
         .count();
-    let metrics = runtime.metrics();
-    Ok(CellOutcome {
+    CellOutcome {
         metrics,
         effective_rounds: rounds,
         ok: reached + crashed == n,
         detail: format!("reached {reached}/{} live nodes", n - crashed),
-        trace: runtime.take_trace(),
-    })
+        trace,
+    }
 }
 
 fn run_le(
@@ -283,6 +327,30 @@ mod tests {
         // Every node broadcasts the token exactly once: 2 messages each.
         assert_eq!(out.metrics.classical_messages, 2 * 16);
         assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn event_cell_under_sync_scheduler_matches_round_cell() {
+        use congest_net::SchedulerSpec;
+        let graph = topology::cycle(16).unwrap();
+        let round = ProtocolKind::Flood
+            .run(&graph, 1, &RunOptions::default(), 1000)
+            .unwrap();
+        let opts = RunOptions {
+            mode: ExecMode::Event(SchedulerSpec::synchronous()),
+            ..RunOptions::default()
+        };
+        let event = ProtocolKind::Flood.run(&graph, 1, &opts, 1000).unwrap();
+        assert_eq!(round, event);
+        // A skewing scheduler genuinely changes the schedule.
+        let opts = RunOptions {
+            mode: ExecMode::Event(SchedulerSpec::worst_case(2)),
+            ..RunOptions::default()
+        };
+        let skewed = ProtocolKind::Flood.run(&graph, 1, &opts, 1000).unwrap();
+        assert!(skewed.metrics.scheduled_messages > 0);
+        assert!(skewed.effective_rounds > round.effective_rounds);
+        assert!(skewed.ok);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! seeds = [1, 2]
 //! shards = 0            # 0 = auto (CONGEST_SHARDS)
 //! max_rounds = 10000
+//! mode = "event"        # optional; "round" (default) or "event"
+//! scheduler = ["latency-skew", 3, 7]   # [name, bound, seed]; event mode only
 //!
 //! [faults]
 //! seed = 9
@@ -36,7 +38,7 @@
 //! parse ∘ emit is the identity (pinned by the round-trip tests).
 
 use congest_net::topology::Family;
-use congest_net::FaultPlan;
+use congest_net::{ExecMode, FaultPlan, SchedulerKind, SchedulerSpec};
 
 use crate::registry::{parse_topology, topology_name, ProtocolKind, ALL_PROTOCOLS};
 
@@ -82,6 +84,10 @@ pub struct ScenarioSpec {
     /// The fault plan every cell of this scenario runs under (empty =
     /// fault-free).
     pub faults: FaultPlan,
+    /// Which execution engine drives the cells: the round-synchronous
+    /// engine (the default) or the discrete-event engine under a scheduler
+    /// adversary (see `docs/EXECUTION_MODELS.md`).
+    pub mode: ExecMode,
 }
 
 impl ScenarioSpec {
@@ -99,6 +105,7 @@ impl ScenarioSpec {
             shards: 0,
             max_rounds: 100_000,
             faults: FaultPlan::default(),
+            mode: ExecMode::Round,
         }
     }
 
@@ -137,6 +144,22 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the execution mode (round-synchronous by default).
+    ///
+    /// ```
+    /// use congest_net::{topology::Family, ExecMode, SchedulerSpec};
+    /// use sim_harness::{ProtocolKind, ScenarioSpec};
+    ///
+    /// let spec = ScenarioSpec::new("skewed", Family::Cycle, ProtocolKind::Flood)
+    ///     .mode(ExecMode::Event(SchedulerSpec::worst_case(2)));
+    /// assert!(spec.to_text().contains("mode = \"event\""));
+    /// ```
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Serializes this scenario in the spec text format.
     #[must_use]
     pub fn to_text(&self) -> String {
@@ -153,6 +176,17 @@ impl ScenarioSpec {
         writeln!(out, "seeds = {}", fmt_list(self.seeds.iter())).unwrap();
         writeln!(out, "shards = {}", self.shards).unwrap();
         writeln!(out, "max_rounds = {}", self.max_rounds).unwrap();
+        if let ExecMode::Event(sched) = self.mode {
+            writeln!(out, "mode = \"event\"").unwrap();
+            writeln!(
+                out,
+                "scheduler = [\"{}\", {}, {}]",
+                sched.kind.name(),
+                sched.bound,
+                sched.seed
+            )
+            .unwrap();
+        }
         if !self.faults.is_empty() || self.faults.seed() != 0 {
             out.push_str("\n[faults]\n");
             writeln!(out, "seed = {}", self.faults.seed()).unwrap();
@@ -260,6 +294,11 @@ struct Draft {
     byzantines: Vec<[u64; 3]>,
     /// Adversarial frontier drops per round (0 = no adversary).
     adversary: u64,
+    /// Raw `mode` value ("round" or "event"), validated at the key line.
+    mode: Option<String>,
+    /// Parsed `scheduler = [name, bound, seed]` stanza, validated at the
+    /// key line; only legal together with `mode = "event"`.
+    scheduler: Option<SchedulerSpec>,
     /// Line of the `[scenario]` header, for error reporting.
     line: usize,
 }
@@ -326,6 +365,23 @@ impl Draft {
             spec.seeds = seeds;
         }
         spec.shards = self.shards;
+        match self.mode.as_deref() {
+            // `mode = "event"` without a `scheduler` stanza runs under the
+            // synchronous scheduler (the discrete-event engine reproducing
+            // the round engine exactly).
+            Some("event") => {
+                spec.mode =
+                    ExecMode::Event(self.scheduler.unwrap_or_else(SchedulerSpec::synchronous));
+            }
+            _ => {
+                if self.scheduler.is_some() {
+                    return Err(err(format!(
+                        "scenario \"{}\": `scheduler` requires `mode = \"event\"`",
+                        spec.name
+                    )));
+                }
+            }
+        }
         if let Some(max_rounds) = self.max_rounds {
             if max_rounds == 0 {
                 return Err(err(format!(
@@ -429,6 +485,18 @@ impl<'a> Parser<'a> {
                 }
                 (Section::Scenario, "max_rounds") => {
                     draft.max_rounds = Some(parse_int(value, line_no)?);
+                }
+                (Section::Scenario, "mode") => {
+                    let mode = parse_string(value, line_no)?;
+                    if mode != "round" && mode != "event" {
+                        return Err(err(format!(
+                            "unknown mode \"{mode}\" (expected \"round\" or \"event\")"
+                        )));
+                    }
+                    draft.mode = Some(mode);
+                }
+                (Section::Scenario, "scheduler") => {
+                    draft.scheduler = Some(parse_scheduler(value, line_no)?);
                 }
                 (Section::Faults, "seed") => draft.fault_seed = parse_int(value, line_no)?,
                 (Section::Faults, "drop") => {
@@ -539,6 +607,32 @@ fn parse_int(value: &str, line: usize) -> Result<u64, SpecError> {
     })
 }
 
+/// Parses the mixed `scheduler = ["name", bound, seed]` list.
+fn parse_scheduler(value: &str, line: usize) -> Result<SchedulerSpec, SpecError> {
+    let err = |message: String| SpecError { line, message };
+    let body = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(format!("expected a [list], got \"{value}\"")))?;
+    let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+    let [name, bound, seed]: [&str; 3] = parts[..]
+        .try_into()
+        .map_err(|_| err("scheduler needs [\"name\", bound, seed]".into()))?;
+    let name = parse_string(name, line)?;
+    let kind = SchedulerKind::parse(&name).ok_or_else(|| {
+        let known: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+        err(format!(
+            "unknown scheduler \"{name}\" (registered: {})",
+            known.join(", ")
+        ))
+    })?;
+    Ok(SchedulerSpec {
+        kind,
+        bound: parse_int(bound, line)?,
+        seed: parse_int(seed, line)?,
+    })
+}
+
 fn parse_int_list(value: &str, line: usize) -> Result<Vec<u64>, SpecError> {
     let body = value
         .strip_prefix('[')
@@ -585,6 +679,72 @@ mod tests {
         assert!(text.contains("adversary = 2"), "{text}");
         let parsed = ScenarioSpec::parse_many(&text).unwrap();
         assert_eq!(parsed, vec![spec]);
+    }
+
+    #[test]
+    fn event_mode_round_trips_for_every_scheduler() {
+        for sched in [
+            SchedulerSpec::synchronous(),
+            SchedulerSpec::round_robin(2, 5),
+            SchedulerSpec::latency_skew(3, 7),
+            SchedulerSpec::worst_case(4),
+        ] {
+            let spec = sample_spec().mode(ExecMode::Event(sched));
+            let text = spec.to_text();
+            assert!(text.contains("mode = \"event\""), "{text}");
+            assert!(
+                text.contains(&format!("scheduler = [\"{}\"", sched.kind.name())),
+                "{text}"
+            );
+            let parsed = ScenarioSpec::parse_many(&text).unwrap();
+            assert_eq!(parsed, vec![spec]);
+        }
+    }
+
+    #[test]
+    fn event_mode_without_scheduler_defaults_to_synchronous() {
+        let text = "[scenario]\nname = \"x\"\ntopology = \"cycle\"\nprotocol = \"flood\"\nmode = \"event\"\n";
+        let spec = &ScenarioSpec::parse_many(text).unwrap()[0];
+        assert_eq!(spec.mode, ExecMode::Event(SchedulerSpec::synchronous()));
+        // An explicit `mode = "round"` is also accepted and is the default.
+        let text = "[scenario]\nname = \"x\"\ntopology = \"cycle\"\nprotocol = \"flood\"\nmode = \"round\"\n";
+        let spec = &ScenarioSpec::parse_many(text).unwrap()[0];
+        assert_eq!(spec.mode, ExecMode::Round);
+    }
+
+    #[test]
+    fn malformed_mode_and_scheduler_stanzas_are_rejected() {
+        let base = "[scenario]\nname = \"x\"\ntopology = \"cycle\"\nprotocol = \"flood\"\n";
+        for (stanza, needle) in [
+            ("mode = \"async\"", "unknown mode \"async\""),
+            (
+                "mode = \"event\"\nscheduler = [\"chaos\", 1, 2]",
+                "unknown scheduler \"chaos\"",
+            ),
+            (
+                "mode = \"event\"\nscheduler = [\"worst-case\", 2]",
+                "scheduler needs",
+            ),
+            (
+                "scheduler = [\"worst-case\", 2, 0]",
+                "`scheduler` requires `mode = \"event\"`",
+            ),
+        ] {
+            let err = ScenarioSpec::parse_many(&format!("{base}{stanza}\n")).unwrap_err();
+            assert!(err.message.contains(needle), "{stanza}: {err}");
+        }
+        // The unknown-scheduler error lists the registry.
+        let err = ScenarioSpec::parse_many(&format!(
+            "{base}mode = \"event\"\nscheduler = [\"chaos\", 1, 2]\n"
+        ))
+        .unwrap_err();
+        for k in SchedulerKind::ALL {
+            assert!(
+                err.message.contains(k.name()),
+                "missing {}: {err}",
+                k.name()
+            );
+        }
     }
 
     #[test]

@@ -34,13 +34,13 @@ pub struct BaselineCell {
 #[must_use]
 pub fn serialize(results: &[CellResult]) -> String {
     use std::fmt::Write;
-    let mut out = String::from("# sim-harness trace v3\n");
+    let mut out = String::from("# sim-harness trace v4\n");
     for r in results {
         let m = &r.outcome.metrics;
         writeln!(out, "cell {}", r.cell.id()).unwrap();
         writeln!(
             out,
-            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} mutated={} crashed={} effective={} ok={}",
+            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} sched={} mutated={} crashed={} effective={} ok={}",
             m.classical_messages,
             m.quantum_messages,
             m.rounds,
@@ -48,6 +48,7 @@ pub fn serialize(results: &[CellResult]) -> String {
             m.total_bits,
             m.dropped_messages,
             m.delayed_messages,
+            m.scheduled_messages,
             m.mutated_messages,
             m.crashed_nodes,
             r.outcome.effective_rounds,
@@ -93,6 +94,18 @@ pub fn serialize(results: &[CellResult]) -> String {
                 TraceEvent::MessageEquivocated { round, node } => {
                     writeln!(out, "event round={round} equivocate node={node}").unwrap();
                 }
+                TraceEvent::MessageScheduled {
+                    round,
+                    from,
+                    to,
+                    delay,
+                } => {
+                    writeln!(
+                        out,
+                        "event round={round} schedule from={from} to={to} delay={delay}"
+                    )
+                    .unwrap();
+                }
             }
         }
         out.push_str("end\n");
@@ -116,10 +129,10 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
             // a real error: failing here names the actual problem instead
             // of surfacing it later as a missing summary key.
             if let Some(version) = line.strip_prefix("# sim-harness trace ") {
-                if version != "v3" {
+                if version != "v4" {
                     return Err(format!(
                         "trace line {line_no}: unsupported trace format {version} \
-                         (this build reads v3; re-record the baseline)"
+                         (this build reads v4; re-record the baseline)"
                     ));
                 }
             }
@@ -153,6 +166,7 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
                 total_bits: get("bits")?,
                 dropped_messages: get("dropped")?,
                 delayed_messages: get("delayed")?,
+                scheduled_messages: get("sched")?,
                 mutated_messages: get("mutated")?,
                 crashed_nodes: get("crashed")?,
             };
@@ -170,7 +184,20 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
                     .parse()
                     .map_err(|_| format!("trace line {line_no}: bad {key}"))
             };
-            if rest.contains(" crash ") {
+            // `schedule` is checked before `delay`: a schedule line carries a
+            // `delay=` *attribute*, but attribute tokens never match the
+            // space-delimited kind patterns below.
+            if rest.contains(" schedule ") {
+                let delay = field(rest, "delay", line_no)?
+                    .parse()
+                    .map_err(|_| format!("trace line {line_no}: bad delay"))?;
+                cell.events.push(TraceEvent::MessageScheduled {
+                    round,
+                    from: parse_node("from")?,
+                    to: parse_node("to")?,
+                    delay,
+                });
+            } else if rest.contains(" crash ") {
                 cell.events.push(TraceEvent::NodeCrashed {
                     round,
                     node: parse_node("node")?,
@@ -384,11 +411,11 @@ mod tests {
     fn parse_names_a_version_mismatch() {
         let err = parse("# sim-harness trace v1\ncell a\nend\n").unwrap_err();
         assert!(err.contains("unsupported trace format v1"), "{err}");
-        // A v2 baseline predates the mutated counter and the adversarial
-        // event kinds: it must be re-recorded, not half-parsed.
-        let err = parse("# sim-harness trace v2\ncell a\nend\n").unwrap_err();
-        assert!(err.contains("this build reads v3"), "{err}");
+        // A v3 baseline predates the scheduled counter and the `schedule`
+        // event kind: it must be re-recorded, not half-parsed.
+        let err = parse("# sim-harness trace v3\ncell a\nend\n").unwrap_err();
+        assert!(err.contains("this build reads v4"), "{err}");
         // The current version marker and unrelated comments pass.
-        assert!(parse("# sim-harness trace v3\n# another comment\n").is_ok());
+        assert!(parse("# sim-harness trace v4\n# another comment\n").is_ok());
     }
 }

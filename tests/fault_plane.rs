@@ -265,6 +265,7 @@ fn faulty_ghs_golden_with_trace() {
                 .crash(11, 5),
         ),
         trace: true,
+        ..RunOptions::default()
     };
     let a = GhsLe::new().run_with(&graph, 5, &opts).unwrap();
     let b = GhsLe::new().run_with(&graph, 5, &opts).unwrap();
@@ -642,6 +643,7 @@ fn ghs_survives_every_latency_alignment() {
                 shards: 0,
                 fault_plan: Some(FaultPlan::new(1).link_latency(a, w, delay)),
                 trace: false,
+                ..RunOptions::default()
             };
             let run = GhsLe::new().run_with(&graph, 5, &opts);
             assert!(run.is_ok(), "a={a} w={w} delay={delay}: {run:?}");
