@@ -20,6 +20,10 @@
 //! cargo run --release -p bench-harness --bin experiments -- --scorecard examples/scenarios
 //!     # resilience scorecard: every faulty scenario vs its fault-free twin,
 //!     # aggregated per protocol × fault class; writes scorecard.txt to --out
+//! cargo run --release -p bench-harness --bin experiments -- --profile examples/scenarios
+//!     # run the matrix with the telemetry sidecar on: per-cell wall times,
+//!     # phase breakdown, shard utilization, round histograms; writes
+//!     # telemetry.jsonl (+ the usual results/traces) to --out
 //! ```
 
 use bench_harness::gate;
@@ -294,6 +298,132 @@ fn run_scenarios(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Formats a nanosecond reading for the human profile summary (µs below
+/// 1 ms, ms below 1 s, seconds above).
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000_000 {
+        format!("{:.1}us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Runs the profiling mode: `--profile <spec|dir> [--out <dir>]`. The whole
+/// matrix runs with the telemetry sidecar enabled (`docs/OBSERVABILITY.md`);
+/// stdout gets the results table with the wall(ms) column plus a per-cell
+/// summary (round wall-time percentiles, phase breakdown, shard imbalance),
+/// and the output directory gets `results.txt` and `traces.txt` (both fully
+/// deterministic, as in `--scenarios`), `telemetry.jsonl` (one full report
+/// per cell, wall fields segregated under `"wall"`), and
+/// `telemetry-deterministic.txt` (the shard-invariant projection of the
+/// same reports — what CI diffs byte-for-byte across `CONGEST_SHARDS`).
+fn run_profile(rest: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut out_dir = "profile-out".to_string();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = it.next().ok_or("--out needs a directory")?.clone();
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return Err(format!("unexpected profile argument \"{other}\"")),
+        }
+    }
+    let path = path.ok_or("--profile needs a spec file or directory")?;
+    let specs = sim_harness::load_specs(path)?;
+    let cells = sim_harness::expand(&specs);
+    println!(
+        "profiling matrix: {} scenario(s), {} cell(s), {} pool worker(s), telemetry on\n",
+        specs.len(),
+        cells.len(),
+        rayon::current_num_threads()
+    );
+    let start = std::time::Instant::now();
+    let results = sim_harness::run_cells_with(&cells, true)?;
+    println!("{}", sim_harness::results_table_with_wall(&results));
+    for r in &results {
+        let Some(report) = &r.outcome.telemetry else {
+            continue;
+        };
+        let (p50, p95, max) = report.round_wall_percentiles();
+        let det = &report.deterministic;
+        let wall = &report.wall;
+        println!("profile: {}", r.cell.id());
+        println!(
+            "  {} round(s), {} message(s); round wall p50 {} p95 {} max {}",
+            det.rounds,
+            det.messages,
+            fmt_nanos(p50),
+            fmt_nanos(p95),
+            fmt_nanos(max)
+        );
+        let phase_total: u64 = wall.phase_nanos.iter().sum();
+        if phase_total > 0 {
+            print!("  phases:");
+            for phase in congest_net::Phase::ALL {
+                let nanos = wall.phase_nanos[phase.index()];
+                print!(
+                    " {} {:.1}%",
+                    phase.name(),
+                    nanos as f64 * 100.0 / phase_total as f64
+                );
+            }
+            println!();
+        }
+        if wall.shard_count > 1 {
+            println!(
+                "  shards: {}, imbalance {:.2}x, adaptive-sequential rounds {}",
+                wall.shard_count,
+                report.shard_imbalance(),
+                wall.adaptive_sequential_rounds
+            );
+        }
+        if matches!(r.cell.mode, congest_net::ExecMode::Event(_)) {
+            println!(
+                "  event heap depth buckets {} skew buckets {}",
+                det.heap_depth.to_json(),
+                det.skew_per_round.to_json()
+            );
+        }
+    }
+    println!("[profile completed in {:.1?}]", start.elapsed());
+    let out = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    std::fs::write(
+        out.join("results.txt"),
+        sim_harness::results_table(&results),
+    )
+    .map_err(|e| format!("write results.txt: {e}"))?;
+    std::fs::write(
+        out.join("traces.txt"),
+        sim_harness::trace::serialize(&results),
+    )
+    .map_err(|e| format!("write traces.txt: {e}"))?;
+    let mut jsonl = String::new();
+    let mut deterministic = String::new();
+    for r in &results {
+        if let Some(report) = &r.outcome.telemetry {
+            let id = r.cell.id();
+            jsonl.push_str(&report.to_jsonl(&id));
+            jsonl.push('\n');
+            deterministic.push_str(&report.deterministic_jsonl(&id));
+            deterministic.push('\n');
+        }
+    }
+    std::fs::write(out.join("telemetry.jsonl"), jsonl)
+        .map_err(|e| format!("write telemetry.jsonl: {e}"))?;
+    std::fs::write(out.join("telemetry-deterministic.txt"), deterministic)
+        .map_err(|e| format!("write telemetry-deterministic.txt: {e}"))?;
+    println!(
+        "wrote {out_dir}/results.txt, {out_dir}/traces.txt, {out_dir}/telemetry.jsonl, \
+         and {out_dir}/telemetry-deterministic.txt"
+    );
+    Ok(())
+}
+
 /// Runs the resilience scorecard: `--scorecard <spec|dir> [--out <dir>]`.
 /// Every scenario with a fault plan runs as written and as its fault-free
 /// twin; the per `(protocol, fault class)` aggregation (success rate,
@@ -407,6 +537,13 @@ USAGE:
                                              fault class
         [--out <dir>]                        output directory for scorecard.txt, results.txt,
                                              and baseline.txt (default: scorecard-out)
+    experiments --profile <spec|dir>         run a scenario matrix with the telemetry sidecar
+                                             on: per-cell wall times, phase breakdown, shard
+                                             utilization, and round histograms (see
+                                             docs/OBSERVABILITY.md)
+        [--out <dir>]                        output directory for results.txt, traces.txt,
+                                             telemetry.jsonl, and telemetry-deterministic.txt
+                                             (default: profile-out)
     experiments --help                       this text
 
 ENVIRONMENT:
@@ -415,6 +552,10 @@ ENVIRONMENT:
                                      are byte-identical for every k)
     RAYON_NUM_THREADS=<t>            thread-pool size for sweeps, scenario cells,
                                      and sharded rounds (default: available cores)
+    CONGEST_TELEMETRY=1              turn the telemetry sidecar on for --scenarios
+                                     and --scorecard cells too (--profile always
+                                     enables it; any other value = off; never
+                                     changes metrics, traces, or replay)
     BENCH_SHARDS=<k>                 shard count for the csr-mt bench records
                                      (default 4; --bench-network only)
     BENCH_LARGE_N=0                  skip the million-node implicit tier
@@ -451,6 +592,12 @@ fn main() {
         }
         Some("--scorecard") => {
             if let Err(message) = run_scorecard(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(scenario_exit_code(&message));
+            }
+        }
+        Some("--profile") => {
+            if let Err(message) = run_profile(&args[1..]) {
                 eprintln!("error: {message}");
                 std::process::exit(scenario_exit_code(&message));
             }

@@ -115,6 +115,7 @@ impl LeaderElection for CprDiameterTwoLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

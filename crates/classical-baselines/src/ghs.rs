@@ -316,6 +316,7 @@ impl LeaderElection for GhsLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

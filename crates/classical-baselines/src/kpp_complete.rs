@@ -120,6 +120,7 @@ impl LeaderElection for KppCompleteLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

@@ -147,6 +147,7 @@ impl LeaderElection for KppMixingLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

@@ -47,6 +47,7 @@ use crate::graph::{Graph, NodeId, Port};
 use crate::metrics::Metrics;
 use crate::network::{Delivery, Network, NetworkConfig};
 use crate::runtime::{NodeProgram, Outbox, RoundContext};
+use crate::telemetry::{elapsed_nanos, TelemetryReport};
 
 /// Seed salt for the dedicated scheduler stream, so installing a scheduler
 /// never perturbs the node, drop, mutation, or adversary streams (the same
@@ -389,6 +390,21 @@ impl<P: NodeProgram> EventRuntime<P> {
         self.net.take_trace()
     }
 
+    /// Installs the opt-in telemetry sidecar (see
+    /// [`Network::enable_telemetry`](crate::Network::enable_telemetry));
+    /// call before [`run`](EventRuntime::run). Event-mode runs additionally
+    /// populate the heap-depth and scheduler-skew histograms, sampled at
+    /// every barrier. Strictly outside the determinism domain.
+    pub fn enable_telemetry(&mut self) {
+        self.net.enable_telemetry();
+    }
+
+    /// Harvests the telemetry sidecar into a [`TelemetryReport`] (see
+    /// [`Network::take_telemetry`](crate::Network::take_telemetry)).
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        self.net.take_telemetry()
+    }
+
     /// The underlying network (for metric inspection).
     #[must_use]
     pub fn network(&self) -> &Network<P::Msg> {
@@ -443,6 +459,7 @@ impl<P: NodeProgram> EventRuntime<P> {
     pub fn start(&mut self) -> Result<(), Error> {
         debug_assert_eq!(self.time, 0, "start() called twice");
         let shared = self.shared_value();
+        let node_step_start = self.net.telemetry_enabled().then(std::time::Instant::now);
         // Same per-node body as the sequential `SyncRuntime::start`, plus
         // the logical-clock tick (no recovery check: a crash-recovery window
         // `[from, until)` needs `from < until`, so nothing recovers at 0).
@@ -466,6 +483,9 @@ impl<P: NodeProgram> EventRuntime<P> {
             self.local_clocks[v] += 1;
             self.flush_outbox(v)?;
         }
+        if let Some(start) = node_step_start {
+            self.net.record_node_step(elapsed_nanos(start));
+        }
         self.net.advance_round();
         self.time = 1;
         Ok(())
@@ -479,6 +499,7 @@ impl<P: NodeProgram> EventRuntime<P> {
     /// Propagates network errors from the queued sends.
     pub fn step(&mut self) -> Result<(), Error> {
         let shared = self.shared_value();
+        let node_step_start = self.net.telemetry_enabled().then(std::time::Instant::now);
         // Same per-node body as the sequential `SyncRuntime::step`, plus the
         // logical-clock ticks; see the mirroring note on `run_shard_round`.
         for v in 0..self.programs.len() {
@@ -537,6 +558,9 @@ impl<P: NodeProgram> EventRuntime<P> {
             if !self.outbox.is_empty() {
                 self.flush_outbox(v)?;
             }
+        }
+        if let Some(start) = node_step_start {
+            self.net.record_node_step(elapsed_nanos(start));
         }
         self.net.advance_round();
         self.time += 1;

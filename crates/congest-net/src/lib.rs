@@ -200,6 +200,28 @@
 //! exactly, like every other execution (pinned by the workspace
 //! `event_mode` suite).
 //!
+//! ## 7. The telemetry sidecar
+//!
+//! The [`telemetry`] module provides an **opt-in** observability layer:
+//! per-round phase spans (node-step, barrier-merge, fault-judge,
+//! scheduler-oracle), per-shard busy-time and message counters, and
+//! deterministic log2-bucket histograms (messages per round, inbox sizes,
+//! and — in event mode — heap depth and scheduler skew). It is enabled per
+//! run via [`Network::enable_telemetry`] (or the runtime wrappers) and
+//! harvested with [`Network::take_telemetry`] into a [`TelemetryReport`].
+//!
+//! **Invariant (determinism boundary):** telemetry lives strictly *outside*
+//! the determinism domain. Wall-clock readings go only into the report's
+//! segregated [`telemetry::WallTelemetry`] half; the
+//! [`telemetry::DeterministicTelemetry`] half is derived exclusively from
+//! barrier-merged quantities and is byte-identical for every shard count.
+//! Telemetry never touches [`Metrics`], round history, the fault trace, or
+//! any PRNG stream, and when it is off (the default) the steady-state round
+//! path performs no allocations and no timing calls — one predictable
+//! branch per barrier, pinned by the workspace zero-allocation suite. The
+//! full schema and the `experiments --profile` walkthrough live in
+//! `docs/OBSERVABILITY.md` in the repository root.
+//!
 //! `docs/ARCHITECTURE.md` in the repository root consolidates this section
 //! with the scenario-engine and state-vector architecture notes into one
 //! narrative; treat the invariants stated here as the authoritative ones
@@ -235,6 +257,7 @@ pub mod metrics;
 pub mod network;
 pub mod programs;
 pub mod runtime;
+pub mod telemetry;
 pub mod topology;
 pub mod walks;
 
@@ -248,3 +271,4 @@ pub use message::Payload;
 pub use metrics::{Metrics, RoundReport};
 pub use network::{Delivery, Network, NetworkConfig, ShardView};
 pub use runtime::{NodeProgram, Outbox, RoundContext, SyncRuntime};
+pub use telemetry::{DeterministicTelemetry, Log2Histogram, Phase, TelemetryReport, WallTelemetry};

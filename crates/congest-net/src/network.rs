@@ -35,6 +35,7 @@ use crate::fault::{DropCause, FaultPlan, FaultState, NeighborFaultView, TraceEve
 use crate::graph::{Graph, NodeId, Port};
 use crate::message::{congest_budget_bits, Payload};
 use crate::metrics::{Metrics, MetricsRecorder, RoundReport, ShardCounters};
+use crate::telemetry::{elapsed_nanos, Phase, TelemetryReport, TelemetrySink};
 
 /// One message parked on the cross-round delivery heap by a link-latency
 /// fault. Ordered by `(due, seq)` only — `seq` is assigned in the
@@ -240,6 +241,12 @@ pub struct Network<M: Payload> {
     /// `advance_round`; the live-traffic signal the runtime's adaptive
     /// scheduler reads.
     delivered_last_round: usize,
+    /// The opt-in observability sidecar (see the [`telemetry`](crate::telemetry)
+    /// module): `None` — the default — keeps every probe in the round
+    /// barrier to a single predictable branch and the send paths untouched.
+    /// Strictly outside the determinism domain: nothing recorded here feeds
+    /// back into metrics, history, traces, or randomness.
+    telemetry: Option<Box<TelemetrySink>>,
 }
 
 impl<M: Payload> Network<M> {
@@ -288,6 +295,7 @@ impl<M: Payload> Network<M> {
             trace_enabled: false,
             trace: Vec::new(),
             delivered_last_round: 0,
+            telemetry: None,
         }
     }
 
@@ -359,6 +367,59 @@ impl<M: Payload> Network<M> {
     /// enabled, if it was).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.trace)
+    }
+
+    /// Installs the opt-in telemetry sidecar (see the
+    /// [`telemetry`](crate::telemetry) module): from now on each round
+    /// barrier samples the deterministic histograms (messages per round,
+    /// inbox sizes, event-heap depth, scheduler skew) and accumulates
+    /// wall-clock phase spans. Off by default; when off the barrier pays
+    /// one predictable branch and the send paths pay nothing. Telemetry is
+    /// strictly outside the determinism domain — enabling it changes no
+    /// metric, trace, or random draw. Idempotent.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(TelemetrySink::new(self.shard_count())));
+        }
+    }
+
+    /// Whether the telemetry sidecar is installed.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Harvests the telemetry sidecar into a [`TelemetryReport`], removing
+    /// it from the network (`None` if telemetry was never enabled).
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        self.telemetry
+            .take()
+            .map(|sink| sink.finish(self.recorder.totals.total_messages()))
+    }
+
+    /// Records `nanos` of node-program execution time on the telemetry
+    /// sidecar (no-op when telemetry is off). Called by the runtimes once
+    /// per round.
+    pub(crate) fn record_node_step(&mut self, nanos: u64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record_phase(Phase::NodeStep, nanos);
+        }
+    }
+
+    /// Records `nanos` of worker busy time for shard `shard` on the
+    /// telemetry sidecar (no-op when telemetry is off).
+    pub(crate) fn record_shard_busy(&mut self, shard: usize, nanos: u64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record_shard_busy(shard, nanos);
+        }
+    }
+
+    /// Current depth of the cross-round event heap: messages parked by
+    /// link-latency faults or scheduler skew, not yet matured. Always 0
+    /// without latency faults or a scheduler adversary.
+    #[must_use]
+    pub fn delayed_len(&self) -> usize {
+        self.delayed.len()
     }
 
     /// Whether node `v` is down (crashed and not yet recovered, per the
@@ -659,11 +720,34 @@ impl<M: Payload> Network<M> {
     /// drained in place, and edge usage is invalidated by bumping the round
     /// stamp.
     pub fn advance_round(&mut self) {
+        // The telemetry sidecar is taken out for the duration of the
+        // barrier so the instrumentation below can borrow the rest of the
+        // network freely; with telemetry off (the default) every probe in
+        // this function is a single predictable branch on a `None`.
+        let mut telemetry = self.telemetry.take();
+        let barrier_start = telemetry.as_ref().map(|_| std::time::Instant::now());
         for v in self.dirty_inboxes.drain(..) {
             self.inboxes[v].clear();
         }
+        let mut slow_nanos = 0u64;
+        let mut slow_phase = None;
         if self.faults.is_some() || self.scheduler.is_some() {
-            self.deliver_slow();
+            if barrier_start.is_some() {
+                // The slow span is attributed to the fault judge when a
+                // fault plan is installed (its verdicts dominate, and the
+                // scheduler consultation is interleaved per message), and
+                // to the scheduler oracle when only a scheduler runs.
+                slow_phase = Some(if self.faults.is_some() {
+                    Phase::FaultJudge
+                } else {
+                    Phase::SchedulerOracle
+                });
+                let slow_start = std::time::Instant::now();
+                self.deliver_slow();
+                slow_nanos = elapsed_nanos(slow_start);
+            } else {
+                self.deliver_slow();
+            }
         } else {
             let mut delivered = 0usize;
             for (from, port, to, msg) in self.pending.drain(..) {
@@ -684,6 +768,15 @@ impl<M: Payload> Network<M> {
             }
             self.delivered_last_round = delivered;
         }
+        if let Some(t) = telemetry.as_deref_mut() {
+            // Per-shard send counts, read before absorption resets them.
+            for (s, shard) in self.shard_counters.iter().enumerate() {
+                let sent = shard.classical_messages + shard.quantum_messages;
+                if sent > 0 {
+                    t.record_shard_messages(s, sent);
+                }
+            }
+        }
         for shard in &mut self.shard_counters {
             if !shard.is_empty() || shard.bits > 0 {
                 self.recorder.absorb_shard(shard);
@@ -696,7 +789,23 @@ impl<M: Payload> Network<M> {
         if let Some(scheduler) = self.scheduler.as_mut() {
             scheduler.clock += 1;
         }
+        if let Some(t) = telemetry.as_deref_mut() {
+            // Deterministic samples: every input here is a barrier-merged
+            // quantity, byte-identical for every shard count.
+            for &v in &self.dirty_inboxes {
+                t.record_inbox_size(self.inboxes[v].len() as u64);
+            }
+            t.finish_barrier(
+                self.recorder.current_round_messages,
+                self.delayed.len() as u64,
+                self.scheduler.as_ref().map(|s| s.total_skew),
+                barrier_start.map_or(0, elapsed_nanos),
+                slow_nanos,
+                slow_phase,
+            );
+        }
         self.recorder.finish_round(self.config.track_round_history);
+        self.telemetry = telemetry;
     }
 
     /// The slow delivery path, taken when a fault plane and/or a scheduler

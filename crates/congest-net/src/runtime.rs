@@ -30,6 +30,7 @@ use crate::graph::{Graph, NodeId, Port};
 use crate::message::Payload;
 use crate::metrics::Metrics;
 use crate::network::{Delivery, Network, NetworkConfig, ShardView};
+use crate::telemetry::{elapsed_nanos, TelemetryReport};
 
 /// Rounds that delivered fewer messages than this run sequentially even when
 /// the network is configured with `shards > 1` (adaptive hybrid scheduling):
@@ -221,6 +222,10 @@ pub struct SyncRuntime<P: NodeProgram> {
     /// Per-shard error slots for the sharded path; the lowest-shard error is
     /// the one reported, which keeps error selection deterministic.
     shard_errors: Vec<Option<Error>>,
+    /// Per-shard wall-clock busy-time slots written by the workers when
+    /// telemetry is enabled (mirrors `shard_errors`; always zero and never
+    /// read when telemetry is off).
+    shard_busy: Vec<u64>,
     /// Rounds the adaptive scheduler ran sequentially despite `shards > 1`
     /// (always 0 when the network resolved to a single shard).
     adaptive_sequential_rounds: u64,
@@ -362,13 +367,14 @@ impl<P: NodeProgram> SyncRuntime<P> {
             .collect();
         let net = Network::new(graph, config);
         let shards = net.shard_count();
-        let (shard_scratch, shard_errors) = if shards > 1 {
+        let (shard_scratch, shard_errors, shard_busy) = if shards > 1 {
             (
                 (0..shards).map(|_| ShardScratch::default()).collect(),
                 (0..shards).map(|_| None).collect(),
+                vec![0u64; shards],
             )
         } else {
-            (Vec::new(), Vec::new())
+            (Vec::new(), Vec::new(), Vec::new())
         };
         SyncRuntime {
             net,
@@ -380,6 +386,7 @@ impl<P: NodeProgram> SyncRuntime<P> {
             flush_scratch: Vec::new(),
             shard_scratch,
             shard_errors,
+            shard_busy,
             adaptive_sequential_rounds: 0,
         }
     }
@@ -395,6 +402,29 @@ impl<P: NodeProgram> SyncRuntime<P> {
     /// Turns on the network's trace sink (see [`Network::enable_trace`]).
     pub fn enable_trace(&mut self) {
         self.net.enable_trace();
+    }
+
+    /// Installs the opt-in telemetry sidecar (see
+    /// [`Network::enable_telemetry`]); call before
+    /// [`start`](SyncRuntime::start). With telemetry on, each round
+    /// additionally records a node-step wall-clock span and — on sharded
+    /// rounds — per-shard worker busy time. Strictly outside the
+    /// determinism domain: metrics, history, traces, and RNG streams are
+    /// byte-identical with telemetry on or off.
+    pub fn enable_telemetry(&mut self) {
+        self.net.enable_telemetry();
+    }
+
+    /// Harvests the telemetry sidecar into a
+    /// [`TelemetryReport`] (see [`Network::take_telemetry`]), stamping in
+    /// this runtime's adaptive-sequential switch count. `None` if telemetry
+    /// was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let adaptive = self.adaptive_sequential_rounds;
+        self.net.take_telemetry().map(|mut report| {
+            report.wall.adaptive_sequential_rounds = adaptive;
+            report
+        })
     }
 
     /// Takes the events recorded so far (see [`Network::take_trace`]).
@@ -467,6 +497,7 @@ impl<P: NodeProgram> SyncRuntime<P> {
             self.adaptive_sequential_rounds += 1;
         }
         let shared = self.shared_value();
+        let node_step_start = self.net.telemetry_enabled().then(std::time::Instant::now);
         // (No recovery check here: a crash-recovery window `[from, until)`
         // needs `from < until`, so no node can recover at round 0.)
         for v in 0..self.programs.len() {
@@ -487,6 +518,9 @@ impl<P: NodeProgram> SyncRuntime<P> {
                 self.programs[v].on_start(&mut ctx, &mut self.outbox);
             }
             self.flush_outbox(v)?;
+        }
+        if let Some(start) = node_step_start {
+            self.net.record_node_step(elapsed_nanos(start));
         }
         self.net.advance_round();
         self.round = 1;
@@ -516,6 +550,7 @@ impl<P: NodeProgram> SyncRuntime<P> {
             self.adaptive_sequential_rounds += 1;
         }
         let shared = self.shared_value();
+        let node_step_start = self.net.telemetry_enabled().then(std::time::Instant::now);
         // Per-node body mirrored in `run_shard_round` (kept as two textually
         // parallel copies for hot-loop codegen; see the note there).
         for v in 0..self.programs.len() {
@@ -587,6 +622,9 @@ impl<P: NodeProgram> SyncRuntime<P> {
                 self.flush_outbox(v)?;
             }
         }
+        if let Some(start) = node_step_start {
+            self.net.record_node_step(elapsed_nanos(start));
+        }
         self.net.advance_round();
         self.round += 1;
         Ok(())
@@ -654,6 +692,8 @@ impl<P: NodeProgram> SyncRuntime<P> {
     fn run_round_sharded(&mut self, start: bool) -> Result<(), Error> {
         let shared = self.shared_value();
         let round = self.round;
+        let telemetry_on = self.net.telemetry_enabled();
+        let node_step_start = telemetry_on.then(std::time::Instant::now);
         let mut views = self.net.shard_views();
         debug_assert_eq!(views.len(), self.shard_scratch.len());
         {
@@ -661,14 +701,21 @@ impl<P: NodeProgram> SyncRuntime<P> {
             let mut tasks: Vec<_> = views
                 .drain(..)
                 .zip(self.shard_scratch.iter_mut())
-                .zip(self.shard_errors.iter_mut())
-                .map(|((view, scratch), error)| {
+                .zip(self.shard_errors.iter_mut().zip(self.shard_busy.iter_mut()))
+                .map(|((view, scratch), (error, busy))| {
                     let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(view.node_count());
                     rest = tail;
                     let mut view = view;
                     move || {
+                        // Wall-clock only, written into a pre-allocated slot:
+                        // the workers never touch the telemetry sink (or any
+                        // shared state) directly.
+                        let busy_start = telemetry_on.then(std::time::Instant::now);
                         *error =
                             run_shard_round(chunk, &mut view, scratch, round, shared, start).err();
+                        if let Some(at) = busy_start {
+                            *busy = elapsed_nanos(at);
+                        }
                     }
                 })
                 .collect();
@@ -685,6 +732,13 @@ impl<P: NodeProgram> SyncRuntime<P> {
         }
         if let Some(err) = first_err {
             return Err(err);
+        }
+        if let Some(at) = node_step_start {
+            self.net.record_node_step(elapsed_nanos(at));
+            for s in 0..self.shard_busy.len() {
+                self.net.record_shard_busy(s, self.shard_busy[s]);
+                self.shard_busy[s] = 0;
+            }
         }
         self.net.advance_round();
         Ok(())

@@ -238,6 +238,7 @@ impl LeaderElection for QuantumLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

@@ -549,6 +549,7 @@ impl LeaderElection for QuantumQwLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

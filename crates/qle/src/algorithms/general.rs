@@ -411,6 +411,7 @@ impl LeaderElection for QuantumGeneralLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

@@ -367,6 +367,7 @@ impl LeaderElection for QuantumRwLe {
                 },
             },
             trace: net.take_trace(),
+            telemetry: net.take_telemetry(),
         })
     }
 }

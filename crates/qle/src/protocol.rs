@@ -15,7 +15,9 @@
 //! `run` is a provided method delegating to `run_with` with default options,
 //! so the two can never diverge.
 
-use congest_net::{ExecMode, FaultPlan, Graph, Network, NetworkConfig, Payload, TraceEvent};
+use congest_net::{
+    ExecMode, FaultPlan, Graph, Network, NetworkConfig, Payload, TelemetryReport, TraceEvent,
+};
 
 use crate::error::Error;
 use crate::report::{AgreementRun, LeaderElectionRun};
@@ -65,6 +67,12 @@ pub struct RunOptions {
     /// assert_ne!(opts.mode, ExecMode::Round);
     /// ```
     pub mode: ExecMode,
+    /// Whether to install the opt-in telemetry sidecar (phase spans, shard
+    /// utilization, round histograms — see `congest_net::telemetry`). Off by
+    /// default; strictly outside the determinism domain, so turning it on
+    /// never changes metrics, history, the trace, or any PRNG stream. The
+    /// harvested report comes back in [`TracedRun::telemetry`].
+    pub telemetry: bool,
 }
 
 impl RunOptions {
@@ -82,6 +90,9 @@ impl RunOptions {
         let mut net = Network::new(graph, config.shards(self.shards));
         if self.trace {
             net.enable_trace();
+        }
+        if self.telemetry {
+            net.enable_telemetry();
         }
         if let Some(plan) = &self.fault_plan {
             net.set_fault_plan(plan);
@@ -102,6 +113,11 @@ pub struct TracedRun {
     /// Round-stamped fault events, in the network's deterministic delivery
     /// order.
     pub trace: Vec<TraceEvent>,
+    /// Harvested telemetry sidecar (`None` unless [`RunOptions::telemetry`]
+    /// was set). Wall-clock fields live in the report's segregated
+    /// [`congest_net::telemetry::WallTelemetry`] half and never participate
+    /// in determinism or replay comparisons.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// A (randomized or quantum) implicit leader-election protocol.

@@ -78,6 +78,15 @@ pub struct CellResult {
     pub cell: Cell,
     /// What it measured.
     pub outcome: CellOutcome,
+    /// Wall-clock duration of the whole cell (topology generation plus the
+    /// protocol run), in nanoseconds. Only measured when the cell ran with
+    /// telemetry ([`run_cell_with`]); `0` otherwise, so default runs stay
+    /// bit-reproducible end to end. Wall time is **not** part of the
+    /// determinism domain: [`results_table`] omits it (use
+    /// [`results_table_with_wall`] for the human-facing view) and the trace
+    /// module's serialized baselines and replay comparison never read it
+    /// (pinned by the workspace telemetry suite).
+    pub wall_nanos: u64,
 }
 
 /// Expands scenario specs into the flat, deterministically-ordered cell
@@ -105,8 +114,20 @@ pub fn expand(specs: &[ScenarioSpec]) -> Vec<Cell> {
     cells
 }
 
+/// Whether `run_cell` should default to telemetry-on: the
+/// `CONGEST_TELEMETRY` environment variable, set to `1` (any other value —
+/// or unset — means off). `experiments --profile` passes the flag
+/// explicitly instead; the knob exists so ad-hoc scenario runs can be
+/// profiled without changing call sites.
+#[must_use]
+pub fn telemetry_env_enabled() -> bool {
+    std::env::var("CONGEST_TELEMETRY").is_ok_and(|v| v == "1")
+}
+
 /// Runs one cell: generate the topology, apply the scenario's execution
-/// options, run the protocol, and collect metrics plus trace.
+/// options, run the protocol, and collect metrics plus trace. Telemetry
+/// defaults to the `CONGEST_TELEMETRY` environment knob (see
+/// [`telemetry_env_enabled`]); use [`run_cell_with`] to pin it.
 ///
 /// # Errors
 ///
@@ -114,6 +135,20 @@ pub fn expand(specs: &[ScenarioSpec]) -> Vec<Cell> {
 /// protocol run fails (a spec bug — e.g. a complete-graph protocol on a
 /// cycle — not a fault-induced outcome).
 pub fn run_cell(cell: &Cell) -> Result<CellResult, String> {
+    run_cell_with(cell, telemetry_env_enabled())
+}
+
+/// Runs one cell with telemetry explicitly on or off. With telemetry on,
+/// the protocol's network records the sidecar (returned in
+/// `outcome.telemetry`) and the whole cell is wall-timed into
+/// [`CellResult::wall_nanos`]; with it off both stay empty and the run is
+/// bit-identical to the pre-telemetry engine.
+///
+/// # Errors
+///
+/// Same as [`run_cell`].
+pub fn run_cell_with(cell: &Cell, telemetry: bool) -> Result<CellResult, String> {
+    let start = telemetry.then(std::time::Instant::now);
     let graph = cell
         .topology
         .generate(cell.n, cell.seed)
@@ -123,14 +158,19 @@ pub fn run_cell(cell: &Cell) -> Result<CellResult, String> {
         fault_plan: (!cell.faults.is_empty()).then(|| cell.faults.clone()),
         trace: true,
         mode: cell.mode,
+        telemetry,
     };
     let outcome = cell
         .protocol
         .run(&graph, cell.seed, &opts, cell.max_rounds)
         .map_err(|e| format!("{}: {e}", cell.id()))?;
+    let wall_nanos = start.map_or(0, |at| {
+        u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    });
     Ok(CellResult {
         cell: cell.clone(),
         outcome,
+        wall_nanos,
     })
 }
 
@@ -146,6 +186,20 @@ pub fn run_cells(cells: &[Cell]) -> Result<Vec<CellResult>, String> {
     results.into_iter().collect()
 }
 
+/// [`run_cells`] with telemetry explicitly pinned for every cell (what
+/// `experiments --profile` uses).
+///
+/// # Errors
+///
+/// Same as [`run_cells`].
+pub fn run_cells_with(cells: &[Cell], telemetry: bool) -> Result<Vec<CellResult>, String> {
+    let results: Vec<Result<CellResult, String>> = cells
+        .par_iter()
+        .map(|cell| run_cell_with(cell, telemetry))
+        .collect();
+    results.into_iter().collect()
+}
+
 /// Expands `specs` and runs every cell (see [`expand`] and [`run_cells`]).
 ///
 /// # Errors
@@ -155,16 +209,43 @@ pub fn run_matrix(specs: &[ScenarioSpec]) -> Result<Vec<CellResult>, String> {
     run_cells(&expand(specs))
 }
 
+/// Expands `specs` and runs every cell with telemetry pinned (see
+/// [`run_cells_with`]).
+///
+/// # Errors
+///
+/// Same as [`run_cells`].
+pub fn run_matrix_with(specs: &[ScenarioSpec], telemetry: bool) -> Result<Vec<CellResult>, String> {
+    run_cells_with(&expand(specs), telemetry)
+}
+
 /// Renders the results table: one row per cell, in cell order, with message,
 /// round, congestion, and fault columns.
+///
+/// This table is fully **deterministic** (CI diffs it byte-for-byte across
+/// shard counts and replay runs), so it deliberately carries no wall-clock
+/// column — see [`results_table_with_wall`] for the profiling view.
 #[must_use]
 pub fn results_table(results: &[CellResult]) -> String {
+    render_results_table(results, false)
+}
+
+/// [`results_table`] plus a trailing `wall(ms)` column per cell — the
+/// human-facing view `experiments --profile` prints. Wall time is
+/// non-deterministic by nature; anything that compares or diffs results
+/// must use [`results_table`] (or the trace module) instead.
+#[must_use]
+pub fn results_table_with_wall(results: &[CellResult]) -> String {
+    render_results_table(results, true)
+}
+
+fn render_results_table(results: &[CellResult], with_wall: bool) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let detail = "detail";
-    writeln!(
+    write!(
         out,
-        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}  {detail}",
+        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
         "scenario",
         "protocol",
         "topology",
@@ -181,11 +262,15 @@ pub fn results_table(results: &[CellResult]) -> String {
         "ok",
     )
     .unwrap();
+    if with_wall {
+        write!(out, " {:>9}", "wall(ms)").unwrap();
+    }
+    writeln!(out, "  {detail}").unwrap();
     for r in results {
         let m = &r.outcome.metrics;
-        writeln!(
+        write!(
             out,
-            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}  {}",
+            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
             r.cell.scenario,
             r.cell.protocol.name(),
             topology_name(r.cell.topology),
@@ -200,9 +285,13 @@ pub fn results_table(results: &[CellResult]) -> String {
             m.mutated_messages,
             m.crashed_nodes,
             if r.outcome.ok { "yes" } else { "NO" },
-            r.outcome.detail
         )
         .unwrap();
+        if with_wall {
+            let ms = r.wall_nanos as f64 / 1_000_000.0;
+            write!(out, " {ms:>9.3}").unwrap();
+        }
+        writeln!(out, "  {}", r.outcome.detail).unwrap();
     }
     out
 }

@@ -32,7 +32,10 @@
 //! * **Engine** ([`engine`]) — [`run_matrix`] fans cells out across the
 //!   workspace `rayon` pool and merges results **in cell order** (spec ×
 //!   size × seed), so tables and traces are byte-identical regardless of
-//!   scheduling.
+//!   scheduling. [`run_matrix_with`] additionally threads the telemetry
+//!   sidecar through every cell and wall-times each one — the profiling
+//!   path behind `experiments --profile` (wall data lives outside the
+//!   determinism domain; see `docs/OBSERVABILITY.md`).
 //! * **Trace & replay** ([`trace`]) — every cell records the network's
 //!   round-stamped fault events plus its full [`congest_net::Metrics`];
 //!   [`trace::serialize`] writes the line-oriented trace file and
@@ -89,7 +92,10 @@ pub mod scorecard;
 pub mod spec;
 pub mod trace;
 
-pub use engine::{expand, results_table, run_cell, run_cells, run_matrix, Cell, CellResult};
+pub use engine::{
+    expand, results_table, results_table_with_wall, run_cell, run_cell_with, run_cells,
+    run_cells_with, run_matrix, run_matrix_with, telemetry_env_enabled, Cell, CellResult,
+};
 pub use registry::{parse_topology, topology_name, CellOutcome, ProtocolKind, ALL_PROTOCOLS};
 pub use scorecard::{fault_class, fault_free_twin, run_scorecard, Scorecard, ScorecardRow};
 pub use spec::{ScenarioSpec, SpecError};

@@ -14,7 +14,7 @@ use congest_net::programs::{Flood, FloodBft, FloodFt};
 use congest_net::topology::Family;
 use congest_net::{
     EventRuntime, ExecMode, Graph, Metrics, Network, NetworkConfig, NodeProgram, SyncRuntime,
-    TraceEvent,
+    TelemetryReport, TraceEvent,
 };
 
 use classical_baselines::{CprDiameterTwoLe, GhsLe, KppCompleteLe, KppMixingLe};
@@ -176,6 +176,10 @@ pub struct CellOutcome {
     pub detail: String,
     /// The round-stamped event trace (empty unless `opts.trace`).
     pub trace: Vec<TraceEvent>,
+    /// The harvested telemetry sidecar (`None` unless `opts.telemetry`).
+    /// Its wall-clock half is non-deterministic by nature and never enters
+    /// the results table, the serialized trace, or replay comparison.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 fn run_flood<P: NodeProgram>(
@@ -193,6 +197,9 @@ fn run_flood<P: NodeProgram>(
             if opts.trace {
                 runtime.enable_trace();
             }
+            if opts.telemetry {
+                runtime.enable_telemetry();
+            }
             if let Some(plan) = &opts.fault_plan {
                 runtime.set_fault_plan(plan);
             }
@@ -200,6 +207,7 @@ fn run_flood<P: NodeProgram>(
                 .run_until_halt(max_rounds)
                 .map_err(|e| e.to_string())?;
             let trace = runtime.take_trace();
+            let telemetry = runtime.take_telemetry();
             let metrics = runtime.metrics();
             Ok(flood_outcome(
                 runtime.network(),
@@ -208,6 +216,7 @@ fn run_flood<P: NodeProgram>(
                 rounds,
                 metrics,
                 trace,
+                telemetry,
             ))
         }
         ExecMode::Event(scheduler) => {
@@ -215,11 +224,15 @@ fn run_flood<P: NodeProgram>(
             if opts.trace {
                 runtime.enable_trace();
             }
+            if opts.telemetry {
+                runtime.enable_telemetry();
+            }
             if let Some(plan) = &opts.fault_plan {
                 runtime.set_fault_plan(plan);
             }
             let time = runtime.run(max_rounds).map_err(|e| e.to_string())?;
             let trace = runtime.take_trace();
+            let telemetry = runtime.take_telemetry();
             let metrics = runtime.metrics();
             Ok(flood_outcome(
                 runtime.network(),
@@ -228,6 +241,7 @@ fn run_flood<P: NodeProgram>(
                 time,
                 metrics,
                 trace,
+                telemetry,
             ))
         }
     }
@@ -235,6 +249,7 @@ fn run_flood<P: NodeProgram>(
 
 /// Derives the flood coverage verdict from a finished runtime's state
 /// (shared by the round and event engines).
+#[allow(clippy::too_many_arguments)]
 fn flood_outcome<P: NodeProgram>(
     net: &Network<P::Msg>,
     programs: &[P],
@@ -242,6 +257,7 @@ fn flood_outcome<P: NodeProgram>(
     rounds: u64,
     metrics: Metrics,
     trace: Vec<TraceEvent>,
+    telemetry: Option<TelemetryReport>,
 ) -> CellOutcome {
     let n = programs.len();
     // `node_crashed` is the forward-looking view (also what the runtime's
@@ -259,6 +275,7 @@ fn flood_outcome<P: NodeProgram>(
         ok: reached + crashed == n,
         detail: format!("reached {reached}/{} live nodes", n - crashed),
         trace,
+        telemetry,
     }
 }
 
@@ -278,6 +295,7 @@ fn run_le(
         ok: traced.run.succeeded(),
         detail: format!("{leaders} leader(s)"),
         trace: traced.trace,
+        telemetry: traced.telemetry,
     })
 }
 

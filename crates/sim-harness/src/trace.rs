@@ -10,6 +10,14 @@
 //! network's deterministic delivery order, a baseline recorded at one shard
 //! count must replay cleanly at any other; CI exercises exactly that
 //! cross-shard replay.
+//!
+//! **What a trace deliberately omits:** wall-clock data. Neither
+//! [`CellResult::wall_nanos`](crate::CellResult) nor the telemetry
+//! sidecar's wall half is serialized, and [`compare`] never reads them —
+//! only metrics, effective rounds, the ok verdict, and the event list
+//! participate in replay. Profiled runs therefore replay cleanly against
+//! unprofiled baselines and across machines of different speeds (pinned by
+//! the workspace telemetry suite; see `docs/OBSERVABILITY.md`).
 
 use congest_net::{DropCause, Metrics, TraceEvent};
 

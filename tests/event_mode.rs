@@ -38,6 +38,7 @@ fn run_cell(
         fault_plan: faults,
         trace: true,
         mode,
+        ..RunOptions::default()
     };
     protocol.run(&graph, seed, &opts, 10_000).unwrap()
 }

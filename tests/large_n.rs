@@ -3,8 +3,7 @@
 //! peak graph + round-state memory **O(n + active)** — not the O(E) (for
 //! `K_n`: terabytes) that materialized CSR adjacency would cost.
 //!
-//! A byte-tracking global allocator wraps the system allocator. Unlike the
-//! count-only tracker in `zero_alloc.rs`, this one keeps **thread-local**
+//! The shared tracking allocator (`tests/support`) keeps **thread-local**
 //! current/peak byte counters, so the concurrently running tests in this
 //! binary measure only their own thread's allocations (the sequential round
 //! engine with `shards(1)` allocates exclusively on the driving thread).
@@ -14,72 +13,18 @@
 //! O(E) or O(n · deg) buffer, which overshoots by orders of magnitude, while
 //! staying robust to allocator and shim-library drift.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+mod support;
 
 use congest_net::programs::Flood;
 use congest_net::{topology, Network, NetworkConfig, SyncRuntime};
 
-struct ByteTracker;
-
-thread_local! {
-    /// Only allocations on a thread that opted in are tracked, so the test
-    /// harness's own threads (output capture, timers) and sibling tests
-    /// cannot pollute a measurement window.
-    static TRACKING: Cell<bool> = const { Cell::new(false) };
-    /// Net bytes currently allocated by this thread since tracking started.
-    static CURRENT: Cell<u64> = const { Cell::new(0) };
-    /// High-water mark of [`CURRENT`].
-    static PEAK: Cell<u64> = const { Cell::new(0) };
-}
-
-fn track_alloc(bytes: u64) {
-    if TRACKING.try_with(Cell::get).unwrap_or(false) {
-        let _ = CURRENT.try_with(|c| {
-            let now = c.get() + bytes;
-            c.set(now);
-            let _ = PEAK.try_with(|p| p.set(p.get().max(now)));
-        });
-    }
-}
-
-fn track_dealloc(bytes: u64) {
-    if TRACKING.try_with(Cell::get).unwrap_or(false) {
-        // Saturating: frees of allocations made before tracking started
-        // must not underflow the net counter.
-        let _ = CURRENT.try_with(|c| c.set(c.get().saturating_sub(bytes)));
-    }
-}
-
-unsafe impl GlobalAlloc for ByteTracker {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        track_alloc(layout.size() as u64);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        track_dealloc(layout.size() as u64);
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        track_alloc(new_size as u64);
-        track_dealloc(layout.size() as u64);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
 #[global_allocator]
-static ALLOCATOR: ByteTracker = ByteTracker;
+static ALLOCATOR: support::TrackingAllocator = support::TrackingAllocator;
 
 /// Runs `body` with byte tracking on, returning `(result, peak_bytes)`.
 fn measured<R>(body: impl FnOnce() -> R) -> (R, u64) {
-    TRACKING.with(|t| t.set(true));
-    CURRENT.with(|c| c.set(0));
-    PEAK.with(|p| p.set(0));
-    let out = body();
-    TRACKING.with(|t| t.set(false));
-    (out, PEAK.with(Cell::get))
+    let (out, m) = support::measured(body);
+    (out, m.peak_bytes)
 }
 
 const MILLION: usize = 1 << 20;

@@ -1,0 +1,113 @@
+//! Shared test support: the thread-local tracking allocator behind the
+//! allocation-sensitive suites (`zero_alloc.rs`, `large_n.rs`).
+//!
+//! The tracker wraps the system allocator and keeps **per-thread** counters:
+//! an allocation-event count (what the zero-allocation suite pins at 0) and
+//! net-current/peak byte gauges (what the million-node suite budgets).
+//! Tracking is opt-in per thread, so the test harness's own threads (output
+//! capture, timers) and sibling tests in the same binary can never pollute a
+//! measurement window — which is also why one binary can safely host several
+//! measuring tests.
+//!
+//! `#[global_allocator]` must be registered by the *binary*, not a module,
+//! so each suite declares its own:
+//!
+//! ```ignore
+//! mod support;
+//! #[global_allocator]
+//! static ALLOCATOR: support::TrackingAllocator = support::TrackingAllocator;
+//! ```
+//!
+//! The peak-bytes gauge is also what feeds the telemetry sidecar's optional
+//! `peak_bytes` field (see `congest_net::telemetry::WallTelemetry` and the
+//! exposure test in `zero_alloc.rs`).
+
+// Each binary that includes this module uses a subset of the API; the unused
+// remainder is not dead code in the workspace sense.
+#![allow(dead_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// The tracking allocator. Register it as the binary's `#[global_allocator]`
+/// and drive it through [`measured`].
+pub struct TrackingAllocator;
+
+thread_local! {
+    /// Only allocations on a thread that opted in are tracked.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    /// Allocation events (alloc + realloc) on this thread since tracking
+    /// started.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    /// Net bytes currently allocated by this thread since tracking started.
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// High-water mark of [`CURRENT`].
+    static PEAK: Cell<u64> = const { Cell::new(0) };
+}
+
+fn track_alloc(bytes: u64) {
+    // `try_with` everywhere: the allocator runs during thread teardown too,
+    // when the thread-local slots may already be gone.
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        let _ = ALLOCATIONS.try_with(|a| a.set(a.get() + 1));
+        let _ = CURRENT.try_with(|c| {
+            let now = c.get() + bytes;
+            c.set(now);
+            let _ = PEAK.try_with(|p| p.set(p.get().max(now)));
+        });
+    }
+}
+
+fn track_dealloc(bytes: u64) {
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        // Saturating: frees of allocations made before tracking started
+        // must not underflow the net counter.
+        let _ = CURRENT.try_with(|c| c.set(c.get().saturating_sub(bytes)));
+    }
+}
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size() as u64);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track_dealloc(layout.size() as u64);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        track_alloc(new_size as u64);
+        track_dealloc(layout.size() as u64);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// What one [`measured`] window observed on the measuring thread.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Allocation events (alloc + realloc calls).
+    pub allocations: u64,
+    /// Peak net bytes allocated.
+    pub peak_bytes: u64,
+}
+
+/// Runs `body` with tracking enabled on the current thread, returning its
+/// result and what the window measured. Counters reset at entry, so nested
+/// or repeated windows are independent.
+pub fn measured<R>(body: impl FnOnce() -> R) -> (R, Measurement) {
+    ALLOCATIONS.with(|a| a.set(0));
+    CURRENT.with(|c| c.set(0));
+    PEAK.with(|p| p.set(0));
+    TRACKING.with(|t| t.set(true));
+    let out = body();
+    TRACKING.with(|t| t.set(false));
+    (
+        out,
+        Measurement {
+            allocations: ALLOCATIONS.with(Cell::get),
+            peak_bytes: PEAK.with(Cell::get),
+        },
+    )
+}

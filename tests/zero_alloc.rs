@@ -1,57 +1,20 @@
 //! Proves the acceptance criterion of the CSR refactor: steady-state rounds
-//! of the CONGEST round engine perform **zero heap allocation**.
+//! of the CONGEST round engine perform **zero heap allocation** — including
+//! with the telemetry layer compiled in but off (the default), which is the
+//! telemetry sidecar's zero-cost-when-absent guarantee.
 //!
-//! A counting global allocator wraps the system allocator; after a warm-up
-//! phase (buffer capacities growing to their steady state), a window of
-//! several hundred message-carrying rounds must allocate nothing.
-//!
-//! This file intentionally holds a single test: the allocation counter is
-//! process-global, and a lone test keeps other tests' allocations out of the
-//! measurement window.
+//! The shared tracking allocator (`tests/support`) wraps the system
+//! allocator with per-thread counters; after a warm-up phase (buffer
+//! capacities growing to their steady state), a window of several hundred
+//! message-carrying rounds must allocate nothing. Tracking is per-thread,
+//! so the other tests in this binary cannot pollute the window.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+mod support;
 
 use congest_net::{topology, NetworkConfig, NodeProgram, Outbox, Port, RoundContext, SyncRuntime};
 
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    /// Only allocations made on a thread with tracking enabled are counted,
-    /// so the test harness's own threads (output capture, timers) cannot
-    /// pollute the measurement window.
-    static TRACKING: Cell<bool> = const { Cell::new(false) };
-}
-
-fn tracking() -> bool {
-    TRACKING.try_with(Cell::get).unwrap_or(false)
-}
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if tracking() {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if tracking() {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
 #[global_allocator]
-static ALLOCATOR: CountingAllocator = CountingAllocator;
+static ALLOCATOR: support::TrackingAllocator = support::TrackingAllocator;
 
 /// A program that broadcasts a token every round and never halts: every
 /// directed edge carries a message every round, exercising the send path,
@@ -90,26 +53,63 @@ fn steady_state_rounds_do_not_allocate() {
     // test measures.
     let mut runtime =
         SyncRuntime::new(graph, NetworkConfig::with_seed(5).shards(1), |_, _| Chatter);
+    // Telemetry is compiled into this engine but must stay off by default:
+    // the zero-allocation window below is also the pin that the telemetry
+    // branch on the barrier path costs nothing when the sidecar is absent.
+    assert!(!runtime.network().telemetry_enabled());
     runtime.start().unwrap();
     // Warm-up: let every buffer (pending, inboxes, scratch, outbox) reach
     // its steady-state capacity.
     for _ in 0..50 {
         runtime.step().unwrap();
     }
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    TRACKING.with(|t| t.set(true));
-    for _ in 0..300 {
-        runtime.step().unwrap();
-    }
-    TRACKING.with(|t| t.set(false));
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let ((), m) = support::measured(|| {
+        for _ in 0..300 {
+            runtime.step().unwrap();
+        }
+    });
     assert_eq!(
-        after - before,
-        0,
+        m.allocations, 0,
         "steady-state rounds allocated {} times; the round engine must be allocation-free",
-        after - before
+        m.allocations
     );
     // The run above really did carry traffic: 64 nodes × degree 4 × 350+
     // rounds.
     assert!(runtime.metrics().classical_messages > 64 * 4 * 300);
+}
+
+/// The tracker's peak-bytes gauge plugs into the telemetry sidecar's
+/// optional `peak_bytes` field: it rides in the wall (non-deterministic)
+/// half of the report, renders in the JSONL schema as a number, and never
+/// leaks into the deterministic projection.
+#[test]
+fn peak_bytes_feeds_the_telemetry_report() {
+    let graph = topology::random_regular(32, 4, 7).unwrap();
+    let (mut report, m) = support::measured(|| {
+        let mut runtime =
+            SyncRuntime::new(graph, NetworkConfig::with_seed(9).shards(1), |_, _| Chatter);
+        runtime.enable_telemetry();
+        runtime.start().unwrap();
+        for _ in 0..20 {
+            runtime.step().unwrap();
+        }
+        runtime.take_telemetry().expect("telemetry was enabled")
+    });
+    assert!(m.peak_bytes > 0, "the run surely allocated something");
+    assert_eq!(
+        report.wall.peak_bytes, None,
+        "engine leaves the field unset"
+    );
+    report.wall.peak_bytes = Some(m.peak_bytes);
+    let line = report.to_jsonl("peak-bytes-cell");
+    assert!(
+        line.contains(&format!("\"peak_bytes\":{}", m.peak_bytes)),
+        "peak bytes must render in the wall half: {line}"
+    );
+    assert!(
+        !report
+            .deterministic_jsonl("peak-bytes-cell")
+            .contains("peak_bytes"),
+        "peak bytes must stay out of the deterministic projection"
+    );
 }
