@@ -13,7 +13,12 @@
 //!     # state-vector kernel microbenchmark (SoA vs legacy scalar); writes
 //!     # BENCH_quantum.json
 //! cargo run --release -p bench-harness --bin experiments -- --scenarios examples/scenarios
-//!     # run a scenario matrix; writes results.txt + traces.txt to --out
+//!     # run a scenario matrix; streams results.txt + traces.txt (+ cache-stats.txt) to --out
+//! cargo run --release -p bench-harness --bin experiments -- --scenarios examples/scenarios \
+//!     --cache-dir farm-cache
+//!     # same, through the content-addressed cell cache: a warm rerun re-executes nothing
+//! cargo run --release -p bench-harness --bin experiments -- --serve --cache-dir farm-cache
+//!     # long-running farm: scenario requests line-by-line on stdin, framed results on stdout
 //! cargo run --release -p bench-harness --bin experiments -- --scenarios examples/scenarios \
 //!     --replay scenario-out
 //!     # re-run the matrix and assert byte-identical metrics + traces
@@ -226,15 +231,91 @@ fn run_quantum_bench() {
     }
 }
 
+/// Resolves the cell-cache directory: the `--cache-dir` flag if given,
+/// otherwise the `CONGEST_CACHE` environment knob (empty/unset = no cache).
+fn resolve_cache_dir(flag: Option<String>) -> Option<std::path::PathBuf> {
+    flag.or_else(|| {
+        std::env::var("CONGEST_CACHE")
+            .ok()
+            .filter(|v| !v.is_empty())
+    })
+    .map(std::path::PathBuf::from)
+}
+
+/// A [`sim_harness::FarmSink`] that streams each completed cell's results
+/// row and trace block straight to the output files (and the row to
+/// stdout), so a thousand-spec sweep never buffers the whole run — the
+/// files come out byte-identical to the old buffered writer.
+struct StreamSink {
+    results: std::io::BufWriter<std::fs::File>,
+    traces: std::io::BufWriter<std::fs::File>,
+}
+
+impl StreamSink {
+    fn open(out: &std::path::Path) -> Result<Self, String> {
+        let file = |name: &str| {
+            std::fs::File::create(out.join(name))
+                .map(std::io::BufWriter::new)
+                .map_err(|e| format!("write {name}: {e}"))
+        };
+        Ok(StreamSink {
+            results: file("results.txt")?,
+            traces: file("traces.txt")?,
+        })
+    }
+
+    fn finish(self) -> Result<(), String> {
+        use std::io::Write;
+        let flush = |mut w: std::io::BufWriter<std::fs::File>, name: &str| {
+            w.flush().map_err(|e| format!("write {name}: {e}"))
+        };
+        flush(self.results, "results.txt")?;
+        flush(self.traces, "traces.txt")
+    }
+}
+
+impl sim_harness::FarmSink for StreamSink {
+    fn on_start(&mut self, _total: usize) -> Result<(), String> {
+        use std::io::Write;
+        let header = sim_harness::results_table_header();
+        print!("{header}");
+        self.results
+            .write_all(header.as_bytes())
+            .map_err(|e| format!("write results.txt: {e}"))?;
+        self.traces
+            .write_all(sim_harness::trace::HEADER.as_bytes())
+            .map_err(|e| format!("write traces.txt: {e}"))
+    }
+
+    fn on_cell(
+        &mut self,
+        _index: usize,
+        result: sim_harness::CellResult,
+        _from_cache: bool,
+    ) -> Result<(), String> {
+        use std::io::Write;
+        let row = sim_harness::results_table_row(&result);
+        print!("{row}");
+        self.results
+            .write_all(row.as_bytes())
+            .map_err(|e| format!("write results.txt: {e}"))?;
+        self.traces
+            .write_all(sim_harness::trace::serialize_cell(&result).as_bytes())
+            .map_err(|e| format!("write traces.txt: {e}"))
+    }
+}
+
 /// Runs the scenario engine: `--scenarios <spec|dir> [--out <dir>]
-/// [--replay <dir>]`. Normal mode writes the results table and the trace
-/// file into the output directory; replay mode re-runs the matrix and
-/// exits non-zero unless metrics and traces are byte-identical to the
-/// recorded baseline.
+/// [--cache-dir <dir>] [--replay <dir>]`. Normal mode streams the results
+/// table and the trace file into the output directory cell by cell (plus
+/// `cache-stats.txt` with the farm's hit/miss bookkeeping); replay mode
+/// re-runs the matrix and exits non-zero unless metrics and traces are
+/// byte-identical to the recorded baseline.
 fn run_scenarios(rest: &[String]) -> Result<(), String> {
     let mut path: Option<&str> = None;
     let mut out_dir = "scenario-out".to_string();
     let mut replay_dir: Option<String> = None;
+    let mut cache_flag: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -243,6 +324,9 @@ fn run_scenarios(rest: &[String]) -> Result<(), String> {
             }
             "--replay" => {
                 replay_dir = Some(it.next().ok_or("--replay needs a directory")?.clone());
+            }
+            "--cache-dir" => {
+                cache_flag = Some(it.next().ok_or("--cache-dir needs a directory")?.clone());
             }
             other if path.is_none() && !other.starts_with("--") => path = Some(other),
             other => return Err(format!("unexpected scenario argument \"{other}\"")),
@@ -258,11 +342,15 @@ fn run_scenarios(rest: &[String]) -> Result<(), String> {
         rayon::current_num_threads()
     );
     let start = std::time::Instant::now();
-    let results = sim_harness::run_cells(&cells)?;
-    let table = sim_harness::results_table(&results);
-    println!("{table}");
-    println!("[matrix completed in {:.1?}]", start.elapsed());
     if let Some(replay_dir) = replay_dir {
+        // Replay must genuinely re-execute — serving cached results would
+        // verify the cache against itself, not the engine's determinism.
+        if cache_flag.is_some() {
+            return Err("--cache-dir cannot be combined with --replay (replay re-executes)".into());
+        }
+        let results = sim_harness::run_cells(&cells)?;
+        println!("{}", sim_harness::results_table(&results));
+        println!("[matrix completed in {:.1?}]", start.elapsed());
         let baseline_path = std::path::Path::new(&replay_dir).join("traces.txt");
         let baseline_text = std::fs::read_to_string(&baseline_path)
             .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
@@ -286,15 +374,61 @@ fn run_scenarios(rest: &[String]) -> Result<(), String> {
     } else {
         let out = std::path::Path::new(&out_dir);
         std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
-        std::fs::write(out.join("results.txt"), &table)
-            .map_err(|e| format!("write results.txt: {e}"))?;
-        std::fs::write(
-            out.join("traces.txt"),
-            sim_harness::trace::serialize(&results),
-        )
-        .map_err(|e| format!("write traces.txt: {e}"))?;
-        println!("wrote {}/results.txt and {}/traces.txt", out_dir, out_dir);
+        let farm_opts = sim_harness::FarmOptions {
+            telemetry: sim_harness::telemetry_env_enabled(),
+            cache_dir: resolve_cache_dir(cache_flag),
+        };
+        let mut sink = StreamSink::open(out)?;
+        let report = sim_harness::run_farm(&cells, &farm_opts, &mut sink)?;
+        sink.finish()?;
+        println!("\n[matrix completed in {:.1?}]", start.elapsed());
+        std::fs::write(out.join("cache-stats.txt"), report.stats_text())
+            .map_err(|e| format!("write cache-stats.txt: {e}"))?;
+        if farm_opts.cache_dir.is_some() {
+            println!(
+                "cache: {} hit(s), {} miss(es), {} store(s), {} rejected (hit rate {:.1}%)",
+                report.hits,
+                report.misses,
+                report.stores,
+                report.rejected.len(),
+                report.hit_rate()
+            );
+            for diag in &report.rejected {
+                eprintln!("cache: {diag}");
+            }
+        }
+        println!(
+            "wrote {out_dir}/results.txt, {out_dir}/traces.txt, and {out_dir}/cache-stats.txt"
+        );
     }
+    Ok(())
+}
+
+/// Runs the farm's request loop: `--serve [--cache-dir <dir>]`. Reads
+/// scenario requests line-by-line from stdin and streams result blocks to
+/// stdout under request-id framing (protocol: `docs/SCENARIO_FORMAT.md`).
+fn run_serve(rest: &[String]) -> Result<(), String> {
+    let mut cache_flag: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                cache_flag = Some(it.next().ok_or("--cache-dir needs a directory")?.clone());
+            }
+            other => return Err(format!("unexpected serve argument \"{other}\"")),
+        }
+    }
+    let opts = sim_harness::ServeOptions {
+        cache_dir: resolve_cache_dir(cache_flag),
+        telemetry: sim_harness::telemetry_env_enabled(),
+    };
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let summary = sim_harness::serve(stdin.lock(), &mut stdout, &opts)?;
+    eprintln!(
+        "serve session: {} request(s), {} cell(s), {} hit(s), {} miss(es)",
+        summary.requests, summary.cells, summary.hits, summary.misses
+    );
     Ok(())
 }
 
@@ -526,11 +660,22 @@ USAGE:
                                              (gated by BENCH_NETWORK_MIN_SPEEDUP if set)
     experiments --bench-quantum              state-vector kernel microbenchmark -> BENCH_quantum.json
                                              (gated by BENCH_QUANTUM_MIN_SPEEDUP if set)
-    experiments --scenarios <spec|dir>       run a scenario matrix (*.scn specs)
-        [--out <dir>]                        output directory for results.txt + traces.txt
+    experiments --scenarios <spec|dir>       run a scenario matrix (*.scn specs; a directory
+                                             sweeps every spec through one work-stealing queue)
+        [--out <dir>]                        output directory for results.txt, traces.txt, and
+                                             cache-stats.txt, streamed cell by cell
                                              (default: scenario-out)
+        [--cache-dir <dir>]                  content-addressed cell cache: hits return stored
+                                             results without re-running; misses execute and
+                                             persist (key: spec stanza + code fingerprint; see
+                                             docs/SCENARIO_FORMAT.md)
         [--replay <dir>]                     re-run and assert byte-identical metrics + traces
                                              against <dir>/traces.txt instead of writing output
+                                             (not combinable with --cache-dir)
+    experiments --serve                      read scenario requests line-by-line from stdin and
+                                             stream result blocks to stdout under request-id
+                                             framing (protocol: docs/SCENARIO_FORMAT.md)
+        [--cache-dir <dir>]                  share a cell cache across all requests
     experiments --scorecard <spec|dir>       resilience scorecard: run every faulty scenario
                                              against its fault-free twin and aggregate success
                                              rate + message/round overhead per protocol x
@@ -555,7 +700,11 @@ ENVIRONMENT:
     CONGEST_TELEMETRY=1              turn the telemetry sidecar on for --scenarios
                                      and --scorecard cells too (--profile always
                                      enables it; any other value = off; never
-                                     changes metrics, traces, or replay)
+                                     changes metrics, traces, or replay; bypasses
+                                     the cell cache, which stores no wall data)
+    CONGEST_CACHE=<dir>              default cell-cache directory for --scenarios
+                                     and --serve when --cache-dir is not given
+                                     (empty/unset = no caching)
     BENCH_SHARDS=<k>                 shard count for the csr-mt bench records
                                      (default 4; --bench-network only)
     BENCH_LARGE_N=0                  skip the million-node implicit tier
@@ -598,6 +747,12 @@ fn main() {
         }
         Some("--profile") => {
             if let Err(message) = run_profile(&args[1..]) {
+                eprintln!("error: {message}");
+                std::process::exit(scenario_exit_code(&message));
+            }
+        }
+        Some("--serve") => {
+            if let Err(message) = run_serve(&args[1..]) {
                 eprintln!("error: {message}");
                 std::process::exit(scenario_exit_code(&message));
             }

@@ -11,8 +11,8 @@
 use congest_net::topology::Family;
 use congest_net::{ExecMode, FaultPlan};
 use qle::RunOptions;
-use rayon::prelude::*;
 
+use crate::farm::{run_cells_collect, FarmOptions};
 use crate::registry::{topology_name, CellOutcome, ProtocolKind};
 use crate::spec::ScenarioSpec;
 
@@ -174,16 +174,17 @@ pub fn run_cell_with(cell: &Cell, telemetry: bool) -> Result<CellResult, String>
     })
 }
 
-/// Runs an already-expanded cell list on the `rayon` pool, merging results
-/// in cell order (deterministic regardless of scheduling).
+/// Runs an already-expanded cell list on the farm's work-stealing queue
+/// (see [`crate::farm::run_farm`]), merging results in cell order
+/// (deterministic regardless of scheduling). No cache is consulted; pass a
+/// [`FarmOptions`] to [`run_cells_collect`] for the cached path.
 ///
 /// # Errors
 ///
-/// Returns the first failing cell's rendered error, in cell order (also
-/// deterministic).
+/// Returns **every** failing cell's rendered error, one per line, in cell
+/// order (also deterministic).
 pub fn run_cells(cells: &[Cell]) -> Result<Vec<CellResult>, String> {
-    let results: Vec<Result<CellResult, String>> = cells.par_iter().map(run_cell).collect();
-    results.into_iter().collect()
+    run_cells_with(cells, telemetry_env_enabled())
 }
 
 /// [`run_cells`] with telemetry explicitly pinned for every cell (what
@@ -193,11 +194,11 @@ pub fn run_cells(cells: &[Cell]) -> Result<Vec<CellResult>, String> {
 ///
 /// Same as [`run_cells`].
 pub fn run_cells_with(cells: &[Cell], telemetry: bool) -> Result<Vec<CellResult>, String> {
-    let results: Vec<Result<CellResult, String>> = cells
-        .par_iter()
-        .map(|cell| run_cell_with(cell, telemetry))
-        .collect();
-    results.into_iter().collect()
+    let opts = FarmOptions {
+        telemetry,
+        cache_dir: None,
+    };
+    run_cells_collect(cells, &opts).map(|(results, _)| results)
 }
 
 /// Expands `specs` and runs every cell (see [`expand`] and [`run_cells`]).
@@ -239,10 +240,26 @@ pub fn results_table_with_wall(results: &[CellResult]) -> String {
     render_results_table(results, true)
 }
 
-fn render_results_table(results: &[CellResult], with_wall: bool) -> String {
+/// The deterministic results-table header line (including the trailing
+/// newline) — what a streaming sink writes once before its first
+/// [`results_table_row`].
+#[must_use]
+pub fn results_table_header() -> String {
+    header_line(false)
+}
+
+/// One cell's deterministic results-table row (including the trailing
+/// newline). `results_table` is exactly [`results_table_header`] followed
+/// by one row per cell, so a sink that writes rows as cells complete
+/// produces a byte-identical file without ever buffering the run.
+#[must_use]
+pub fn results_table_row(r: &CellResult) -> String {
+    row_line(r, false)
+}
+
+fn header_line(with_wall: bool) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let detail = "detail";
     write!(
         out,
         "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
@@ -265,33 +282,45 @@ fn render_results_table(results: &[CellResult], with_wall: bool) -> String {
     if with_wall {
         write!(out, " {:>9}", "wall(ms)").unwrap();
     }
-    writeln!(out, "  {detail}").unwrap();
+    writeln!(out, "  detail").unwrap();
+    out
+}
+
+fn row_line(r: &CellResult, with_wall: bool) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let m = &r.outcome.metrics;
+    write!(
+        out,
+        "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
+        r.cell.scenario,
+        r.cell.protocol.name(),
+        topology_name(r.cell.topology),
+        r.cell.n,
+        r.cell.seed,
+        m.total_messages(),
+        r.outcome.effective_rounds,
+        m.peak_messages_per_round,
+        m.dropped_messages,
+        m.delayed_messages,
+        m.scheduled_messages,
+        m.mutated_messages,
+        m.crashed_nodes,
+        if r.outcome.ok { "yes" } else { "NO" },
+    )
+    .unwrap();
+    if with_wall {
+        let ms = r.wall_nanos as f64 / 1_000_000.0;
+        write!(out, " {ms:>9.3}").unwrap();
+    }
+    writeln!(out, "  {}", r.outcome.detail).unwrap();
+    out
+}
+
+fn render_results_table(results: &[CellResult], with_wall: bool) -> String {
+    let mut out = header_line(with_wall);
     for r in results {
-        let m = &r.outcome.metrics;
-        write!(
-            out,
-            "{:<24} {:<16} {:<12} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
-            r.cell.scenario,
-            r.cell.protocol.name(),
-            topology_name(r.cell.topology),
-            r.cell.n,
-            r.cell.seed,
-            m.total_messages(),
-            r.outcome.effective_rounds,
-            m.peak_messages_per_round,
-            m.dropped_messages,
-            m.delayed_messages,
-            m.scheduled_messages,
-            m.mutated_messages,
-            m.crashed_nodes,
-            if r.outcome.ok { "yes" } else { "NO" },
-        )
-        .unwrap();
-        if with_wall {
-            let ms = r.wall_nanos as f64 / 1_000_000.0;
-            write!(out, " {ms:>9.3}").unwrap();
-        }
-        writeln!(out, "  {}", r.outcome.detail).unwrap();
+        out.push_str(&row_line(r, with_wall));
     }
     out
 }
@@ -337,6 +366,11 @@ mod tests {
             vec![ScenarioSpec::new("bad", Family::Cycle, ProtocolKind::QuantumLe).sizes([8, 12])];
         let err = run_matrix(&specs).unwrap_err();
         assert!(err.contains("bad protocol=quantum-le"), "{err}");
-        assert!(err.contains("n=8"), "first failing cell wins: {err}");
+        // Every failing cell is reported (one line each), in cell order —
+        // not just the lowest-indexed one.
+        let lines: Vec<&str> = err.lines().collect();
+        assert_eq!(lines.len(), 2, "{err}");
+        assert!(lines[0].contains("n=8"), "{err}");
+        assert!(lines[1].contains("n=12"), "{err}");
     }
 }

@@ -40,6 +40,19 @@
 //!   round-stamped fault events plus its full [`congest_net::Metrics`];
 //!   [`trace::serialize`] writes the line-oriented trace file and
 //!   [`trace::compare`] re-verifies a fresh run against it.
+//! * **Farm & cache** ([`farm`], [`cache`]) — [`farm::run_farm`] is the
+//!   batch-execution path behind all of the above: one global cell queue
+//!   (a whole directory of specs at once), work-stealing chunk claiming
+//!   across the `rayon` pool, a content-addressed [`cache::CellCache`]
+//!   keyed on each cell's canonical stanza plus a compile-time code
+//!   fingerprint, and a cell-ordered [`farm::FarmSink`] that streams
+//!   results/trace lines incrementally in O(1 cell) memory. The
+//!   determinism invariants below are what make the cache *sound*: equal
+//!   keys replay byte-for-byte, so a hit is indistinguishable from a rerun.
+//! * **Serve** ([`mod@serve`]) — `experiments --serve` reads scenario requests
+//!   line-by-line from stdin, multiplexes them onto the farm, and streams
+//!   result blocks back under request-id framing (protocol in the module
+//!   docs and `docs/SCENARIO_FORMAT.md`).
 //! * **Scorecard** ([`scorecard`]) — [`run_scorecard`] runs every faulty
 //!   scenario next to its fault-free twin and aggregates success rate and
 //!   message/round overhead per `(protocol, fault class)` — the resilience
@@ -86,18 +99,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
+pub mod farm;
 pub mod registry;
 pub mod scorecard;
+pub mod serve;
 pub mod spec;
 pub mod trace;
 
+pub use cache::{cache_key, cache_key_material, code_fingerprint, CellCache};
 pub use engine::{
-    expand, results_table, results_table_with_wall, run_cell, run_cell_with, run_cells,
-    run_cells_with, run_matrix, run_matrix_with, telemetry_env_enabled, Cell, CellResult,
+    expand, results_table, results_table_header, results_table_row, results_table_with_wall,
+    run_cell, run_cell_with, run_cells, run_cells_with, run_matrix, run_matrix_with,
+    telemetry_env_enabled, Cell, CellResult,
 };
+pub use farm::{run_cells_collect, run_farm, FarmOptions, FarmReport, FarmSink};
 pub use registry::{parse_topology, topology_name, CellOutcome, ProtocolKind, ALL_PROTOCOLS};
 pub use scorecard::{fault_class, fault_free_twin, run_scorecard, Scorecard, ScorecardRow};
+pub use serve::{serve, ServeOptions, ServeSummary};
 pub use spec::{ScenarioSpec, SpecError};
 
 use std::path::Path;

@@ -189,49 +189,7 @@ impl ScenarioSpec {
         }
         if !self.faults.is_empty() || self.faults.seed() != 0 {
             out.push_str("\n[faults]\n");
-            writeln!(out, "seed = {}", self.faults.seed()).unwrap();
-            if self.faults.drop_rate() > 0.0 {
-                writeln!(out, "drop = {}", self.faults.drop_rate()).unwrap();
-            }
-            for o in self.faults.outages() {
-                writeln!(
-                    out,
-                    "outage = [{}, {}, {}, {}]",
-                    o.a, o.b, o.from_round, o.until_round
-                )
-                .unwrap();
-            }
-            for l in self.faults.latencies() {
-                writeln!(out, "latency = [{}, {}, {}]", l.a, l.b, l.delay_rounds).unwrap();
-            }
-            for c in self.faults.crashes() {
-                if c.recover_round == u64::MAX {
-                    writeln!(out, "crash = [{}, {}]", c.node, c.round).unwrap();
-                } else {
-                    writeln!(
-                        out,
-                        "recover = [{}, {}, {}]",
-                        c.node, c.round, c.recover_round
-                    )
-                    .unwrap();
-                }
-            }
-            for w in self.faults.byzantines() {
-                writeln!(
-                    out,
-                    "byzantine = [{}, {}, {}]",
-                    w.node, w.from_round, w.until_round
-                )
-                .unwrap();
-            }
-            if self.faults.adversarial_drops_per_round() > 0 {
-                writeln!(
-                    out,
-                    "adversary = {}",
-                    self.faults.adversarial_drops_per_round()
-                )
-                .unwrap();
-            }
+            write_fault_stanzas(&self.faults, &mut out);
         }
         out
     }
@@ -245,6 +203,53 @@ impl ScenarioSpec {
     /// scenario missing its required keys.
     pub fn parse_many(text: &str) -> Result<Vec<ScenarioSpec>, SpecError> {
         Parser::new(text).parse()
+    }
+}
+
+/// Renders the `[faults]` section stanzas of `faults` into `out`, in the
+/// plan's entry order (so emit ∘ parse is the identity). Shared by
+/// [`ScenarioSpec::to_text`] and the cell cache's canonical key material —
+/// using one renderer guarantees the cache key covers exactly the fault
+/// plan the spec format can express.
+pub(crate) fn write_fault_stanzas(faults: &FaultPlan, out: &mut String) {
+    use std::fmt::Write;
+    writeln!(out, "seed = {}", faults.seed()).unwrap();
+    if faults.drop_rate() > 0.0 {
+        writeln!(out, "drop = {}", faults.drop_rate()).unwrap();
+    }
+    for o in faults.outages() {
+        writeln!(
+            out,
+            "outage = [{}, {}, {}, {}]",
+            o.a, o.b, o.from_round, o.until_round
+        )
+        .unwrap();
+    }
+    for l in faults.latencies() {
+        writeln!(out, "latency = [{}, {}, {}]", l.a, l.b, l.delay_rounds).unwrap();
+    }
+    for c in faults.crashes() {
+        if c.recover_round == u64::MAX {
+            writeln!(out, "crash = [{}, {}]", c.node, c.round).unwrap();
+        } else {
+            writeln!(
+                out,
+                "recover = [{}, {}, {}]",
+                c.node, c.round, c.recover_round
+            )
+            .unwrap();
+        }
+    }
+    for w in faults.byzantines() {
+        writeln!(
+            out,
+            "byzantine = [{}, {}, {}]",
+            w.node, w.from_round, w.until_round
+        )
+        .unwrap();
+    }
+    if faults.adversarial_drops_per_round() > 0 {
+        writeln!(out, "adversary = {}", faults.adversarial_drops_per_round()).unwrap();
     }
 }
 

@@ -38,87 +38,119 @@ pub struct BaselineCell {
     pub events: Vec<TraceEvent>,
 }
 
+/// The version line every trace file starts with. The farm's streaming
+/// writer emits this once, then appends [`serialize_cell`] blocks as cells
+/// complete — byte-identical to a buffered [`serialize`] call.
+pub const HEADER: &str = "# sim-harness trace v4\n";
+
 /// Serializes a matrix run as a trace file.
 #[must_use]
 pub fn serialize(results: &[CellResult]) -> String {
-    use std::fmt::Write;
-    let mut out = String::from("# sim-harness trace v4\n");
+    let mut out = String::from(HEADER);
     for r in results {
-        let m = &r.outcome.metrics;
-        writeln!(out, "cell {}", r.cell.id()).unwrap();
-        writeln!(
-            out,
-            "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} sched={} mutated={} crashed={} effective={} ok={}",
-            m.classical_messages,
-            m.quantum_messages,
-            m.rounds,
-            m.peak_messages_per_round,
-            m.total_bits,
-            m.dropped_messages,
-            m.delayed_messages,
-            m.scheduled_messages,
-            m.mutated_messages,
-            m.crashed_nodes,
-            r.outcome.effective_rounds,
-            r.outcome.ok
-        )
-        .unwrap();
-        for event in &r.outcome.trace {
-            match *event {
-                TraceEvent::NodeCrashed { round, node } => {
-                    writeln!(out, "event round={round} crash node={node}").unwrap();
-                }
-                TraceEvent::NodeRecovered { round, node } => {
-                    writeln!(out, "event round={round} recover node={node}").unwrap();
-                }
-                TraceEvent::MessageDropped {
-                    round,
-                    from,
-                    to,
-                    cause,
-                } => {
-                    writeln!(
-                        out,
-                        "event round={round} drop from={from} to={to} cause={}",
-                        cause.label()
-                    )
-                    .unwrap();
-                }
-                TraceEvent::MessageDelayed {
-                    round,
-                    from,
-                    to,
-                    delay,
-                } => {
-                    writeln!(
-                        out,
-                        "event round={round} delay from={from} to={to} rounds={delay}"
-                    )
-                    .unwrap();
-                }
-                TraceEvent::MessageMutated { round, from, to } => {
-                    writeln!(out, "event round={round} mutate from={from} to={to}").unwrap();
-                }
-                TraceEvent::MessageEquivocated { round, node } => {
-                    writeln!(out, "event round={round} equivocate node={node}").unwrap();
-                }
-                TraceEvent::MessageScheduled {
-                    round,
-                    from,
-                    to,
-                    delay,
-                } => {
-                    writeln!(
-                        out,
-                        "event round={round} schedule from={from} to={to} delay={delay}"
-                    )
-                    .unwrap();
-                }
-            }
-        }
-        out.push_str("end\n");
+        out.push_str(&serialize_cell(r));
     }
     out
+}
+
+/// Serializes one cell's trace block (header line, summary, events, `end`).
+/// [`serialize`] is [`HEADER`] plus these blocks in cell order, which is
+/// what lets the farm stream the trace file incrementally.
+#[must_use]
+pub fn serialize_cell(r: &CellResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "cell {}", r.cell.id()).unwrap();
+    write_summary(
+        &mut out,
+        &r.outcome.metrics,
+        r.outcome.effective_rounds,
+        r.outcome.ok,
+    );
+    write_events(&mut out, &r.outcome.trace);
+    out.push_str("end\n");
+    out
+}
+
+/// Writes the `summary` line for one cell (shared with the cell cache's
+/// entry format, so the two can never drift apart on a new counter).
+pub(crate) fn write_summary(out: &mut String, m: &Metrics, effective_rounds: u64, ok: bool) {
+    use std::fmt::Write;
+    writeln!(
+        out,
+        "summary classical={} quantum={} rounds={} peak={} bits={} dropped={} delayed={} sched={} mutated={} crashed={} effective={} ok={}",
+        m.classical_messages,
+        m.quantum_messages,
+        m.rounds,
+        m.peak_messages_per_round,
+        m.total_bits,
+        m.dropped_messages,
+        m.delayed_messages,
+        m.scheduled_messages,
+        m.mutated_messages,
+        m.crashed_nodes,
+        effective_rounds,
+        ok
+    )
+    .unwrap();
+}
+
+/// Writes one `event` line per trace event (shared with the cell cache).
+pub(crate) fn write_events(out: &mut String, events: &[TraceEvent]) {
+    use std::fmt::Write;
+    for event in events {
+        match *event {
+            TraceEvent::NodeCrashed { round, node } => {
+                writeln!(out, "event round={round} crash node={node}").unwrap();
+            }
+            TraceEvent::NodeRecovered { round, node } => {
+                writeln!(out, "event round={round} recover node={node}").unwrap();
+            }
+            TraceEvent::MessageDropped {
+                round,
+                from,
+                to,
+                cause,
+            } => {
+                writeln!(
+                    out,
+                    "event round={round} drop from={from} to={to} cause={}",
+                    cause.label()
+                )
+                .unwrap();
+            }
+            TraceEvent::MessageDelayed {
+                round,
+                from,
+                to,
+                delay,
+            } => {
+                writeln!(
+                    out,
+                    "event round={round} delay from={from} to={to} rounds={delay}"
+                )
+                .unwrap();
+            }
+            TraceEvent::MessageMutated { round, from, to } => {
+                writeln!(out, "event round={round} mutate from={from} to={to}").unwrap();
+            }
+            TraceEvent::MessageEquivocated { round, node } => {
+                writeln!(out, "event round={round} equivocate node={node}").unwrap();
+            }
+            TraceEvent::MessageScheduled {
+                round,
+                from,
+                to,
+                delay,
+            } => {
+                writeln!(
+                    out,
+                    "event round={round} schedule from={from} to={to} delay={delay}"
+                )
+                .unwrap();
+            }
+        }
+    }
 }
 
 /// Parses a trace file produced by [`serialize`].
@@ -161,93 +193,15 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
             let cell = current
                 .as_mut()
                 .ok_or_else(|| format!("trace line {line_no}: summary outside a cell"))?;
-            let get = |key: &str| -> Result<u64, String> {
-                field(rest, key, line_no)?
-                    .parse()
-                    .map_err(|_| format!("trace line {line_no}: bad {key}"))
-            };
-            cell.metrics = Metrics {
-                classical_messages: get("classical")?,
-                quantum_messages: get("quantum")?,
-                rounds: get("rounds")?,
-                peak_messages_per_round: get("peak")?,
-                total_bits: get("bits")?,
-                dropped_messages: get("dropped")?,
-                delayed_messages: get("delayed")?,
-                scheduled_messages: get("sched")?,
-                mutated_messages: get("mutated")?,
-                crashed_nodes: get("crashed")?,
-            };
-            cell.effective_rounds = get("effective")?;
-            cell.ok = field(rest, "ok", line_no)? == "true";
+            let (metrics, effective_rounds, ok) = parse_summary(rest, line_no)?;
+            cell.metrics = metrics;
+            cell.effective_rounds = effective_rounds;
+            cell.ok = ok;
         } else if let Some(rest) = line.strip_prefix("event ") {
             let cell = current
                 .as_mut()
                 .ok_or_else(|| format!("trace line {line_no}: event outside a cell"))?;
-            let round: u64 = field(rest, "round", line_no)?
-                .parse()
-                .map_err(|_| format!("trace line {line_no}: bad round"))?;
-            let parse_node = |key: &str| -> Result<usize, String> {
-                field(rest, key, line_no)?
-                    .parse()
-                    .map_err(|_| format!("trace line {line_no}: bad {key}"))
-            };
-            // `schedule` is checked before `delay`: a schedule line carries a
-            // `delay=` *attribute*, but attribute tokens never match the
-            // space-delimited kind patterns below.
-            if rest.contains(" schedule ") {
-                let delay = field(rest, "delay", line_no)?
-                    .parse()
-                    .map_err(|_| format!("trace line {line_no}: bad delay"))?;
-                cell.events.push(TraceEvent::MessageScheduled {
-                    round,
-                    from: parse_node("from")?,
-                    to: parse_node("to")?,
-                    delay,
-                });
-            } else if rest.contains(" crash ") {
-                cell.events.push(TraceEvent::NodeCrashed {
-                    round,
-                    node: parse_node("node")?,
-                });
-            } else if rest.contains(" recover ") {
-                cell.events.push(TraceEvent::NodeRecovered {
-                    round,
-                    node: parse_node("node")?,
-                });
-            } else if rest.contains(" drop ") {
-                let cause = DropCause::parse(field(rest, "cause", line_no)?)
-                    .ok_or_else(|| format!("trace line {line_no}: unknown drop cause"))?;
-                cell.events.push(TraceEvent::MessageDropped {
-                    round,
-                    from: parse_node("from")?,
-                    to: parse_node("to")?,
-                    cause,
-                });
-            } else if rest.contains(" delay ") {
-                let delay = field(rest, "rounds", line_no)?
-                    .parse()
-                    .map_err(|_| format!("trace line {line_no}: bad rounds"))?;
-                cell.events.push(TraceEvent::MessageDelayed {
-                    round,
-                    from: parse_node("from")?,
-                    to: parse_node("to")?,
-                    delay,
-                });
-            } else if rest.contains(" mutate ") {
-                cell.events.push(TraceEvent::MessageMutated {
-                    round,
-                    from: parse_node("from")?,
-                    to: parse_node("to")?,
-                });
-            } else if rest.contains(" equivocate ") {
-                cell.events.push(TraceEvent::MessageEquivocated {
-                    round,
-                    node: parse_node("node")?,
-                });
-            } else {
-                return Err(format!("trace line {line_no}: unknown event kind"));
-            }
+            cell.events.push(parse_event(rest, line_no)?);
         } else if line == "end" {
             cells.push(
                 current
@@ -264,6 +218,100 @@ pub fn parse(text: &str) -> Result<Vec<BaselineCell>, String> {
         return Err("trace ended inside a cell".into());
     }
     Ok(cells)
+}
+
+/// Parses the attribute list of a `summary` line into its metrics,
+/// effective rounds, and ok verdict (shared with the cell cache).
+pub(crate) fn parse_summary(rest: &str, line_no: usize) -> Result<(Metrics, u64, bool), String> {
+    let get = |key: &str| -> Result<u64, String> {
+        field(rest, key, line_no)?
+            .parse()
+            .map_err(|_| format!("trace line {line_no}: bad {key}"))
+    };
+    let metrics = Metrics {
+        classical_messages: get("classical")?,
+        quantum_messages: get("quantum")?,
+        rounds: get("rounds")?,
+        peak_messages_per_round: get("peak")?,
+        total_bits: get("bits")?,
+        dropped_messages: get("dropped")?,
+        delayed_messages: get("delayed")?,
+        scheduled_messages: get("sched")?,
+        mutated_messages: get("mutated")?,
+        crashed_nodes: get("crashed")?,
+    };
+    let effective_rounds = get("effective")?;
+    let ok = field(rest, "ok", line_no)? == "true";
+    Ok((metrics, effective_rounds, ok))
+}
+
+/// Parses the attribute list of an `event` line (shared with the cell
+/// cache).
+pub(crate) fn parse_event(rest: &str, line_no: usize) -> Result<TraceEvent, String> {
+    let round: u64 = field(rest, "round", line_no)?
+        .parse()
+        .map_err(|_| format!("trace line {line_no}: bad round"))?;
+    let parse_node = |key: &str| -> Result<usize, String> {
+        field(rest, key, line_no)?
+            .parse()
+            .map_err(|_| format!("trace line {line_no}: bad {key}"))
+    };
+    // `schedule` is checked before `delay`: a schedule line carries a
+    // `delay=` *attribute*, but attribute tokens never match the
+    // space-delimited kind patterns below.
+    if rest.contains(" schedule ") {
+        let delay = field(rest, "delay", line_no)?
+            .parse()
+            .map_err(|_| format!("trace line {line_no}: bad delay"))?;
+        Ok(TraceEvent::MessageScheduled {
+            round,
+            from: parse_node("from")?,
+            to: parse_node("to")?,
+            delay,
+        })
+    } else if rest.contains(" crash ") {
+        Ok(TraceEvent::NodeCrashed {
+            round,
+            node: parse_node("node")?,
+        })
+    } else if rest.contains(" recover ") {
+        Ok(TraceEvent::NodeRecovered {
+            round,
+            node: parse_node("node")?,
+        })
+    } else if rest.contains(" drop ") {
+        let cause = DropCause::parse(field(rest, "cause", line_no)?)
+            .ok_or_else(|| format!("trace line {line_no}: unknown drop cause"))?;
+        Ok(TraceEvent::MessageDropped {
+            round,
+            from: parse_node("from")?,
+            to: parse_node("to")?,
+            cause,
+        })
+    } else if rest.contains(" delay ") {
+        let delay = field(rest, "rounds", line_no)?
+            .parse()
+            .map_err(|_| format!("trace line {line_no}: bad rounds"))?;
+        Ok(TraceEvent::MessageDelayed {
+            round,
+            from: parse_node("from")?,
+            to: parse_node("to")?,
+            delay,
+        })
+    } else if rest.contains(" mutate ") {
+        Ok(TraceEvent::MessageMutated {
+            round,
+            from: parse_node("from")?,
+            to: parse_node("to")?,
+        })
+    } else if rest.contains(" equivocate ") {
+        Ok(TraceEvent::MessageEquivocated {
+            round,
+            node: parse_node("node")?,
+        })
+    } else {
+        Err(format!("trace line {line_no}: unknown event kind"))
+    }
 }
 
 /// Extracts `key=value` from a space-separated attribute line.

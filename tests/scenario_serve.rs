@@ -1,0 +1,176 @@
+//! End-to-end tests of the `experiments --serve` stdin protocol, driven
+//! in-process through `sim_harness::serve`: well-formed requests, the
+//! exit-code-2 unknown-protocol contract (registry listed in-band),
+//! interleaved requests with intact request-id framing, trace streaming,
+//! and warm-cache requests within one session.
+
+use sim_harness::{serve, ServeOptions, ServeSummary, ALL_PROTOCOLS};
+use std::path::PathBuf;
+
+fn drive(input: &str, opts: &ServeOptions) -> (Vec<String>, ServeSummary) {
+    let mut out = Vec::new();
+    let summary = serve(input.as_bytes(), &mut out, opts).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    (text.lines().map(str::to_string).collect(), summary)
+}
+
+#[test]
+fn well_formed_request_is_a_framed_streaming_block() {
+    let (lines, summary) = drive(
+        "run r1 protocol=flood topology=cycle n=16,24 seed=1 max_rounds=500\nquit\n",
+        &ServeOptions::default(),
+    );
+    assert_eq!(lines[0], "begin r1 cells=2");
+    // Header row, then one row per cell, in cell order.
+    assert!(lines[1].starts_with("row r1 scenario"), "{}", lines[1]);
+    assert!(lines[2].starts_with("row r1 req-r1"), "{}", lines[2]);
+    assert!(lines[2].contains(" 16 "), "{}", lines[2]);
+    assert!(lines[3].contains(" 24 "), "{}", lines[3]);
+    assert_eq!(lines[4], "end r1 ok cells=2 hits=0 misses=2");
+    assert_eq!(lines[5], "bye");
+    assert_eq!(summary.requests, 1);
+    assert_eq!(summary.cells, 2);
+}
+
+#[test]
+fn unknown_protocol_reports_code_2_and_lists_the_registry() {
+    let (lines, summary) = drive(
+        "run bad protocol=warp-le topology=cycle\nrun ok protocol=flood topology=cycle n=12 max_rounds=200\nquit\n",
+        &ServeOptions::default(),
+    );
+    let error = lines
+        .iter()
+        .find(|l| l.starts_with("error bad"))
+        .expect("an error line for request 'bad'");
+    assert!(error.contains("code=2"), "{error}");
+    assert!(error.contains("unknown protocol \"warp-le\""), "{error}");
+    for p in ALL_PROTOCOLS {
+        assert!(
+            error.contains(p.name()),
+            "registry missing {}: {error}",
+            p.name()
+        );
+    }
+    assert!(lines.contains(&"end bad error".to_string()));
+    // The session survives the error and serves the next request.
+    assert!(
+        lines.iter().any(|l| l.starts_with("end ok ok")),
+        "{lines:?}"
+    );
+    assert_eq!(summary.requests, 1);
+}
+
+#[test]
+fn interleaved_requests_keep_request_id_framing_intact() {
+    let input = "run a protocol=flood topology=cycle n=12 max_rounds=200\n\
+                 run b protocol=ghs-le topology=torus n=16\n\
+                 stats s\n\
+                 run c protocol=flood topology=cycle n=12 max_rounds=200\n\
+                 quit\n";
+    let (lines, summary) = drive(input, &ServeOptions::default());
+    // Every line is attributable: verb + id framing on all of them.
+    for line in &lines {
+        if line == "bye" {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let verb = tokens.next().unwrap();
+        let id = tokens.next().unwrap();
+        assert!(
+            matches!(verb, "begin" | "row" | "trace" | "end" | "stats" | "error"),
+            "unframed line: {line}"
+        );
+        assert!(matches!(id, "a" | "b" | "c" | "s"), "foreign id: {line}");
+    }
+    // Blocks are contiguous and ordered: a's lines all precede b's, etc.
+    let block = |id: &str| {
+        let first = lines
+            .iter()
+            .position(|l| l.split_whitespace().nth(1) == Some(id));
+        let last = lines
+            .iter()
+            .rposition(|l| l.split_whitespace().nth(1) == Some(id));
+        (first.unwrap(), last.unwrap())
+    };
+    let (a0, a1) = block("a");
+    let (b0, b1) = block("b");
+    let (c0, _) = block("c");
+    assert!(a0 < a1 && a1 < b0, "{lines:?}");
+    assert!(b0 < b1 && b1 < c0, "{lines:?}");
+    assert!(lines[a0].starts_with("begin a") && lines[a1].starts_with("end a ok"));
+    assert!(lines[b0].starts_with("begin b") && lines[b1].starts_with("end b ok"));
+    // The stats line lands between b's end and c's begin, with b counted.
+    let stats = lines.iter().find(|l| l.starts_with("stats s")).unwrap();
+    assert_eq!(stats, "stats s requests=2 cells=2 hits=0 misses=2");
+    assert_eq!(summary.requests, 3);
+    assert_eq!(summary.cells, 3);
+}
+
+#[test]
+fn trace_streaming_and_fault_keys_round_trip() {
+    let input = "run t protocol=flood topology=cycle n=12 seed=2 max_rounds=300 \
+                 fault_seed=7 drop=0.05 crash=3,2 trace=1\nquit\n";
+    let (lines, _) = drive(input, &ServeOptions::default());
+    let traces: Vec<&String> = lines.iter().filter(|l| l.starts_with("trace t ")).collect();
+    assert!(!traces.is_empty(), "{lines:?}");
+    assert!(
+        traces[0].starts_with("trace t cell req-t protocol=flood"),
+        "{}",
+        traces[0]
+    );
+    assert!(traces[1].starts_with("trace t summary "), "{}", traces[1]);
+    assert_eq!(*traces.last().unwrap(), "trace t end");
+    // The trace block sits inside the request's frame: after its row,
+    // before its end line.
+    let row = lines
+        .iter()
+        .position(|l| l.starts_with("row t req-t"))
+        .unwrap();
+    let end = lines
+        .iter()
+        .position(|l| l.starts_with("end t ok"))
+        .unwrap();
+    let first_trace = lines.iter().position(|l| l.starts_with("trace t")).unwrap();
+    assert!(row < first_trace && first_trace < end);
+}
+
+#[test]
+fn repeated_requests_hit_the_session_cache() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("scenario-serve")
+        .join("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions {
+        cache_dir: Some(dir),
+        telemetry: false,
+    };
+    let input = "run cold protocol=flood topology=cycle n=16 seed=3 max_rounds=400\n\
+                 run warm protocol=flood topology=cycle n=16 seed=3 max_rounds=400\nquit\n";
+    let (lines, summary) = drive(input, &opts);
+    assert!(
+        lines.contains(&"end cold ok cells=1 hits=0 misses=1".to_string()),
+        "{lines:?}"
+    );
+    assert!(
+        lines.contains(&"end warm ok cells=1 hits=1 misses=0".to_string()),
+        "{lines:?}"
+    );
+    // Identical result bytes, straight from the cache.
+    let row = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.starts_with(&format!("row {id} req-")))
+            .unwrap()
+            .split_once(' ')
+            .unwrap()
+            .1
+            .split_once(' ')
+            .unwrap()
+            .1
+            .replace("req-cold", "req-")
+            .replace("req-warm", "req-")
+    };
+    assert_eq!(row("cold"), row("warm"));
+    assert_eq!(summary.hits, 1);
+    assert_eq!(summary.misses, 1);
+}
